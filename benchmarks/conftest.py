@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures and artefact recording.
+
+Every benchmark regenerates one table or figure of the paper (or one
+ablation) and writes the artefact to ``benchmarks/results/`` so the
+rendered output can be inspected and diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Reference-simulation horizon. 200 ms covers 800 TDMA slots, 100 MSDUs
+#: and 20 beacons — enough for stable Table 4 proportions.
+REFERENCE_DURATION_US = 200_000
+
+
+def record_artifact(name: str, text: str) -> str:
+    """Write a rendered table/figure under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def tutmac_app():
+    from repro.cases.tutmac import build_tutmac
+
+    return build_tutmac()
+
+
+@pytest.fixture(scope="session")
+def reference_profiling(tutmac_app):
+    """Table 4's setting: the TUTMAC run on the workstation reference."""
+    from repro.profiling import profile_run
+    from repro.simulation import run_reference_simulation
+
+    result = run_reference_simulation(
+        tutmac_app, duration_us=REFERENCE_DURATION_US
+    )
+    return profile_run(result, tutmac_app)
+
+
+@pytest.fixture(scope="session")
+def tutwlan_system():
+    from repro.cases.tutwlan import build_tutwlan_system
+
+    return build_tutwlan_system()

@@ -1,0 +1,68 @@
+"""Ablation A1 — grouping strategy comparison (paper §3.1 grouping criteria).
+
+Compares cross-group communication (the paper's grouping objective) for:
+the paper's manual grouping, the automatic communication-minimising merge
+(the paper's announced future-work tool), an arbitrary round-robin
+grouping, and per-process grouping.  The expected ordering: automatic ≤
+paper < round-robin < per-process.
+"""
+
+from repro.cases.tutmac import PAPER_GROUPING, build_tutmac
+from repro.exploration import (
+    communication_minimizing_grouping,
+    external_traffic,
+    per_process_grouping,
+    round_robin_grouping,
+)
+from repro.profiling import profile_run
+from repro.simulation import run_reference_simulation
+from repro.util.tables import render_table
+
+from benchmarks.conftest import record_artifact
+
+
+def run_ablation():
+    application = build_tutmac()
+    result = run_reference_simulation(application, duration_us=100_000)
+    data = profile_run(result, application)
+    types = {
+        name: process.process_type()
+        for name, process in application.processes.items()
+        if not process.is_environment
+    }
+    strategies = {
+        "paper (Figure 6)": dict(PAPER_GROUPING),
+        "auto comm-minimising": communication_minimizing_grouping(data, types, 4),
+        "round-robin": round_robin_grouping(types, types, 4, seed=2),
+        "per-process": per_process_grouping(types, types),
+    }
+    scores = {
+        name: external_traffic(assignment, data)
+        for name, assignment in strategies.items()
+    }
+    return data, strategies, scores
+
+
+def test_ablation_grouping_strategies(benchmark):
+    data, strategies, scores = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    rows = [
+        (name, len(set(strategies[name].values())), scores[name])
+        for name in scores
+    ]
+    rows.sort(key=lambda r: r[2])
+    table = render_table(
+        ("Strategy", "Groups", "Cross-group signals"),
+        rows,
+        title="Ablation A1: grouping strategy vs. cross-group communication",
+    )
+    record_artifact("ablation_a1_grouping.txt", table)
+
+    assert scores["auto comm-minimising"] <= scores["paper (Figure 6)"]
+    assert scores["paper (Figure 6)"] < scores["per-process"]
+    assert scores["round-robin"] <= scores["per-process"]
+    # per-process externalises every inter-process signal
+    assert scores["per-process"] == max(scores.values())
+    print()
+    print(table)

@@ -1,0 +1,77 @@
+"""Ablation A2 — mapping alternatives on the TUTWLAN platform (paper §4.3).
+
+The paper maps group1+group3 to processor1 deliberately.  This bench
+simulates the paper mapping against alternatives and reports bus bytes,
+peak PE utilisation and end-to-end MSDU deliveries.
+"""
+
+from repro.cases.tutwlan import PAPER_MAPPING, build_tutwlan_system
+from repro.exploration import summarize
+from repro.simulation import SystemSimulation
+from repro.util.tables import render_table
+
+from benchmarks.conftest import record_artifact
+
+ALTERNATIVES = {
+    "paper (Fig 8: g1+g3 on p1)": {},
+    "g3 split to processor3": {"group3": "processor3"},
+    "all software on processor1": {
+        "group2": "processor1",
+        "group3": "processor1",
+    },
+    "spread over three CPUs": {
+        "group2": "processor2",
+        "group3": "processor3",
+    },
+}
+
+DURATION_US = 100_000
+
+
+def evaluate_alternative(overrides):
+    application, platform, mapping = build_tutwlan_system(
+        mapping_overrides=overrides
+    )
+    simulation = SystemSimulation(application, platform, mapping)
+    result = simulation.run(DURATION_US)
+    metrics = summarize(result, application)
+    delivered = simulation.executors["user"].variables.get("delivered", 0)
+    return metrics, delivered
+
+
+def run_ablation():
+    rows = {}
+    for name, overrides in ALTERNATIVES.items():
+        metrics, delivered = evaluate_alternative(overrides)
+        rows[name] = (metrics, delivered)
+    return rows
+
+
+def test_ablation_mapping_alternatives(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ("Mapping", "Bus bytes", "Peak PE util", "MSDUs delivered"),
+        [
+            (name, metrics.bus_bytes, round(metrics.max_pe_utilization, 3), delivered)
+            for name, (metrics, delivered) in rows.items()
+        ],
+        title="Ablation A2: mapping alternatives",
+    )
+    record_artifact("ablation_a2_mapping.txt", table)
+
+    paper_metrics, paper_delivered = rows["paper (Fig 8: g1+g3 on p1)"]
+    split_metrics, _ = rows["g3 split to processor3"]
+    concentrated_metrics, _ = rows["all software on processor1"]
+
+    # co-locating g1+g3 (paper) moves less over the bus than splitting g3 out
+    assert paper_metrics.bus_bytes < split_metrics.bus_bytes
+    # concentrating everything minimises bus bytes but maximises PE load
+    assert concentrated_metrics.bus_bytes < paper_metrics.bus_bytes
+    assert (
+        concentrated_metrics.max_pe_utilization
+        > paper_metrics.max_pe_utilization
+    )
+    # the protocol still works under the paper mapping
+    assert paper_delivered > 0
+    print()
+    print(table)

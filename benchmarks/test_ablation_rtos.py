@@ -1,0 +1,132 @@
+"""Ablation A6 — RTOS scheduling policies (paper §5 future work).
+
+"In addition, real-time operating system will be used in system
+processors, which will also be accounted in the TUT-Profile."  The
+«PlatformRtos» extension implements that accounting.  This bench measures
+two of its effects:
+
+1. on a flooded processor, the ready-queue policy decides how long the
+   highest-priority process waits: priority < round-robin ≤ fifo;
+2. on the TUTMAC/TUTWLAN system, RTOS dispatch overhead on processor1
+   inflates group1's measured cycles by exactly overhead × steps.
+"""
+
+from repro.application import ApplicationModel
+from repro.cases.tutwlan import build_tutwlan_system
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.profiling import profile_run
+from repro.simulation import SystemSimulation
+from repro.uml import Port
+from repro.util.tables import render_table
+
+from benchmarks.conftest import record_artifact
+
+
+def build_flood_app(jobs_per_worker=10):
+    app = ApplicationModel("Flood")
+    app.signal("job", [("n", "Int32")])
+    worker = app.component("Worker")
+    worker.add_port(Port("inp", provided=["job"]))
+    machine = app.behavior(worker)
+    machine.variable("done", 0)
+    machine.variable("i", 0)
+    machine.state("s", initial=True)
+    machine.on_signal(
+        "s", "s", "job", params=["n"],
+        effect="i = 0; while (i < 40) { i = i + 1; } done = done + 1;",
+        internal=True,
+    )
+    source = app.component("Source")
+    for port in ("out_lo", "out_hi"):
+        source.add_port(Port(port, required=["job"]))
+    sends = "".join(
+        f"send job({k}) via out_lo; send job({k}) via out_hi;"
+        for k in range(jobs_per_worker)
+    )
+    machine2 = app.behavior(source)
+    machine2.state("s", initial=True, entry=sends)
+    app.process(app.top, "w_lo", worker, priority=0)
+    app.process(app.top, "w_hi", worker, priority=9)
+    app.process(app.top, "src", source)
+    app.connect(app.top, ("src", "out_lo"), ("w_lo", "inp"))
+    app.connect(app.top, ("src", "out_hi"), ("w_hi", "inp"))
+    app.group("g")
+    for name in ("w_lo", "w_hi", "src"):
+        app.assign(name, "g")
+    return app
+
+
+def high_priority_finish_time(policy):
+    app = build_flood_app()
+    platform = PlatformModel("OneCpu", standard_library())
+    platform.instantiate("cpu1", "NiosCPU")
+    platform.configure_rtos("cpu1", scheduling=policy)
+    mapping = MappingModel(app, platform)
+    mapping.map("g", "cpu1")
+    result = SystemSimulation(app, platform, mapping).run(20_000)
+    finishes = [
+        r.time_ps + r.duration_ps
+        for r in result.log.exec_records
+        if r.process == "w_hi" and r.trigger == "job"
+    ]
+    return max(finishes)
+
+
+def tutmac_with_overhead(overhead_cycles):
+    application, platform, mapping = build_tutwlan_system()
+    if overhead_cycles:
+        platform.configure_rtos(
+            "processor1", dispatch_overhead_cycles=overhead_cycles
+        )
+    result = SystemSimulation(application, platform, mapping).run(50_000)
+    data = profile_run(result, application)
+    steps = data.group_steps["group1"] + data.group_steps["group3"]
+    return data.group_cycles["group1"] + data.group_cycles["group3"], steps
+
+
+def run_ablation():
+    policy_results = {
+        policy: high_priority_finish_time(policy)
+        for policy in ("priority", "fifo", "round-robin")
+    }
+    free_cycles, free_steps = tutmac_with_overhead(0)
+    taxed_cycles, taxed_steps = tutmac_with_overhead(300)
+    return policy_results, (free_cycles, free_steps, taxed_cycles, taxed_steps)
+
+
+def test_ablation_rtos_scheduling(benchmark):
+    policy_results, overhead = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    free_cycles, free_steps, taxed_cycles, taxed_steps = overhead
+    table = render_table(
+        ("Policy", "High-priority worker done (ns)"),
+        [(p, t // 1000) for p, t in policy_results.items()],
+        title="Ablation A6: ready-queue policy on a flooded processor",
+    )
+    overhead_table = render_table(
+        ("RTOS dispatch overhead", "processor1 cycles", "steps"),
+        [
+            ("none", free_cycles, free_steps),
+            ("300 cycles/step", taxed_cycles, taxed_steps),
+        ],
+        title="RTOS overhead accounting on TUTMAC/TUTWLAN (50 ms)",
+    )
+    record_artifact(
+        "ablation_a6_rtos.txt", table + "\n\n" + overhead_table
+    )
+
+    # priority scheduling serves the high-priority worker strictly earlier
+    assert policy_results["priority"] < policy_results["fifo"]
+    assert policy_results["priority"] < policy_results["round-robin"]
+    # overhead accounting: the mean step cost rises by ~the configured
+    # overhead (step counts drift slightly — the slower processor runs a
+    # few fewer TDMA slots within the horizon, a real feedback effect)
+    assert abs(taxed_steps - free_steps) <= 0.02 * free_steps
+    mean_increase = taxed_cycles / taxed_steps - free_cycles / free_steps
+    assert 0.8 * 300 <= mean_increase <= 1.2 * 300
+    print()
+    print(table)
+    print()
+    print(overhead_table)

@@ -1,0 +1,55 @@
+"""Experiment F2 — paper Figure 2: the design and profiling flow, end to end.
+
+Runs every box of Figure 2 on the TUTMAC/TUTWLAN system: model validation,
+XMI export, group-info parsing (profiling stage 1), code generation with
+instrumentation, simulation producing the log-file, and the profiling
+report.  The bench verifies every artefact exists and is consistent.
+"""
+
+import os
+
+from repro.cases.tutwlan import build_tutwlan_system
+from repro.flow import run_design_flow
+from repro.profiling import group_info_from_xmi
+from repro.simulation import read_log
+
+from benchmarks.conftest import record_artifact
+
+
+def run_flow(tmp_dir):
+    application, platform, mapping = build_tutwlan_system()
+    return run_design_flow(
+        application, platform, mapping, tmp_dir, duration_us=100_000
+    ), application
+
+
+def test_fig2_design_flow(benchmark, tmp_path):
+    result, application = benchmark.pedantic(
+        run_flow, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    record_artifact("fig2_profiling_report.txt", result.report_text)
+
+    # every artefact of the flow exists
+    assert os.path.exists(result.xmi_path)
+    assert os.path.exists(result.log_path)
+    assert os.path.exists(result.report_path)
+    assert os.path.exists(os.path.join(result.code_directory, "Makefile"))
+    generated = os.listdir(result.code_directory)
+    assert "tut_runtime.c" in generated
+    assert "RadioChannelAccess.c" in generated
+
+    # the log-file round-trips and the XMI feeds stage 1
+    log = read_log(result.log_path)
+    assert log.exec_records and log.signal_records
+    info = group_info_from_xmi(
+        open(result.xmi_path).read(), profiles=[application.profile]
+    )
+    assert info.group_of("rca") == "group1"
+
+    # the profiling result reflects the platform run (group4 on the
+    # accelerator is nearly free; group1 dominates)
+    shares = result.profiling.shares()
+    assert shares["group1"] > 0.5
+    assert shares["group4"] < 0.02
+    print()
+    print(result.report_text[: result.report_text.index("Per-process")])

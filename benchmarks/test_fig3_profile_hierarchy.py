@@ -1,0 +1,32 @@
+"""Experiment F3 — paper Figure 3: the TUT-Profile hierarchy.
+
+Application --composes--> ApplicationComponent --instantiates-->
+ApplicationProcess --grouped into--> ProcessGroup --mapped to-->
+PlatformComponentInstance <--instantiates-- PlatformComponent
+<--composes-- Platform.
+"""
+
+from repro.diagrams import profile_hierarchy_dot
+from repro.tutprofile import profile_hierarchy_edges
+
+from benchmarks.conftest import record_artifact
+
+PAPER_EDGES = {
+    ("Application", "composition", "ApplicationComponent"),
+    ("ApplicationComponent", "instantiate", "ApplicationProcess"),
+    ("ApplicationProcess", "grouping", "ProcessGroup"),
+    ("ProcessGroup", "mapping", "PlatformComponentInstance"),
+    ("PlatformComponent", "instantiate", "PlatformComponentInstance"),
+    ("Platform", "composition", "PlatformComponent"),
+}
+
+
+def test_fig3_profile_hierarchy(benchmark):
+    dot = benchmark(profile_hierarchy_dot)
+    record_artifact("fig3_profile_hierarchy.dot", dot)
+    assert set(profile_hierarchy_edges()) == PAPER_EDGES
+    assert dot.startswith("digraph")
+    for node in ("Application", "ProcessGroup", "Platform"):
+        assert node in dot
+    print()
+    print(dot)

@@ -1,0 +1,34 @@
+"""Experiment F4 — paper Figure 4: TUTMAC class diagram.
+
+Tutmac_Protocol («Application») composed of five components: Management,
+RadioManagement, RadioChannelAccess (functional, «ApplicationComponent»)
+and UserInterface, DataProcessing (structural, unstereotyped).
+"""
+
+from repro.diagrams import class_diagram_dot, class_diagram_text
+
+from benchmarks.conftest import record_artifact
+
+
+def test_fig4_class_diagram(benchmark, tutmac_app):
+    dot = benchmark(class_diagram_dot, tutmac_app)
+    record_artifact("fig4_class_diagram.dot", dot)
+    text = class_diagram_text(tutmac_app)
+    record_artifact("fig4_class_diagram.txt", text)
+
+    assert tutmac_app.top.name == "Tutmac_Protocol"
+    assert tutmac_app.top.has_stereotype("Application")
+    functional = {"Management", "RadioManagement", "RadioChannelAccess"}
+    structural = {"UserInterface", "DataProcessing"}
+    for name in functional:
+        component = tutmac_app.components[name]
+        assert component.has_stereotype("ApplicationComponent")
+        assert component.is_functional
+        assert name in dot
+    for name in structural:
+        klass = tutmac_app.structurals[name]
+        assert not klass.applied_stereotypes
+        assert klass.is_structural
+    assert {p.name for p in tutmac_app.top.parts} == {"ui", "dp", "mng", "rmng", "rca"}
+    print()
+    print(text)

@@ -1,0 +1,50 @@
+"""Experiment F5 — paper Figure 5: composite structure of Tutmac_Protocol.
+
+Five parts communicate through ports wired by eleven connectors, with
+boundary ports pUser, pPhy and pMngUser.  The bench regenerates the
+diagram and verifies every paper connection by resolving actual routes.
+"""
+
+from repro.diagrams import composite_structure_dot, composite_structure_text
+
+from benchmarks.conftest import record_artifact
+
+#: (sender process, signal) -> (receiver process, port), one probe per
+#: Figure 5 connector, both directions where the figure labels both.
+PAPER_CONNECTIONS = [
+    ("user", "msdu_req", "msduRec"),      # pUser / UserPort (UToUi)
+    ("msduDel", "msdu_ind", "user"),      # (UiToU)
+    ("msduRec", "sdu_tx", "frag"),        # ui.DPPort -- dp (UiToDp)
+    ("defrag", "sdu_rx", "msduDel"),      # (DpToUi)
+    ("msduRec", "ui_status", "mng"),      # ui.MngPort -- mng.UIPort
+    ("mng", "flow_ctrl", "msduRec"),
+    ("mng", "dp_cfg", "frag"),            # dp.ManagementPort -- mng.DPPort
+    ("frag", "pdu_tx", "rca"),            # dp.ChannelAccessPort -- rca.DataPort
+    ("rca", "pdu_rx", "defrag"),
+    ("mng", "beacon_req", "rca"),         # mng.RChPort -- rca.MngPort
+    ("rca", "beacon_cnf", "mng"),
+    ("mng", "rmng_cfg", "rmng"),          # mng.RMngPort -- rmng.MngPort
+    ("rmng", "rmng_status", "mng"),
+    ("rca", "ch_load", "rmng"),           # rca.RMngPort -- rmng.RChPort
+    ("rca", "phy_tx", "phy"),             # pPhy / rca.PhyPort
+    ("phy", "phy_rx", "rca"),
+    ("rmng", "meas_req", "phy"),          # pPhy / rmng.PhyPort
+    ("phy", "meas_ind", "rmng"),
+    ("mngUser", "mng_cmd", "mng"),        # pMngUser / mng.MngUserPort
+    ("mng", "mng_rsp", "mngUser"),
+]
+
+
+def test_fig5_composite_structure(benchmark, tutmac_app):
+    dot = benchmark(composite_structure_dot, tutmac_app)
+    record_artifact("fig5_composite_structure.dot", dot)
+    text = composite_structure_text(tutmac_app)
+    record_artifact("fig5_composite_structure.txt", text)
+
+    assert [p.name for p in tutmac_app.top.ports] == ["pUser", "pPhy", "pMngUser"]
+    assert len(tutmac_app.top.connectors) == 11
+    for sender, signal, receiver in PAPER_CONNECTIONS:
+        destination, _ = tutmac_app.route(sender, signal)
+        assert destination == receiver, (sender, signal, destination)
+    print()
+    print(text)

@@ -1,0 +1,40 @@
+"""Experiment F6 — paper Figure 6: TUTMAC process grouping.
+
+group1 = {rca, mng, rmng}; group2 = {msduRec, msduDel, frag}; the model
+additionally carries group3 = {defrag} and group4 = {crc} (Figure 8 and
+Table 4).  The paper's grouping objective — minimise communication between
+process groups — is verified quantitatively: the paper grouping produces
+less cross-group traffic than splitting the hot pairs.
+"""
+
+from repro.cases.tutmac import PAPER_GROUPING, build_tutmac
+from repro.diagrams import grouping_diagram_text
+from repro.exploration import external_traffic
+from repro.profiling import profile_run
+from repro.simulation import run_reference_simulation
+
+from benchmarks.conftest import record_artifact
+
+PAPER_GROUPS = {
+    "group1": {"rca", "mng", "rmng"},
+    "group2": {"msduRec", "msduDel", "frag"},
+    "group3": {"defrag"},
+    "group4": {"crc"},
+}
+
+
+def test_fig6_process_grouping(benchmark, tutmac_app):
+    text = benchmark(grouping_diagram_text, tutmac_app)
+    record_artifact("fig6_process_grouping.txt", text)
+
+    for group, members in PAPER_GROUPS.items():
+        assert {p.name for p in tutmac_app.processes_in(group)} == members
+
+    # quantitative check of the grouping objective (paper §4.1)
+    result = run_reference_simulation(build_tutmac(), duration_us=100_000)
+    data = profile_run(result, build_tutmac())
+    paper = dict(PAPER_GROUPING)
+    split = dict(paper, frag="group3")  # split the hot msduRec->frag pair
+    assert external_traffic(paper, data) < external_traffic(split, data)
+    print()
+    print(text)

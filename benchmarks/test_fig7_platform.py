@@ -1,0 +1,37 @@
+"""Experiment F7 — paper Figure 7: the TUTWLAN terminal platform.
+
+Four processing elements (three processors + a CRC accelerator) on two
+HIBI segments joined by a bridge segment: processor1/processor2 on
+hibisegment1, processor3/accelerator1 on hibisegment2.
+"""
+
+from repro.diagrams import platform_diagram_dot, platform_diagram_text
+
+from benchmarks.conftest import record_artifact
+
+
+def test_fig7_platform(benchmark, tutwlan_system):
+    _, platform, _ = tutwlan_system
+    dot = benchmark(platform_diagram_dot, platform)
+    record_artifact("fig7_platform.dot", dot)
+    text = platform_diagram_text(platform)
+    record_artifact("fig7_platform.txt", text)
+
+    assert set(platform.processing_elements) == {
+        "processor1", "processor2", "processor3", "accelerator1"
+    }
+    assert platform.pe("accelerator1").spec.component_type == "hw accelerator"
+    assert set(platform.agents_on("hibisegment1")) == {"processor1", "processor2"}
+    assert set(platform.agents_on("hibisegment2")) == {"processor3", "accelerator1"}
+    assert set(platform.agents_on("bridge")) == {"hibisegment1", "hibisegment2"}
+    assert platform.segments["bridge"].is_bridge
+    # cross-segment transfers traverse the bridge, as drawn
+    assert platform.transfer_path("processor2", "processor3") == [
+        "hibisegment1", "bridge", "hibisegment2"
+    ]
+    # every wrapper carries HIBI parameters
+    for wrapper in platform.wrappers:
+        assert wrapper.dependency.has_stereotype("HIBIWrapper")
+        assert wrapper.spec.address > 0
+    print()
+    print(text)

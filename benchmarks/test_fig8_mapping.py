@@ -1,0 +1,31 @@
+"""Experiment F8 — paper Figure 8: mapping TUTMAC onto the TUTWLAN platform.
+
+group1 and group3 map to processor1 ("the designer prefers the processes
+of the two process groups to be implemented on the same processor"),
+group2 to processor2, and group4 to accelerator1 ("processes that can be
+implemented on an existing hardware accelerator").
+"""
+
+from repro.cases.tutwlan import PAPER_MAPPING
+from repro.diagrams import mapping_diagram_dot, mapping_diagram_text
+
+from benchmarks.conftest import record_artifact
+
+
+def test_fig8_mapping(benchmark, tutwlan_system):
+    _, platform, mapping = tutwlan_system
+    dot = benchmark(mapping_diagram_dot, mapping)
+    record_artifact("fig8_mapping.dot", dot)
+    text = mapping_diagram_text(mapping)
+    record_artifact("fig8_mapping.txt", text)
+
+    assert mapping.assignment() == PAPER_MAPPING
+    assert mapping.groups_on("processor1") == ["group1", "group3"]
+    assert mapping.groups_on("processor2") == ["group2"]
+    assert mapping.groups_on("processor3") == []
+    assert mapping.groups_on("accelerator1") == ["group4"]
+    mapping.check_complete()
+    # the hardware group rides the accelerator
+    assert platform.pe("accelerator1").spec.component_type == "hw accelerator"
+    print()
+    print(text)

@@ -1,0 +1,31 @@
+"""Simulator throughput: how fast the DES executes the TUTMAC system.
+
+Not a paper experiment — an engineering benchmark tracking the event rate
+of the reproduction's simulator so regressions are visible.
+"""
+
+from repro.cases.tutwlan import build_tutwlan_system
+from repro.simulation import SystemSimulation
+
+from benchmarks.conftest import record_artifact
+
+
+def run_platform_simulation():
+    simulation = SystemSimulation(*build_tutwlan_system())
+    return simulation.run(200_000)
+
+
+def test_simulator_event_rate(benchmark):
+    result = benchmark.pedantic(run_platform_simulation, rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    events_per_second = result.dispatched_events / seconds
+    record_artifact(
+        "simulator_performance.txt",
+        f"TUTMAC on TUTWLAN, 200 ms simulated\n"
+        f"  kernel events dispatched: {result.dispatched_events}\n"
+        f"  wall time: {seconds:.3f} s\n"
+        f"  events/s: {events_per_second:,.0f}\n"
+        f"  log records: {len(result.log.records)}\n",
+    )
+    assert result.dispatched_events > 5_000
+    assert events_per_second > 5_000  # generous floor against regressions

@@ -1,0 +1,24 @@
+"""Experiment T1 — paper Table 1: TUT-Profile stereotype summary.
+
+Regenerates the stereotype summary from the live profile registry and
+checks it lists exactly the paper's eleven stereotypes with their
+metaclasses.
+"""
+
+from repro.tutprofile import ALL_STEREOTYPES, TUT_PROFILE, render_table1, stereotype_summary_rows
+
+from benchmarks.conftest import record_artifact
+
+
+def test_table1_stereotype_summary(benchmark):
+    table = benchmark(render_table1, TUT_PROFILE)
+    record_artifact("table1_stereotypes.txt", table)
+    rows = stereotype_summary_rows(TUT_PROFILE)
+    assert len(rows) == len(ALL_STEREOTYPES) == 11
+    # paper row samples
+    assert "Application (Class)" in table
+    assert "ProcessGrouping (Dependency)" in table
+    assert "PlatformMapping (Dependency)" in table
+    assert "Functional application component (active class, has behavior)" in table
+    print()
+    print(table)

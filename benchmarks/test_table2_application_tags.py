@@ -1,0 +1,33 @@
+"""Experiment T2 — paper Table 2: tagged values of application stereotypes."""
+
+from repro.tutprofile import (
+    APPLICATION_STEREOTYPES,
+    TUT_PROFILE,
+    render_table2,
+    tagged_value_rows,
+)
+
+from benchmarks.conftest import record_artifact
+
+#: Tag inventory of Table 2, verbatim from the paper.
+PAPER_TAGS = {
+    "Application": {"Priority", "CodeMemory", "DataMemory", "RealTimeType"},
+    "ApplicationComponent": {"CodeMemory", "DataMemory", "RealTimeType"},
+    "ApplicationProcess": {
+        "Priority", "CodeMemory", "DataMemory", "RealTimeType", "ProcessType",
+    },
+    "ProcessGroup": {"Fixed", "ProcessType"},
+    "ProcessGrouping": {"Fixed"},
+}
+
+
+def test_table2_application_tagged_values(benchmark):
+    table = benchmark(render_table2, TUT_PROFILE)
+    record_artifact("table2_application_tags.txt", table)
+    rows = tagged_value_rows(TUT_PROFILE, APPLICATION_STEREOTYPES)
+    by_stereotype = {}
+    for stereotype, tag, _ in rows:
+        by_stereotype.setdefault(stereotype.strip("«»"), set()).add(tag)
+    assert by_stereotype == PAPER_TAGS
+    print()
+    print(table)

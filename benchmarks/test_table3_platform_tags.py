@@ -1,0 +1,35 @@
+"""Experiment T3 — paper Table 3: tagged values of platform stereotypes."""
+
+from repro.tutprofile import (
+    MAPPING_STEREOTYPES,
+    PLATFORM_STEREOTYPES,
+    TUT_PROFILE,
+    render_table3,
+    tagged_value_rows,
+)
+
+from benchmarks.conftest import record_artifact
+
+#: Tag inventory of Table 3, verbatim from the paper (plus the Mapping
+#: stereotype's Fixed tag described in Section 3.3).
+PAPER_TAGS = {
+    "PlatformComponent": {"Type", "Area", "Power"},
+    "PlatformComponentInstance": {"Priority", "ID", "IntMemory"},
+    "PlatformCommunicationWrapper": {"Address", "BufferSize", "MaxTime"},
+    "PlatformCommunicationSegment": {"DataWidth", "Frequency", "Arbitration"},
+    "PlatformMapping": {"Fixed"},
+}
+
+
+def test_table3_platform_tagged_values(benchmark):
+    table = benchmark(render_table3, TUT_PROFILE)
+    record_artifact("table3_platform_tags.txt", table)
+    rows = tagged_value_rows(
+        TUT_PROFILE, PLATFORM_STEREOTYPES + MAPPING_STEREOTYPES
+    )
+    by_stereotype = {}
+    for stereotype, tag, _ in rows:
+        by_stereotype.setdefault(stereotype.strip("«»"), set()).add(tag)
+    assert by_stereotype == PAPER_TAGS
+    print()
+    print(table)

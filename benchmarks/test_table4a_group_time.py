@@ -1,0 +1,57 @@
+"""Experiment T4a — paper Table 4(a): execution time per process group.
+
+Paper (TUTMAC simulated on the workstation processor):
+
+    Group1       92.1 %     (radio channel access + management)
+    Group2        5.2 %     (user-plane: msduRec, msduDel, frag)
+    Group3        2.5 %     (defrag)
+    Group4        0.2 %     (crc)
+    Environment   0.0 %
+
+We reproduce the *shape*: the same ordering, group1 dominating by more
+than an order of magnitude, and each share within a tolerance band
+(EXPERIMENTS.md records paper-vs-measured).
+"""
+
+from repro.cases.tutmac import build_tutmac
+from repro.profiling import profile_run, render_table4a
+from repro.simulation import run_reference_simulation
+
+from benchmarks.conftest import REFERENCE_DURATION_US, record_artifact
+
+PAPER_SHARES = {
+    "group1": (92.1, 85.0, 96.0),
+    "group2": (5.2, 2.0, 10.0),
+    "group3": (2.5, 1.0, 6.0),
+    "group4": (0.2, 0.05, 1.5),
+}
+
+
+def run_table4a():
+    application = build_tutmac()
+    result = run_reference_simulation(
+        application, duration_us=REFERENCE_DURATION_US
+    )
+    return profile_run(result, application)
+
+
+def test_table4a_group_execution_time(benchmark):
+    data = benchmark.pedantic(run_table4a, rounds=1, iterations=1)
+    table = render_table4a(data)
+    record_artifact("table4a_group_time.txt", table)
+
+    comparison = ["group    paper   measured"]
+    for group, (paper, low, high) in sorted(PAPER_SHARES.items()):
+        measured = 100.0 * data.group_share(group)
+        comparison.append(f"{group}  {paper:5.1f} %  {measured:5.1f} %")
+        assert low <= measured <= high, (group, measured)
+    record_artifact("table4a_paper_vs_measured.txt", "\n".join(comparison))
+
+    cycles = data.group_cycles
+    assert cycles["group1"] > cycles["group2"] > cycles["group3"] > cycles["group4"] > 0
+    assert cycles["group1"] > 10 * cycles["group2"]
+    assert cycles["Environment"] == 0
+    print()
+    print(table)
+    print()
+    print("\n".join(comparison))

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""A DSP workload: mapping ProcessType to the right component Type.
+
+TUT-Profile types processes (general / dsp / hardware, Table 2) and
+platform components (general / dsp / hw accelerator, Table 3) so the
+mapping can match workloads to execution resources.  This example builds
+an audio-style pipeline whose filter stage is a ``dsp`` process and
+measures the effect of mapping it onto a NiosDSP versus a general NiosCPU
+— the quantitative argument behind the paper's component classification.
+
+Run:  python examples/dsp_pipeline.py
+"""
+
+from repro.application import ApplicationModel
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.profiling import profile_run
+from repro.simulation import SystemSimulation
+from repro.uml import Port
+from repro.util.tables import render_table
+
+
+def build_pipeline():
+    app = ApplicationModel("AudioPipeline")
+    app.signal("frame", [("seq", "Int32")], payload_bits=2048)
+    app.signal("spectrum", [("seq", "Int32"), ("energy", "Int32")])
+
+    capture = app.component("Capture")
+    capture.add_port(Port("out", required=["frame"]))
+    machine = app.behavior(capture)
+    machine.variable("seq", 0)
+    machine.state("run", initial=True, entry="set_timer(t, 1000);")
+    machine.on_timer(
+        "run", "run", "t", internal=True,
+        effect="seq = seq + 1; send frame(seq) via out; set_timer(t, 1000);",
+    )
+
+    # the hot stage: an FFT-like butterfly loop, declared a 'dsp' process
+    transform = app.component("Transform")
+    transform.add_port(Port("inp", provided=["frame"]))
+    transform.add_port(Port("out", required=["spectrum"]))
+    machine = app.behavior(transform)
+    for name in ("i", "j", "acc"):
+        machine.variable(name, 0)
+    machine.state("run", initial=True)
+    machine.on_signal(
+        "run", "run", "frame", params=["seq"], internal=True,
+        effect=(
+            "acc = 0;"
+            "i = 0;"
+            "while (i < 16) {"
+            "  j = 0;"
+            "  while (j < 8) {"
+            "    acc = acc + ((seq * 3 + i * 5 + j * 7) % 97);"
+            "    j = j + 1;"
+            "  }"
+            "  i = i + 1;"
+            "}"
+            "send spectrum(seq, acc) via out;"
+        ),
+    )
+
+    sink = app.component("Sink")
+    sink.add_port(Port("inp", provided=["spectrum"]))
+    machine = app.behavior(sink)
+    machine.variable("frames", 0)
+    machine.state("run", initial=True)
+    machine.on_signal(
+        "run", "run", "spectrum", params=["seq", "energy"], internal=True,
+        effect="frames = frames + 1;",
+    )
+
+    app.process(app.top, "capture1", capture)
+    app.process(app.top, "xform1", transform, process_type="dsp")
+    app.process(app.top, "sink1", sink)
+    app.connect(app.top, ("capture1", "out"), ("xform1", "inp"))
+    app.connect(app.top, ("xform1", "out"), ("sink1", "inp"))
+    app.group("io")
+    app.group("dsp_work", process_type="dsp")
+    app.assign("capture1", "io")
+    app.assign("sink1", "io")
+    app.assign("xform1", "dsp_work")
+    return app
+
+
+def run_variant(dsp_on_dsp_core):
+    app = build_pipeline()
+    platform = PlatformModel("AudioBoard", standard_library())
+    platform.instantiate("cpu", "NiosCPU")
+    platform.instantiate("dsp", "NiosDSP")
+    platform.segment("bus0", "HIBISegment")
+    platform.attach("cpu", "bus0")
+    platform.attach("dsp", "bus0")
+    mapping = MappingModel(app, platform)
+    mapping.map("io", "cpu")
+    mapping.map("dsp_work", "dsp" if dsp_on_dsp_core else "cpu")
+    simulation = SystemSimulation(app, platform, mapping)
+    result = simulation.run(duration_us=100_000)
+    data = profile_run(result, app)
+    frames = simulation.executors["sink1"].variables["frames"]
+    return data, result, frames
+
+
+rows = []
+for label, on_dsp in (("NiosDSP (matched)", True), ("NiosCPU (fallback)", False)):
+    data, result, frames = run_variant(on_dsp)
+    pe = "dsp" if on_dsp else "cpu"
+    rows.append(
+        (
+            label,
+            data.group_cycles["dsp_work"],
+            f"{result.pe_utilization()[pe]:.1%}",
+            frames,
+        )
+    )
+
+print(
+    render_table(
+        ("Transform mapped to", "dsp_work cycles", "PE utilisation", "frames out"),
+        rows,
+        title="DSP process on a DSP core vs a general-purpose CPU (100 ms)",
+    )
+)
+matched, fallback = rows[0][1], rows[1][1]
+print(
+    f"\nthe NiosDSP runs the dsp-typed transform {fallback / matched:.1f}x "
+    "cheaper (6 vs 12 cycles per statement, plus it avoids sharing the CPU "
+    "with the io group)"
+)

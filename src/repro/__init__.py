@@ -1,0 +1,19 @@
+"""TUT-Profile: a UML 2.0 profile for embedded system design.
+
+Reproduction of Kukkala, Riihimaki, Hannikainen, Hamalainen, Kronlof,
+"UML 2.0 Profile for Embedded System Design", DATE 2005.
+
+Public entry points:
+
+* :mod:`repro.uml` -- the UML 2.0 metamodel subset and profile mechanism
+* :mod:`repro.tutprofile` -- the TUT-Profile stereotypes and design rules
+* :mod:`repro.application` / :mod:`repro.platform` / :mod:`repro.mapping`
+  -- the three design views of the paper
+* :mod:`repro.simulation` -- discrete-event execution producing log-files
+* :mod:`repro.codegen` -- C code generation with profiling instrumentation
+* :mod:`repro.profiling` -- the profiling tool (model parse + log analysis)
+* :mod:`repro.flow` -- the Figure 2 end-to-end design flow
+* :mod:`repro.cases` -- the TUTMAC / TUTWLAN case study (Figures 4-8)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables`` — print the profile's Tables 1-3;
+* ``tutmac`` — run the workstation reference simulation and print the
+  Table 4 profiling report;
+* ``flow`` — run the full Figure 2 design flow on the TUTMAC/TUTWLAN
+  system, writing XMI, generated C, the log-file and the report;
+* ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
+  of the processors;
+* ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
+  plus the TUT-Profile design rules over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(args) -> int:
+    from repro.tutprofile import TUT_PROFILE, render_table1, render_table2, render_table3
+
+    print(render_table1(TUT_PROFILE))
+    print()
+    print(render_table2(TUT_PROFILE))
+    print()
+    print(render_table3(TUT_PROFILE))
+    return 0
+
+
+def _cmd_tutmac(args) -> int:
+    from repro.cases.tutmac import build_tutmac
+    from repro.profiling import profile_run, render_report
+    from repro.simulation import run_reference_simulation
+
+    application = build_tutmac()
+    result = run_reference_simulation(application, duration_us=args.duration_us)
+    data = profile_run(result, application)
+    print(render_report(data, title="TUTMAC profiling report (workstation reference)"))
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    from repro.cases.tutwlan import build_tutwlan_system
+    from repro.flow import run_design_flow
+
+    application, platform, mapping = build_tutwlan_system()
+    result = run_design_flow(
+        application, platform, mapping, args.workdir, duration_us=args.duration_us
+    )
+    print(result.report_text)
+    print()
+    print("artefacts:")
+    for kind, path in sorted(result.artifacts.items()):
+        print(f"  {kind:<8} {path}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.cases.tutwlan import build_tutwlan_system
+    from repro.diagrams import timeline_text, utilization_summary
+    from repro.simulation import SystemSimulation
+
+    result = SystemSimulation(*build_tutwlan_system()).run(args.duration_us)
+    window_ps = args.window_us * 1_000_000
+    print(timeline_text(result.log, width=args.width, end_ps=window_ps))
+    print()
+    print(utilization_summary(result.log))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.tutprofile import TUT_PROFILE, check_design_rules
+    from repro.uml import read_model, validate_model
+
+    model = read_model(args.model, profiles=[TUT_PROFILE])
+    wellformed = validate_model(model)
+    rules = check_design_rules(model)
+    print("UML well-formedness:")
+    print("  " + wellformed.render().replace("\n", "\n  "))
+    print("TUT-Profile design rules:")
+    print("  " + rules.render().replace("\n", "\n  "))
+    return 0 if wellformed.ok and rules.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TUT-Profile (DATE 2005) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="print profile Tables 1-3").set_defaults(
+        handler=_cmd_tables
+    )
+
+    tutmac = subparsers.add_parser(
+        "tutmac", help="Table 4: TUTMAC on the workstation reference"
+    )
+    tutmac.add_argument("--duration-us", type=int, default=200_000)
+    tutmac.set_defaults(handler=_cmd_tutmac)
+
+    flow = subparsers.add_parser("flow", help="run the full Figure 2 design flow")
+    flow.add_argument("--workdir", default="./tut_flow_output")
+    flow.add_argument("--duration-us", type=int, default=100_000)
+    flow.set_defaults(handler=_cmd_flow)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="text Gantt of the TUTWLAN processors"
+    )
+    timeline.add_argument("--duration-us", type=int, default=10_000)
+    timeline.add_argument("--window-us", type=int, default=3_000)
+    timeline.add_argument("--width", type=int, default=100)
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    validate = subparsers.add_parser("validate", help="validate an XMI model file")
+    validate.add_argument("model")
+    validate.set_defaults(handler=_cmd_validate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Application view: components, processes, behaviours, groups (Section 3.1)."""
+
+from repro.application.model import (
+    ApplicationModel,
+    ENVIRONMENT_GROUP,
+    ProcessInstance,
+)
+
+__all__ = ["ApplicationModel", "ENVIRONMENT_GROUP", "ProcessInstance"]

@@ -1,0 +1,754 @@
+"""Designer-facing application view (paper Section 3.1).
+
+:class:`ApplicationModel` wraps a UML model with the TUT-Profile applied:
+a top-level «Application» class composed of functional
+(«ApplicationComponent», active) and structural (passive) components,
+process instances («ApplicationProcess» parts), process groups and
+«ProcessGrouping» dependencies.
+
+The class also resolves the composite-structure wiring into a routing
+table: for every (process, port, signal) it computes the receiving process
+by following assembly connectors and descending through delegation
+connectors of structural components — the information the simulator and
+code generator need.
+
+Restriction (documented): each structural component class is instantiated
+at most once in the application, which holds for TUTMAC and keeps process
+identity flat (the paper, too, names processes uniquely).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.uml.classifier import Class, Signal
+from repro.uml.dependency import Dependency
+from repro.uml.instance import InstanceSpecification
+from repro.uml.packages import Model, Package
+from repro.uml.statemachine import StateMachine
+from repro.uml.structure import Connector, ConnectorEnd, Port, Property
+from repro.tutprofile import (
+    APPLICATION,
+    APPLICATION_COMPONENT,
+    APPLICATION_PROCESS,
+    PROCESS_GROUP,
+    PROCESS_GROUPING,
+    TUT_PROFILE,
+)
+
+ENVIRONMENT_GROUP = "Environment"
+
+#: Comment prefix persisting environment boundary bindings in the model.
+BINDING_COMMENT_PREFIX = "tut-boundary-binding: "
+
+
+class ProcessInstance:
+    """One runnable application process: a stereotyped part plus context."""
+
+    def __init__(
+        self,
+        name: str,
+        part: Property,
+        component: Class,
+        container: Class,
+        container_part: Optional[Property],
+        is_environment: bool = False,
+    ) -> None:
+        self.name = name
+        self.part = part
+        self.component = component
+        self.container = container          # class whose structure holds the part
+        self.container_part = container_part  # part instantiating the container, or None
+        self.is_environment = is_environment
+
+    @property
+    def behavior(self) -> StateMachine:
+        machine = self.component.classifier_behavior
+        if machine is None:
+            raise ModelError(f"component {self.component.name!r} has no behaviour")
+        return machine
+
+    def priority(self) -> int:
+        return self.part.tag(APPLICATION_PROCESS, "Priority", 0)
+
+    def process_type(self) -> str:
+        return self.part.tag(APPLICATION_PROCESS, "ProcessType", "general")
+
+    def __repr__(self) -> str:
+        return f"ProcessInstance({self.name} : {self.component.name})"
+
+
+class ApplicationModel:
+    """Builder and query facade for one TUT-Profile application."""
+
+    def __init__(self, name: str, model: Optional[Model] = None, profile=None) -> None:
+        self.profile = profile if profile is not None else TUT_PROFILE
+        self.model = model if model is not None else Model(f"{name}Model")
+        self.package = Package("ApplicationView")
+        self.model.add(self.package)
+        self.signals_package = Package("Signals")
+        self.package.add(self.signals_package)
+        self.grouping_package = Package("Grouping")
+        self.package.add(self.grouping_package)
+        self.top = Class(name)
+        self.package.add(self.top)
+        self.profile.apply(self.top, APPLICATION)
+        self.components: Dict[str, Class] = {}
+        self.structurals: Dict[str, Class] = {}
+        self.signals: Dict[str, Signal] = {}
+        self.processes: Dict[str, ProcessInstance] = {}
+        self.groups: Dict[str, InstanceSpecification] = {}
+        self.groupings: List[Dependency] = []
+        self.testbench = Class("Environment")
+        self.package.add(self.testbench)
+        # boundary port name -> (environment process, its port)
+        self.boundary_bindings: Dict[str, Tuple[str, str]] = {}
+        self._routing: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # reconstruction from a (possibly XMI-parsed) UML model
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model: Model, profile=None) -> "ApplicationModel":
+        """Rebuild the facade from a model built earlier (e.g. parsed XMI).
+
+        Discovers the application view from its stereotypes: the
+        «Application» top class, «ApplicationComponent» classes, signal
+        declarations, «ApplicationProcess» parts, groups and groupings,
+        plus persisted environment boundary bindings.  The result is a
+        fully functional :class:`ApplicationModel` — it routes, simulates
+        and generates code like the original.
+        """
+        from repro.tutprofile import (
+            APPLICATION as APP_ST,
+            APPLICATION_COMPONENT as COMP_ST,
+            APPLICATION_PROCESS as PROC_ST,
+            PROCESS_GROUP as GROUP_ST,
+            PROCESS_GROUPING as GROUPING_ST,
+        )
+
+        app = cls.__new__(cls)
+        app.profile = profile if profile is not None else TUT_PROFILE
+        app.model = model
+        package = model.member("ApplicationView")
+        if not isinstance(package, Package):
+            raise ModelError("model has no ApplicationView package")
+        app.package = package
+        signals_package = package.member("Signals")
+        grouping_package = package.member("Grouping")
+        if not isinstance(signals_package, Package) or not isinstance(
+            grouping_package, Package
+        ):
+            raise ModelError("ApplicationView lacks Signals/Grouping packages")
+        app.signals_package = signals_package
+        app.grouping_package = grouping_package
+
+        tops = [
+            e for e in package.members_of_type(Class) if e.has_stereotype(APP_ST)
+        ]
+        if len(tops) != 1:
+            raise ModelError(
+                f"expected exactly one «Application» class, found {len(tops)}"
+            )
+        app.top = tops[0]
+        testbench = package.member("Environment")
+        if not isinstance(testbench, Class):
+            raise ModelError("ApplicationView lacks the Environment testbench class")
+        app.testbench = testbench
+
+        app.signals = {
+            s.name: s for s in signals_package.members_of_type(Signal)
+        }
+        app.components = {}
+        app.structurals = {}
+        for klass in package.members_of_type(Class):
+            if klass is app.top or klass is testbench:
+                continue
+            if klass.has_stereotype(COMP_ST):
+                app.components[klass.name] = klass
+            elif klass.is_structural:
+                app.structurals[klass.name] = klass
+
+        app.processes = {}
+        containers = [app.top] + list(app.structurals.values())
+        for container in containers:
+            for part in container.parts:
+                if part.has_stereotype(PROC_ST) and isinstance(part.type, Class):
+                    app.processes[part.name] = ProcessInstance(
+                        part.name, part, part.type, container, None, False
+                    )
+        for part in testbench.parts:
+            if isinstance(part.type, Class):
+                app.processes[part.name] = ProcessInstance(
+                    part.name, part, part.type, testbench, None, True
+                )
+
+        app.groups = {
+            g.name: g
+            for g in grouping_package.members_of_type(InstanceSpecification)
+            if g.has_stereotype(GROUP_ST)
+        }
+        app.groupings = [
+            d
+            for d in grouping_package.members_of_type(Dependency)
+            if d.has_stereotype(GROUPING_ST)
+        ]
+
+        app.boundary_bindings = {}
+        for comment in app.top.comments:
+            body = comment.body
+            if body.startswith(BINDING_COMMENT_PREFIX):
+                fields = body[len(BINDING_COMMENT_PREFIX):].split()
+                if len(fields) == 3:
+                    app.boundary_bindings[fields[0]] = (fields[1], fields[2])
+        app._routing = None
+        return app
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+
+    def signal(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, str]] = (),
+        payload_bits: int = 0,
+    ) -> Signal:
+        """Declare a signal with named primitive-typed parameters."""
+        if name in self.signals:
+            raise ModelError(f"signal {name!r} already declared")
+        new_signal = Signal(name, payload_bits=payload_bits)
+        for param_name, type_name in params:
+            new_signal.add_attribute(
+                Property(param_name, self.model.primitive(type_name))
+            )
+        self.signals_package.add(new_signal)
+        self.signals[name] = new_signal
+        return new_signal
+
+    def find_signal(self, name: str) -> Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise ModelError(f"signal {name!r} is not declared") from None
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+
+    def component(
+        self,
+        name: str,
+        code_memory: int = 0,
+        data_memory: int = 0,
+        real_time: str = "none",
+    ) -> Class:
+        """Declare a functional component: an active «ApplicationComponent»."""
+        if name in self.components or name in self.structurals:
+            raise ModelError(f"component {name!r} already declared")
+        component = Class(name, is_active=True)
+        self.package.add(component)
+        self.profile.apply(
+            component,
+            APPLICATION_COMPONENT,
+            CodeMemory=code_memory,
+            DataMemory=data_memory,
+            RealTimeType=real_time,
+        )
+        self.components[name] = component
+        return component
+
+    def structural(self, name: str) -> Class:
+        """Declare a structural component: a passive class with parts only."""
+        if name in self.components or name in self.structurals:
+            raise ModelError(f"component {name!r} already declared")
+        structural = Class(name, is_active=False)
+        self.package.add(structural)
+        self.structurals[name] = structural
+        return structural
+
+    def behavior(self, component: Class, machine_name: str = "") -> StateMachine:
+        """Create and install the EFSM behaviour of a functional component."""
+        machine = StateMachine(machine_name or f"{component.name}Behavior")
+        component.set_behavior(machine)
+        return machine
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def part(self, container: Class, name: str, component: Class) -> Property:
+        """Add an unstereotyped part (used for structural components)."""
+        return container.add_part(Property(name, component))
+
+    def process(
+        self,
+        container: Class,
+        name: str,
+        component: Class,
+        priority: int = 0,
+        process_type: str = "general",
+        real_time: str = "none",
+        environment: bool = False,
+    ) -> ProcessInstance:
+        """Instantiate a functional component as an «ApplicationProcess» part.
+
+        ``environment`` marks testbench processes that run outside the
+        platform (they consume no platform cycles; paper Table 4 reports
+        the Environment row with 0 cycles).
+        """
+        if name in self.processes:
+            raise ModelError(f"process {name!r} already exists")
+        if component.name not in self.components:
+            raise ModelError(
+                f"{component.name!r} is not a functional component of this "
+                "application"
+            )
+        part = container.add_part(Property(name, component))
+        if not environment:
+            # Environment parts stay unstereotyped: they are outside the
+            # system and never appear in grouping or mapping views.
+            self.profile.apply(
+                part,
+                APPLICATION_PROCESS,
+                Priority=priority,
+                ProcessType=process_type,
+                RealTimeType=real_time,
+            )
+        container_part = self._part_instantiating(container)
+        instance = ProcessInstance(
+            name, part, component, container, container_part, environment
+        )
+        self.processes[name] = instance
+        self._routing = None
+        return instance
+
+    def _part_instantiating(self, container: Class) -> Optional[Property]:
+        if container is self.top:
+            return None
+        for part in self.top.parts:
+            if part.type is container:
+                return part
+        return None  # may be wired later; resolved lazily in routing
+
+    def environment_process(
+        self, name: str, component: Class, priority: int = 0
+    ) -> ProcessInstance:
+        """Instantiate a testbench process outside the system boundary.
+
+        Environment processes model the world around the system (traffic
+        sources, the radio channel).  They execute at zero platform cost —
+        paper Table 4 reports the Environment row at 0 cycles — and they
+        talk to the application exclusively through boundary ports of the
+        top-level class (see :meth:`bind_boundary`).
+        """
+        return self.process(
+            self.testbench,
+            name,
+            component,
+            priority=priority,
+            environment=True,
+        )
+
+    def bind_boundary(
+        self, boundary_port: str, env_process: str, env_port: str
+    ) -> None:
+        """Attach an environment process's port to a top-level boundary port."""
+        if self.top.port(boundary_port) is None:
+            raise ModelError(
+                f"application class {self.top.name!r} has no boundary port "
+                f"{boundary_port!r}"
+            )
+        process = self.find_process(env_process)
+        if not process.is_environment:
+            raise ModelError(
+                f"{env_process!r} is not an environment process"
+            )
+        if process.component.port(env_port) is None:
+            raise ModelError(
+                f"environment component {process.component.name!r} has no port "
+                f"{env_port!r}"
+            )
+        if boundary_port in self.boundary_bindings:
+            raise ModelError(
+                f"boundary port {boundary_port!r} is already bound"
+            )
+        self.boundary_bindings[boundary_port] = (env_process, env_port)
+        # persist the binding in the UML model (as an owned comment on the
+        # top-level class) so it survives XMI round-trips
+        self.top.add_comment(
+            f"{BINDING_COMMENT_PREFIX}{boundary_port} {env_process} {env_port}"
+        )
+        self._routing = None
+
+    def connect(
+        self,
+        container: Class,
+        end1: Tuple[Optional[str], str],
+        end2: Tuple[Optional[str], str],
+        name: str = "",
+    ) -> Connector:
+        """Wire two ports inside ``container``.
+
+        Each end is ``(part_name_or_None, port_name)``; ``None`` makes the
+        end a delegation end on the container's own boundary port.
+        """
+        resolved = []
+        for part_name, port_name in (end1, end2):
+            if part_name is None:
+                port = container.port(port_name)
+                if port is None:
+                    raise ModelError(
+                        f"class {container.name!r} has no port {port_name!r}"
+                    )
+                resolved.append(ConnectorEnd(port, None))
+            else:
+                part = container.part(part_name)
+                if part is None:
+                    raise ModelError(
+                        f"class {container.name!r} has no part {part_name!r}"
+                    )
+                part_type = part.type
+                if not isinstance(part_type, Class):
+                    raise ModelError(f"part {part_name!r} has no class type")
+                port = part_type.port(port_name)
+                if port is None:
+                    raise ModelError(
+                        f"class {part_type.name!r} has no port {port_name!r}"
+                    )
+                resolved.append(ConnectorEnd(port, part))
+        connector = Connector(name, resolved[0], resolved[1])
+        container.add_connector(connector)
+        self._routing = None
+        return connector
+
+    # ------------------------------------------------------------------
+    # grouping (paper Section 3.1 "Process grouping")
+    # ------------------------------------------------------------------
+
+    def group(
+        self, name: str, fixed: bool = False, process_type: str = "general"
+    ) -> InstanceSpecification:
+        """Create a «ProcessGroup»."""
+        if name in self.groups:
+            raise ModelError(f"process group {name!r} already exists")
+        group = InstanceSpecification(name)
+        self.grouping_package.add(group)
+        self.profile.apply(
+            group, PROCESS_GROUP, Fixed=fixed, ProcessType=process_type
+        )
+        self.groups[name] = group
+        return group
+
+    def assign(self, process_name: str, group_name: str, fixed: bool = False) -> Dependency:
+        """Assign a process to a group via a «ProcessGrouping» dependency."""
+        process = self.find_process(process_name)
+        group = self.groups.get(group_name)
+        if group is None:
+            raise ModelError(f"process group {group_name!r} does not exist")
+        existing = self.group_of(process_name)
+        if existing is not None:
+            raise ModelError(
+                f"process {process_name!r} is already in group {existing!r}"
+            )
+        grouping = Dependency(
+            f"{process_name}_in_{group_name}", client=process.part, supplier=group
+        )
+        self.grouping_package.add(grouping)
+        self.profile.apply(grouping, PROCESS_GROUPING, Fixed=fixed)
+        self.groupings.append(grouping)
+        return grouping
+
+    def unassign(self, process_name: str) -> None:
+        """Remove a process's grouping (fails if the grouping is fixed)."""
+        process = self.find_process(process_name)
+        for grouping in list(self.groupings):
+            if grouping.client is process.part:
+                if grouping.tag(PROCESS_GROUPING, "Fixed", False):
+                    raise ModelError(
+                        f"grouping of {process_name!r} is fixed and cannot be "
+                        "changed"
+                    )
+                self.groupings.remove(grouping)
+                self.grouping_package.disown(grouping)
+                self.grouping_package.packaged_elements.remove(grouping)
+                return
+        raise ModelError(f"process {process_name!r} is not grouped")
+
+    def group_of(self, process_name: str) -> Optional[str]:
+        """Name of the group holding ``process_name`` (None for ungrouped)."""
+        process = self.find_process(process_name)
+        for grouping in self.groupings:
+            if grouping.client is process.part:
+                return grouping.supplier.name
+        return None
+
+    def processes_in(self, group_name: str) -> List[ProcessInstance]:
+        members = []
+        for grouping in self.groupings:
+            if grouping.supplier.name == group_name:
+                member = self.processes.get(grouping.client.name)
+                if member is not None:
+                    members.append(member)
+        return members
+
+    def group_assignment(self) -> Dict[str, str]:
+        """Mapping process name -> group name (environment processes map to
+        the pseudo-group ``Environment``)."""
+        assignment = {}
+        for name, process in self.processes.items():
+            if process.is_environment:
+                assignment[name] = ENVIRONMENT_GROUP
+            else:
+                assignment[name] = self.group_of(name) or ENVIRONMENT_GROUP
+        return assignment
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def find_process(self, name: str) -> ProcessInstance:
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise ModelError(f"no process named {name!r}") from None
+
+    def functional_processes(self) -> List[ProcessInstance]:
+        return [p for p in self.processes.values() if not p.is_environment]
+
+    def environment_processes(self) -> List[ProcessInstance]:
+        return [p for p in self.processes.values() if p.is_environment]
+
+    # ------------------------------------------------------------------
+    # routing (composite structure resolution)
+    # ------------------------------------------------------------------
+
+    def _resolver(self) -> "_RoutingResolver":
+        if self._routing is None:
+            self._routing = _RoutingResolver(self)
+        return self._routing
+
+    def routing_table(self) -> Dict[Tuple[str, str, str], Tuple[str, str]]:
+        """All resolvable routes ``(sender, port, signal) -> (receiver, port)``.
+
+        Only constrained ports (with a declared ``required`` list) are
+        enumerated; relay ports route at :meth:`route` time.
+        """
+        resolver = self._resolver()
+        table: Dict[Tuple[str, str, str], Tuple[str, str]] = {}
+        for name, process in self.processes.items():
+            for port in process.component.all_ports():
+                if not port.is_constrained:
+                    continue
+                for signal_name in port.required:
+                    destinations = resolver.destinations(name, port, signal_name)
+                    if len(destinations) == 1:
+                        table[(name, port.name, signal_name)] = destinations[0]
+        return table
+
+    def route(
+        self, sender: str, signal_name: str, via: Optional[str] = None
+    ) -> Tuple[str, str]:
+        """Destination ``(process, port)`` for a send.
+
+        With ``via`` the named port is used; otherwise every sender port that
+        may emit ``signal_name`` is searched.  The route must be unique.
+        """
+        process = self.find_process(sender)
+        resolver = self._resolver()
+        if via is not None:
+            port = process.component.port(via)
+            if port is None:
+                raise ModelError(
+                    f"component {process.component.name!r} has no port {via!r}"
+                )
+            ports = [port]
+        else:
+            ports = [
+                p for p in process.component.all_ports() if p.emits(signal_name)
+            ]
+        destinations = []
+        for port in ports:
+            for destination in resolver.destinations(sender, port, signal_name):
+                if destination not in destinations:
+                    destinations.append(destination)
+        if not destinations:
+            raise ModelError(
+                f"no route for signal {signal_name!r} from process {sender!r}"
+                + (f" via port {via!r}" if via else "")
+            )
+        if len(destinations) > 1:
+            rendered = ", ".join(f"{p}.{q}" for p, q in destinations)
+            raise ModelError(
+                f"signal {signal_name!r} from process {sender!r} is ambiguous: "
+                f"{rendered}"
+            )
+        return destinations[0]
+
+
+class _RoutingResolver:
+    """Signal-aware composite-structure routing.
+
+    Routes are found by depth-first search over connector ends: from a
+    sender's port, cross a connector, then either terminate on a functional
+    part whose port accepts the signal, descend into a structural part
+    (delegation inward), ascend through the instantiating part (delegation
+    outward), or cross the system boundary to a bound environment process.
+    Each connector is crossed at most once per search, so connector cycles
+    terminate.
+    """
+
+    def __init__(self, application: ApplicationModel) -> None:
+        self.application = application
+        self.process_by_part = {
+            id(p.part): name for name, p in application.processes.items()
+        }
+        # (environment process, port) -> boundary port name
+        self.binding_of_env = {
+            binding: boundary
+            for boundary, binding in application.boundary_bindings.items()
+        }
+        self._check_single_instantiation()
+        self._cache: Dict[Tuple[str, str, str], List[Tuple[str, str]]] = {}
+
+    # -- public ---------------------------------------------------------------
+
+    def destinations(
+        self, process_name: str, port: Port, signal_name: str
+    ) -> List[Tuple[str, str]]:
+        """All (receiver, port) destinations for a signal leaving ``port``."""
+        key = (process_name, port.name, signal_name)
+        if key in self._cache:
+            return self._cache[key]
+        process = self.application.processes[process_name]
+        if not port.emits(signal_name):
+            results: List[Tuple[str, str]] = []
+        elif process.is_environment:
+            results = self._from_environment(process, port, signal_name)
+        else:
+            container = self._container_of_part(process.part)
+            results = self._search(
+                container, process.part, port, signal_name, frozenset()
+            )
+        unique: List[Tuple[str, str]] = []
+        for destination in results:
+            if destination not in unique:
+                unique.append(destination)
+        self._cache[key] = unique
+        return unique
+
+    # -- search ----------------------------------------------------------------
+
+    def _from_environment(
+        self, process: ProcessInstance, port: Port, signal_name: str
+    ) -> List[Tuple[str, str]]:
+        boundary_name = self.binding_of_env.get((process.name, port.name))
+        if boundary_name is None:
+            return []
+        top = self.application.top
+        boundary_port = top.port(boundary_name)
+        if boundary_port is None or not boundary_port.accepts(signal_name):
+            return []
+        return self._search(top, None, boundary_port, signal_name, frozenset())
+
+    def _search(
+        self,
+        container: Class,
+        part: Optional[Property],
+        port: Port,
+        signal_name: str,
+        crossed: frozenset,
+    ) -> List[Tuple[str, str]]:
+        results: List[Tuple[str, str]] = []
+        for connector in container.connectors:
+            if id(connector) in crossed or len(connector.ends) != 2:
+                continue
+            for end in connector.ends:
+                if end.port is port and end.part is part:
+                    other = connector.other_end(end)
+                    results.extend(
+                        self._resolve_end(
+                            other,
+                            container,
+                            signal_name,
+                            crossed | {id(connector)},
+                        )
+                    )
+        return results
+
+    def _resolve_end(
+        self,
+        end: ConnectorEnd,
+        container: Class,
+        signal_name: str,
+        crossed: frozenset,
+    ) -> List[Tuple[str, str]]:
+        if end.part is None:
+            # A boundary port of ``container``.
+            if not end.port.emits(signal_name) and not end.port.accepts(signal_name):
+                return []
+            if container is self.application.top:
+                binding = self.application.boundary_bindings.get(end.port.name)
+                if binding is None:
+                    return []
+                env_name, env_port_name = binding
+                env = self.application.processes.get(env_name)
+                if env is None:
+                    return []
+                env_port = env.component.port(env_port_name)
+                if env_port is not None and env_port.accepts(signal_name):
+                    return [binding]
+                return []
+            instantiating = self._part_instantiating(container)
+            if instantiating is None:
+                return []
+            outer_container = self._container_of_part(instantiating)
+            return self._search(
+                outer_container, instantiating, end.port, signal_name, crossed
+            )
+        target_part = end.part
+        if id(target_part) in self.process_by_part:
+            if end.port.accepts(signal_name):
+                return [(self.process_by_part[id(target_part)], end.port.name)]
+            return []
+        target_type = target_part.type
+        if isinstance(target_type, Class) and target_type.is_structural:
+            if not end.port.accepts(signal_name) and not end.port.emits(signal_name):
+                return []
+            return self._search(target_type, None, end.port, signal_name, crossed)
+        return []
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_single_instantiation(self) -> None:
+        counts: Dict[int, int] = {}
+        for container in self._containers():
+            for part in container.parts:
+                if isinstance(part.type, Class) and part.type.is_structural:
+                    counts[id(part.type)] = counts.get(id(part.type), 0) + 1
+        for structural in self.application.structurals.values():
+            if counts.get(id(structural), 0) > 1:
+                raise ModelError(
+                    f"structural component {structural.name!r} is instantiated "
+                    "more than once; flat process routing requires single "
+                    "instantiation"
+                )
+
+    def _containers(self) -> Iterable[Class]:
+        yield self.application.top
+        yield from self.application.structurals.values()
+
+    def _container_of_part(self, part: Property) -> Class:
+        owner = part.owner
+        if isinstance(owner, Class):
+            return owner
+        raise ModelError(f"part {part.name!r} has no owning class")
+
+    def _part_instantiating(self, structural: Class) -> Optional[Property]:
+        for container in self._containers():
+            for part in container.parts:
+                if part.type is structural:
+                    return part
+        return None

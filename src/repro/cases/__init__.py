@@ -1,0 +1,1 @@
+"""Case studies: the TUTMAC WLAN protocol on the TUTWLAN terminal platform."""

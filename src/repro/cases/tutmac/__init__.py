@@ -1,0 +1,18 @@
+"""The TUTMAC WLAN MAC protocol model (paper Section 4)."""
+
+from repro.cases.tutmac.params import DEFAULT_PARAMETERS, TutmacParameters
+from repro.cases.tutmac.protocol import (
+    APPLICATION_NAME,
+    GROUP_PROCESS_TYPES,
+    PAPER_GROUPING,
+    build_tutmac,
+)
+
+__all__ = [
+    "APPLICATION_NAME",
+    "DEFAULT_PARAMETERS",
+    "GROUP_PROCESS_TYPES",
+    "PAPER_GROUPING",
+    "TutmacParameters",
+    "build_tutmac",
+]

@@ -1,0 +1,146 @@
+"""TUTMAC environment: user terminal, radio channel, management user.
+
+These are testbench processes outside the system boundary (paper Table 4's
+Environment row): a traffic source feeding MSDUs into the MAC, a radio
+channel that absorbs transmissions and generates downlink traffic and
+measurement responses, and a management user issuing commands.
+"""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.uml.classifier import Class
+from repro.uml.structure import Port
+from repro.cases.tutmac import signals as sig
+from repro.cases.tutmac.params import TutmacParameters
+
+
+def build_user_terminal(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """The user of the MAC service: sends MSDUs, counts deliveries."""
+    component = app.component("UserTerminal")
+    component.add_port(
+        Port("pMac", required=[sig.MSDU_REQ], provided=[sig.MSDU_IND])
+    )
+    machine = app.behavior(component)
+    machine.variable("seq", 0)
+    machine.variable("delivered", 0)
+    machine.state(
+        "active",
+        initial=True,
+        entry=f"set_timer(msdu_t, {params.msdu_period_us});",
+    )
+    machine.on_timer(
+        "active",
+        "active",
+        "msdu_t",
+        effect=(
+            "seq = seq + 1;"
+            f"send msdu_req({params.msdu_bytes}, seq) via pMac;"
+            f"set_timer(msdu_t, {params.msdu_period_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "active",
+        "active",
+        sig.MSDU_IND,
+        params=["length", "rx_seq"],
+        effect="delivered = delivered + 1;",
+        priority=1,
+        internal=True,
+    )
+    return component
+
+
+def build_radio_channel(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """The radio channel: absorbs PHY frames, generates downlink bursts and
+    measurement responses."""
+    component = app.component("RadioChannel")
+    component.add_port(
+        Port(
+            "pMac",
+            provided=[sig.PHY_TX, sig.MEAS_REQ],
+            required=[sig.PHY_RX, sig.MEAS_IND],
+        )
+    )
+    machine = app.behavior(component)
+    machine.variable("received", 0)
+    machine.variable("dl_seq", 0)
+    machine.variable("i", 0)
+    machine.state(
+        "on_air",
+        initial=True,
+        entry=f"set_timer(dl_t, {params.downlink_period_us});",
+    )
+    machine.on_timer(
+        "on_air",
+        "on_air",
+        "dl_t",
+        effect=(
+            "dl_seq = dl_seq + 1;"
+            "i = 0;"
+            f"while (i < {params.downlink_fragments} - 1) {{"
+            f"  send phy_rx(dl_seq * 16 + i, {params.fragment_bytes}, 0) via pMac;"
+            "  i = i + 1;"
+            "}"
+            f"send phy_rx(dl_seq * 16 + i, {params.fragment_bytes}, 1) via pMac;"
+            f"set_timer(dl_t, {params.downlink_period_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "on_air",
+        "on_air",
+        sig.PHY_TX,
+        params=["fragid", "length"],
+        effect="received = received + 1;",
+        priority=1,
+        internal=True,
+    )
+    machine.on_signal(
+        "on_air",
+        "on_air",
+        sig.MEAS_REQ,
+        params=["channel"],
+        effect="send meas_ind(40 + (rand16() % 60)) via pMac;",
+        priority=2,
+        internal=True,
+    )
+    return component
+
+
+def build_management_user(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """The management user: issues periodic configuration commands."""
+    component = app.component("ManagementUser")
+    component.add_port(
+        Port("pMng", required=[sig.MNG_CMD], provided=[sig.MNG_RSP])
+    )
+    machine = app.behavior(component)
+    machine.variable("code", 0)
+    machine.variable("acks", 0)
+    machine.state(
+        "active",
+        initial=True,
+        entry=f"set_timer(cmd_t, {params.mng_command_period_us});",
+    )
+    machine.on_timer(
+        "active",
+        "active",
+        "cmd_t",
+        effect=(
+            "code = code + 1;"
+            "send mng_cmd(code) via pMng;"
+            f"set_timer(cmd_t, {params.mng_command_period_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "active",
+        "active",
+        sig.MNG_RSP,
+        params=["rsp_code", "status"],
+        effect="acks = acks + 1;",
+        priority=1,
+        internal=True,
+    )
+    return component

@@ -1,0 +1,120 @@
+"""Management: connection and configuration management (part mng, group1).
+
+Sends periodic beacons through the channel access, configures the user
+interface (flow control), data processing (fragment size) and radio
+management (channel), and answers management-user commands.
+"""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.uml.classifier import Class
+from repro.uml.structure import Port
+from repro.cases.tutmac import signals as sig
+from repro.cases.tutmac.params import TutmacParameters
+
+
+def build_management(app: ApplicationModel, params: TutmacParameters) -> Class:
+    component = app.component(
+        "Management", code_memory=12288, data_memory=8192, real_time="soft"
+    )
+    component.add_port(
+        Port("UIPort", required=[sig.FLOW_CTRL], provided=[sig.UI_STATUS])
+    )
+    component.add_port(
+        Port("DPPort", required=[sig.DP_CFG], provided=[sig.DP_STATUS])
+    )
+    component.add_port(
+        Port(
+            "RChPort",
+            required=[sig.BEACON_REQ, sig.SLOT_CFG],
+            provided=[sig.BEACON_CNF],
+        )
+    )
+    component.add_port(
+        Port("RMngPort", required=[sig.RMNG_CFG], provided=[sig.RMNG_STATUS])
+    )
+    component.add_port(
+        Port("MngUserPort", provided=[sig.MNG_CMD], required=[sig.MNG_RSP])
+    )
+    machine = app.behavior(component)
+    machine.variable("beacons", 0)
+    machine.variable("quality", 100)
+    machine.variable("channel", 1)
+    machine.variable("commands", 0)
+    machine.state(
+        "init",
+        initial=True,
+        entry=(
+            "send flow_ctrl(1) via UIPort;"
+            f"send dp_cfg({params.fragment_bytes}) via DPPort;"
+            "send rmng_cfg(channel) via RMngPort;"
+            f"send slot_cfg(0, {params.slots_per_frame}) via RChPort;"
+            f"set_timer(beacon_t, {params.beacon_period_us});"
+        ),
+    )
+    machine.state("operational")
+    machine.transition("init", "operational")
+    machine.on_timer(
+        "operational",
+        "operational",
+        "beacon_t",
+        effect=(
+            "beacons = beacons + 1;"
+            "send beacon_req(beacons) via RChPort;"
+            f"set_timer(beacon_t, {params.beacon_period_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "operational",
+        "operational",
+        sig.BEACON_CNF,
+        params=["seq"],
+        priority=1,
+        internal=True,
+    )
+    machine.on_signal(
+        "operational",
+        "operational",
+        sig.RMNG_STATUS,
+        params=["q"],
+        effect=(
+            "quality = q;"
+            "if (quality < 20) {"
+            "  channel = (channel % 13) + 1;"
+            "  send rmng_cfg(channel) via RMngPort;"
+            "}"
+        ),
+        priority=2,
+        internal=True,
+    )
+    machine.on_signal(
+        "operational",
+        "operational",
+        sig.MNG_CMD,
+        params=["code"],
+        effect=(
+            "commands = commands + 1;"
+            "send mng_rsp(code, 1) via MngUserPort;"
+        ),
+        priority=3,
+        internal=True,
+    )
+    machine.on_signal(
+        "operational",
+        "operational",
+        sig.UI_STATUS,
+        params=["buffered"],
+        priority=4,
+        internal=True,
+    )
+    machine.on_signal(
+        "operational",
+        "operational",
+        sig.DP_STATUS,
+        params=["pending"],
+        priority=5,
+        internal=True,
+    )
+    return component

@@ -1,0 +1,126 @@
+"""Assembly of the TUTMAC application model (paper Figures 4, 5 and 6).
+
+* Figure 4 — class hierarchy: ``Tutmac_Protocol`` («Application») composed
+  of the functional components Management, RadioManagement and
+  RadioChannelAccess and the structural components UserInterface and
+  DataProcessing.
+* Figure 5 — composite structure: parts ``ui``, ``dp``, ``mng``, ``rmng``,
+  ``rca`` wired through ports; boundary ports ``pUser``, ``pPhy``,
+  ``pMngUser``.
+* Figure 6 — process grouping: group1 = {rca, mng, rmng},
+  group2 = {msduRec, msduDel, frag}, group3 = {defrag}, group4 = {crc}.
+  (Figure 6 shows groups 1-2; groups 3-4 appear in Figure 8 and Table 4.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.application.model import ApplicationModel
+from repro.uml.structure import Port
+from repro.cases.tutmac.params import DEFAULT_PARAMETERS, TutmacParameters
+from repro.cases.tutmac.signals import declare_signals
+from repro.cases.tutmac.user_interface import build_user_interface
+from repro.cases.tutmac.data_processing import build_data_processing
+from repro.cases.tutmac.management import build_management
+from repro.cases.tutmac.radio_management import build_radio_management
+from repro.cases.tutmac.radio_channel_access import build_radio_channel_access
+from repro.cases.tutmac.environment import (
+    build_management_user,
+    build_radio_channel,
+    build_user_terminal,
+)
+
+APPLICATION_NAME = "Tutmac_Protocol"
+
+#: The paper's process grouping (Figures 6 and 8).
+PAPER_GROUPING: Dict[str, str] = {
+    "rca": "group1",
+    "mng": "group1",
+    "rmng": "group1",
+    "msduRec": "group2",
+    "msduDel": "group2",
+    "frag": "group2",
+    "defrag": "group3",
+    "crc": "group4",
+}
+
+GROUP_PROCESS_TYPES: Dict[str, str] = {
+    "group1": "general",
+    "group2": "general",
+    "group3": "general",
+    "group4": "hardware",
+}
+
+
+def build_tutmac(
+    params: Optional[TutmacParameters] = None,
+    grouping: Optional[Dict[str, str]] = None,
+    profile=None,
+    model=None,
+) -> ApplicationModel:
+    """Build the complete TUTMAC application model.
+
+    ``grouping`` overrides the paper's process-group assignment (used by
+    the grouping ablation); it maps process name to group name.
+    """
+    if params is None:
+        params = DEFAULT_PARAMETERS
+    app = ApplicationModel(APPLICATION_NAME, model=model, profile=profile)
+    app.params = params  # kept for downstream tooling (codegen, benches)
+    declare_signals(app, params)
+
+    # -- components and inner processes (Figure 4) --------------------------
+    user_interface = build_user_interface(app, params)
+    data_processing = build_data_processing(app, params)
+    management = build_management(app, params)
+    radio_management = build_radio_management(app, params)
+    radio_channel_access = build_radio_channel_access(app, params)
+
+    # -- composite structure of Tutmac_Protocol (Figure 5) --------------------
+    top = app.top
+    top.add_port(Port("pUser"))
+    top.add_port(Port("pPhy"))
+    top.add_port(Port("pMngUser"))
+    app.part(top, "ui", user_interface)
+    app.part(top, "dp", data_processing)
+    app.process(top, "mng", management)
+    app.process(top, "rmng", radio_management)
+    app.process(top, "rca", radio_channel_access, priority=1)
+
+    app.connect(top, (None, "pUser"), ("ui", "UserPort"))
+    app.connect(top, ("ui", "DPPort"), ("dp", "UserInterfacePort"))
+    app.connect(top, ("ui", "MngPort"), ("mng", "UIPort"))
+    app.connect(top, ("dp", "ManagementPort"), ("mng", "DPPort"))
+    app.connect(top, ("dp", "ChannelAccessPort"), ("rca", "DataPort"))
+    app.connect(top, ("mng", "RChPort"), ("rca", "MngPort"))
+    app.connect(top, ("mng", "RMngPort"), ("rmng", "MngPort"))
+    app.connect(top, ("rca", "RMngPort"), ("rmng", "RChPort"))
+    app.connect(top, (None, "pPhy"), ("rca", "PhyPort"))
+    app.connect(top, (None, "pPhy"), ("rmng", "PhyPort"))
+    app.connect(top, (None, "pMngUser"), ("mng", "MngUserPort"))
+
+    # -- environment (testbench) -----------------------------------------------
+    user_terminal = build_user_terminal(app, params)
+    radio_channel = build_radio_channel(app, params)
+    management_user = build_management_user(app, params)
+    app.environment_process("user", user_terminal)
+    app.environment_process("phy", radio_channel)
+    app.environment_process("mngUser", management_user)
+    app.bind_boundary("pUser", "user", "pMac")
+    app.bind_boundary("pPhy", "phy", "pMac")
+    app.bind_boundary("pMngUser", "mngUser", "pMng")
+
+    # -- process grouping (Figure 6) ---------------------------------------------
+    assignment = dict(PAPER_GROUPING if grouping is None else grouping)
+    group_names = sorted(set(assignment.values()))
+    for group_name in group_names:
+        members = [p for p, g in assignment.items() if g == group_name]
+        types = {
+            app.find_process(member).process_type() for member in members
+        }
+        group_type = types.pop() if len(types) == 1 else "general"
+        app.group(group_name, process_type=group_type)
+    for process_name, group_name in assignment.items():
+        app.assign(process_name, group_name)
+    return app

@@ -1,0 +1,133 @@
+"""RadioChannelAccess: the TDMA channel access engine (rca, group1).
+
+This is the dominant process of the paper's profiling report (group1 at
+92.1 %): it runs every TDMA slot, scans the slot schedule, transmits
+queued PDUs in owned slots, forwards received PDUs upward, and handles
+beacon transmission for the management plane.
+"""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.uml.classifier import Class
+from repro.uml.structure import Port
+from repro.cases.tutmac import signals as sig
+from repro.cases.tutmac.params import TutmacParameters
+
+
+def build_radio_channel_access(
+    app: ApplicationModel, params: TutmacParameters
+) -> Class:
+    component = app.component(
+        "RadioChannelAccess",
+        code_memory=16384,
+        data_memory=8192,
+        real_time="hard",
+    )
+    component.add_port(
+        Port("DataPort", provided=[sig.PDU_TX], required=[sig.PDU_RX])
+    )
+    component.add_port(
+        Port(
+            "MngPort",
+            provided=[sig.BEACON_REQ, sig.SLOT_CFG],
+            required=[sig.BEACON_CNF],
+        )
+    )
+    component.add_port(Port("RMngPort", required=[sig.CH_LOAD]))
+    component.add_port(
+        Port("PhyPort", required=[sig.PHY_TX], provided=[sig.PHY_RX])
+    )
+    machine = app.behavior(component)
+    machine.variable("slot", 0)
+    machine.variable("txq", 0)
+    machine.variable("sent", 0)
+    machine.variable("frames", 0)
+    machine.variable("acc", 0)
+    machine.variable("i", 0)
+    machine.variable("first_slot", 0)
+    machine.variable("own_slots", params.slots_per_frame)
+    machine.variable("rx_count", 0)
+    machine.variable("b", 0)
+    machine.state(
+        "access",
+        initial=True,
+        entry=f"set_timer(slot_t, {params.slot_time_us});",
+    )
+    # The per-slot work: scan the slot schedule, compute channel state,
+    # transmit one queued PDU when the slot is ours.
+    machine.on_timer(
+        "access",
+        "access",
+        "slot_t",
+        effect=(
+            f"slot = (slot + 1) % {params.slots_per_frame};"
+            "acc = 0;"
+            "i = 0;"
+            f"while (i < {params.slot_scan_iterations}) {{"
+            "  acc = acc + ((slot * 7 + i * 13) % 31);"
+            "  i = i + 1;"
+            "}"
+            "if (txq > 0 && slot >= first_slot && slot < first_slot + own_slots) {"
+            "  txq = txq - 1;"
+            "  sent = sent + 1;"
+            f"  send phy_tx(sent, {params.fragment_bytes}) via PhyPort;"
+            "}"
+            "if (slot == 0) {"
+            "  frames = frames + 1;"
+            "  send ch_load(acc) via RMngPort;"
+            "}"
+            f"set_timer(slot_t, {params.slot_time_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "access",
+        "access",
+        sig.PDU_TX,
+        params=["fragid", "length"],
+        effect="txq = txq + 1;",
+        priority=1,
+        internal=True,
+    )
+    machine.on_signal(
+        "access",
+        "access",
+        sig.PHY_RX,
+        params=["fragid", "length", "last"],
+        effect=(
+            "rx_count = rx_count + 1;"
+            "b = (fragid * 5 + length) % 97;"
+            "send pdu_rx(fragid, length, last) via DataPort;"
+        ),
+        priority=2,
+        internal=True,
+    )
+    machine.on_signal(
+        "access",
+        "access",
+        sig.BEACON_REQ,
+        params=["seq"],
+        effect=(
+            "b = 0;"
+            "i = 0;"
+            "while (i < 8) {"
+            "  b = b + ((seq + i * 11) % 19);"
+            "  i = i + 1;"
+            "}"
+            "send phy_tx(seq, 40) via PhyPort;"
+            "send beacon_cnf(seq) via MngPort;"
+        ),
+        priority=3,
+        internal=True,
+    )
+    machine.on_signal(
+        "access",
+        "access",
+        sig.SLOT_CFG,
+        params=["first", "count"],
+        effect="first_slot = first; own_slots = count;",
+        priority=4,
+        internal=True,
+    )
+    return component

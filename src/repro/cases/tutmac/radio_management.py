@@ -1,0 +1,74 @@
+"""RadioManagement: radio quality measurement and channel control (rmng, group1)."""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.uml.classifier import Class
+from repro.uml.structure import Port
+from repro.cases.tutmac import signals as sig
+from repro.cases.tutmac.params import TutmacParameters
+
+
+def build_radio_management(app: ApplicationModel, params: TutmacParameters) -> Class:
+    component = app.component(
+        "RadioManagement", code_memory=8192, data_memory=4096, real_time="soft"
+    )
+    component.add_port(
+        Port("MngPort", provided=[sig.RMNG_CFG], required=[sig.RMNG_STATUS])
+    )
+    component.add_port(
+        Port("PhyPort", required=[sig.MEAS_REQ], provided=[sig.MEAS_IND])
+    )
+    component.add_port(Port("RChPort", provided=[sig.CH_LOAD]))
+    machine = app.behavior(component)
+    machine.variable("channel", 1)
+    machine.variable("quality", 100)
+    machine.variable("load_avg", 0)
+    machine.variable("measurements", 0)
+    machine.state(
+        "measuring",
+        initial=True,
+        entry=f"set_timer(meas_t, {params.measurement_period_us});",
+    )
+    machine.on_timer(
+        "measuring",
+        "measuring",
+        "meas_t",
+        effect=(
+            "send meas_req(channel) via PhyPort;"
+            f"set_timer(meas_t, {params.measurement_period_us});"
+        ),
+        internal=True,
+    )
+    machine.on_signal(
+        "measuring",
+        "measuring",
+        sig.MEAS_IND,
+        params=["q"],
+        effect=(
+            "measurements = measurements + 1;"
+            "quality = (quality * 3 + q) / 4;"
+            "send rmng_status(quality) via MngPort;"
+        ),
+        priority=1,
+        internal=True,
+    )
+    machine.on_signal(
+        "measuring",
+        "measuring",
+        sig.RMNG_CFG,
+        params=["ch"],
+        effect="channel = ch;",
+        priority=2,
+        internal=True,
+    )
+    machine.on_signal(
+        "measuring",
+        "measuring",
+        sig.CH_LOAD,
+        params=["load"],
+        effect="load_avg = (load_avg * 7 + load) / 8;",
+        priority=3,
+        internal=True,
+    )
+    return component

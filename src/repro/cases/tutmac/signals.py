@@ -1,0 +1,92 @@
+"""TUTMAC signal catalogue.
+
+Signal names follow the connector labels of the paper's Figure 5 where
+those are legible (user plane, management plane, PHY interface).  Sizes
+matter for the bus simulation: data-plane signals carry payload bits, the
+control plane is parameter-only.
+"""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.cases.tutmac.params import TutmacParameters
+
+# user plane
+MSDU_REQ = "msdu_req"          # user -> msduRec      (UToUi)
+MSDU_IND = "msdu_ind"          # msduDel -> user      (UiToU)
+SDU_TX = "sdu_tx"              # msduRec -> frag      (UiToDp)
+SDU_RX = "sdu_rx"              # defrag -> msduDel    (DpToUi)
+PDU_TX = "pdu_tx"              # frag -> rca          (DpToRCh)
+PDU_RX = "pdu_rx"              # rca -> defrag        (RChToDp)
+PHY_TX = "phy_tx"              # rca -> phy           (RChToPhy)
+PHY_RX = "phy_rx"              # phy -> rca           (PhyToRCh)
+
+# CRC service
+FRAG_CRC_REQ = "frag_crc_req"      # frag -> crc
+FRAG_CRC_CNF = "frag_crc_cnf"      # crc -> frag
+DEFRAG_CRC_REQ = "defrag_crc_req"  # defrag -> crc
+DEFRAG_CRC_CNF = "defrag_crc_cnf"  # crc -> defrag
+
+# management plane
+BEACON_REQ = "beacon_req"      # mng -> rca           (MngToRCh)
+BEACON_CNF = "beacon_cnf"      # rca -> mng           (RChToMng)
+SLOT_CFG = "slot_cfg"          # mng -> rca
+FLOW_CTRL = "flow_ctrl"        # mng -> msduRec       (MngToUi)
+UI_STATUS = "ui_status"        # msduRec -> mng       (UiToMng)
+DP_CFG = "dp_cfg"              # mng -> frag          (MngToDp)
+DP_STATUS = "dp_status"        # frag -> mng          (DpToMng)
+RMNG_CFG = "rmng_cfg"          # mng -> rmng          (MngToRMng)
+RMNG_STATUS = "rmng_status"    # rmng -> mng          (RMngToMng)
+CH_LOAD = "ch_load"            # rca -> rmng          (RChToRMng)
+MEAS_REQ = "meas_req"          # rmng -> phy          (RMngToPhy)
+MEAS_IND = "meas_ind"          # phy -> rmng          (PhyToRMng)
+MNG_CMD = "mng_cmd"            # mngUser -> mng       (MngUserToMng)
+MNG_RSP = "mng_rsp"            # mng -> mngUser       (MngToMngUser)
+
+ALL_SIGNALS = (
+    MSDU_REQ, MSDU_IND, SDU_TX, SDU_RX, PDU_TX, PDU_RX, PHY_TX, PHY_RX,
+    FRAG_CRC_REQ, FRAG_CRC_CNF, DEFRAG_CRC_REQ, DEFRAG_CRC_CNF,
+    BEACON_REQ, BEACON_CNF, SLOT_CFG, FLOW_CTRL, UI_STATUS, DP_CFG,
+    DP_STATUS, RMNG_CFG, RMNG_STATUS, CH_LOAD, MEAS_REQ, MEAS_IND,
+    MNG_CMD, MNG_RSP,
+)
+
+
+def declare_signals(app: ApplicationModel, params: TutmacParameters) -> None:
+    """Declare every TUTMAC signal on ``app``."""
+    msdu_payload = params.msdu_bytes * 8
+    fragment_payload = params.fragment_bytes * 8
+    app.signal(MSDU_REQ, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
+    app.signal(MSDU_IND, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
+    app.signal(SDU_TX, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
+    app.signal(SDU_RX, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
+    app.signal(PDU_TX, [("fragid", "Int32"), ("length", "Int32")], fragment_payload)
+    app.signal(
+        PDU_RX,
+        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")],
+        fragment_payload,
+    )
+    app.signal(PHY_TX, [("fragid", "Int32"), ("length", "Int32")], fragment_payload)
+    app.signal(
+        PHY_RX,
+        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")],
+        fragment_payload,
+    )
+    app.signal(FRAG_CRC_REQ, [("fragid", "Int32")], fragment_payload)
+    app.signal(FRAG_CRC_CNF, [("fragid", "Int32"), ("checksum", "Int32")])
+    app.signal(DEFRAG_CRC_REQ, [("fragid", "Int32")], fragment_payload)
+    app.signal(DEFRAG_CRC_CNF, [("fragid", "Int32"), ("ok", "Bit")])
+    app.signal(BEACON_REQ, [("seq", "Int32")])
+    app.signal(BEACON_CNF, [("seq", "Int32")])
+    app.signal(SLOT_CFG, [("first", "Int16"), ("count", "Int16")])
+    app.signal(FLOW_CTRL, [("enabled", "Bit")])
+    app.signal(UI_STATUS, [("buffered", "Int32")])
+    app.signal(DP_CFG, [("fragment_bytes", "Int32")])
+    app.signal(DP_STATUS, [("pending", "Int32")])
+    app.signal(RMNG_CFG, [("channel", "Int16")])
+    app.signal(RMNG_STATUS, [("quality", "Int16")])
+    app.signal(CH_LOAD, [("load", "Int32")])
+    app.signal(MEAS_REQ, [("channel", "Int16")])
+    app.signal(MEAS_IND, [("quality", "Int16")])
+    app.signal(MNG_CMD, [("code", "Int32")])
+    app.signal(MNG_RSP, [("code", "Int32"), ("status", "Bit")])

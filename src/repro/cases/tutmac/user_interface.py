@@ -1,0 +1,105 @@
+"""UserInterface: structural component holding msduRec and msduDel.
+
+Paper Figure 6 groups ``UserInterface::msduRec`` and
+``UserInterface::msduDel`` into group2: the user interface is a passive
+composite whose functional parts receive MSDUs from the user and deliver
+reassembled MSDUs back.
+"""
+
+from __future__ import annotations
+
+from repro.application.model import ApplicationModel
+from repro.uml.classifier import Class
+from repro.uml.structure import Port
+from repro.cases.tutmac import signals as sig
+from repro.cases.tutmac.params import TutmacParameters
+
+
+def build_msdu_receiver(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """msduRec: accepts MSDUs from the user and forwards SDUs to frag."""
+    component = app.component("MsduReceiver", code_memory=4096, data_memory=8192)
+    component.add_port(Port("pUser", provided=[sig.MSDU_REQ]))
+    component.add_port(Port("pDp", required=[sig.SDU_TX]))
+    component.add_port(
+        Port("pMng", provided=[sig.FLOW_CTRL], required=[sig.UI_STATUS])
+    )
+    machine = app.behavior(component)
+    machine.variable("enabled", 1)
+    machine.variable("buffered", 0)
+    machine.variable("received", 0)
+    machine.state("ready", initial=True)
+    machine.on_signal(
+        "ready",
+        "ready",
+        sig.MSDU_REQ,
+        params=["length", "seq"],
+        guard="enabled == 1",
+        effect=(
+            "received = received + 1;"
+            "buffered = buffered + 1;"
+            "i = 0;"
+            "sum = 0;"
+            f"while (i < {params.msdu_copy_iterations}) {{"
+            "  sum = sum + ((seq + i * 7) % 256);"
+            "  i = i + 1;"
+            "}"
+            "send sdu_tx(length, seq) via pDp;"
+            "buffered = buffered - 1;"
+        ),
+        priority=0,
+        internal=True,
+    )
+    machine.variable("i", 0)
+    machine.variable("sum", 0)
+    machine.on_signal(
+        "ready",
+        "ready",
+        sig.FLOW_CTRL,
+        params=["on"],
+        effect="enabled = on; send ui_status(buffered) via pMng;",
+        priority=1,
+        internal=True,
+    )
+    return component
+
+
+def build_msdu_deliverer(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """msduDel: delivers reassembled MSDUs to the user."""
+    component = app.component("MsduDeliverer", code_memory=2048, data_memory=4096)
+    component.add_port(Port("pDp", provided=[sig.SDU_RX]))
+    component.add_port(Port("pUser", required=[sig.MSDU_IND]))
+    machine = app.behavior(component)
+    machine.variable("delivered", 0)
+    machine.variable("bytes", 0)
+    machine.state("ready", initial=True)
+    machine.on_signal(
+        "ready",
+        "ready",
+        sig.SDU_RX,
+        params=["length", "seq"],
+        effect=(
+            "delivered = delivered + 1;"
+            "bytes = bytes + length;"
+            "send msdu_ind(length, seq) via pUser;"
+        ),
+        internal=True,
+    )
+    return component
+
+
+def build_user_interface(app: ApplicationModel, params: TutmacParameters) -> Class:
+    """Assemble the UserInterface structural component (and its processes)."""
+    receiver = build_msdu_receiver(app, params)
+    deliverer = build_msdu_deliverer(app, params)
+    structural = app.structural("UserInterface")
+    structural.add_port(Port("UserPort"))
+    structural.add_port(Port("DPPort"))
+    structural.add_port(Port("MngPort"))
+    app.process(structural, "msduRec", receiver)
+    app.process(structural, "msduDel", deliverer)
+    app.connect(structural, (None, "UserPort"), ("msduRec", "pUser"))
+    app.connect(structural, (None, "UserPort"), ("msduDel", "pUser"))
+    app.connect(structural, (None, "DPPort"), ("msduRec", "pDp"))
+    app.connect(structural, (None, "DPPort"), ("msduDel", "pDp"))
+    app.connect(structural, (None, "MngPort"), ("msduRec", "pMng"))
+    return structural

@@ -1,0 +1,15 @@
+"""Automatic code generation (paper Figure 2: model → C → executable)."""
+
+from repro.codegen.cgen import CGenerator, sanitize
+from repro.codegen.project import GeneratedProject, generate_project
+from repro.codegen.runtime import RUNTIME_HEADER, RUNTIME_SOURCE, makefile
+
+__all__ = [
+    "CGenerator",
+    "GeneratedProject",
+    "RUNTIME_HEADER",
+    "RUNTIME_SOURCE",
+    "generate_project",
+    "makefile",
+    "sanitize",
+]

@@ -1,0 +1,33 @@
+"""Diagram renderings of the paper's figures (DOT and plain text)."""
+
+from repro.diagrams.dot import DotGraph
+from repro.diagrams.class_diagram import (
+    class_diagram_dot,
+    class_diagram_text,
+    profile_hierarchy_dot,
+)
+from repro.diagrams.composite import (
+    composite_structure_dot,
+    composite_structure_text,
+    grouping_diagram_text,
+    platform_diagram_dot,
+    platform_diagram_text,
+)
+from repro.diagrams.mapping_diagram import mapping_diagram_dot, mapping_diagram_text
+from repro.diagrams.timeline import timeline_text, utilization_summary
+
+__all__ = [
+    "DotGraph",
+    "class_diagram_dot",
+    "class_diagram_text",
+    "composite_structure_dot",
+    "composite_structure_text",
+    "grouping_diagram_text",
+    "mapping_diagram_dot",
+    "mapping_diagram_text",
+    "platform_diagram_dot",
+    "platform_diagram_text",
+    "profile_hierarchy_dot",
+    "timeline_text",
+    "utilization_summary",
+]

@@ -1,0 +1,78 @@
+"""Class-diagram rendering (paper Figure 4 and the Figure 3 hierarchy)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uml.classifier import Class
+from repro.application.model import ApplicationModel
+from repro.diagrams.dot import DotGraph
+
+
+def _class_label(klass: Class) -> str:
+    stereotypes = "".join(
+        f"«{s.name}»\n" for s in klass.applied_stereotypes
+    )
+    return f"{stereotypes}{klass.name}"
+
+
+def class_diagram_dot(app: ApplicationModel) -> str:
+    """Figure 4: the application's class diagram as DOT."""
+    graph = DotGraph(f"{app.top.name}_classes")
+    graph.attr(rankdir="BT")
+    graph.node(app.top.name, _class_label(app.top), shape="record")
+    for name, klass in {**app.components, **app.structurals}.items():
+        graph.node(name, _class_label(klass), shape="record")
+    for part in app.top.parts:
+        if isinstance(part.type, Class):
+            graph.edge(
+                part.type.name,
+                app.top.name,
+                label=part.name,
+                arrowhead="diamond",
+            )
+    return graph.render()
+
+
+def class_diagram_text(app: ApplicationModel) -> str:
+    """Figure 4 as indented text (for terminals and golden tests)."""
+    lines: List[str] = []
+    top_stereo = ", ".join(f"«{s.name}»" for s in app.top.applied_stereotypes)
+    lines.append(f"{top_stereo} {app.top.name}")
+    for part in app.top.parts:
+        part_type = part.type
+        if not isinstance(part_type, Class):
+            continue
+        stereotypes = ", ".join(
+            f"«{s.name}»" for s in part_type.applied_stereotypes
+        )
+        kind = "functional" if part_type.is_functional else "structural"
+        prefix = f"{stereotypes} " if stereotypes else ""
+        lines.append(f"  {part.name} : {prefix}{part_type.name} ({kind})")
+        if part_type.is_structural:
+            for inner in part_type.parts:
+                if isinstance(inner.type, Class):
+                    inner_st = ", ".join(
+                        f"«{s.name}»" for s in inner.applied_stereotypes
+                    )
+                    lines.append(
+                        f"    {inner.name} : {inner.type.name}"
+                        + (f" {inner_st}" if inner_st else "")
+                    )
+    return "\n".join(lines)
+
+
+def profile_hierarchy_dot() -> str:
+    """Figure 3: the TUT-Profile hierarchy as DOT."""
+    from repro.tutprofile import profile_hierarchy_edges
+
+    graph = DotGraph("TUTProfile_hierarchy")
+    graph.attr(rankdir="LR")
+    seen = set()
+    for source, relation, target in profile_hierarchy_edges():
+        for node in (source, target):
+            if node not in seen:
+                graph.node(node, f"«{node}»", shape="box")
+                seen.add(node)
+        graph.edge(source, target, label=relation)
+    return graph.render()

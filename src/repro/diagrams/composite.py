@@ -1,0 +1,106 @@
+"""Composite-structure diagram rendering (paper Figures 5, 6 and 7)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uml.classifier import Class
+from repro.application.model import ApplicationModel
+from repro.platform.model import PlatformModel
+from repro.diagrams.dot import DotGraph
+
+
+def composite_structure_dot(app: ApplicationModel) -> str:
+    """Figure 5: parts, ports and connectors of the top-level class."""
+    graph = DotGraph(f"{app.top.name}_structure")
+    graph.attr(rankdir="LR")
+    for part in app.top.parts:
+        part_type = part.type
+        label = f"{part.name} : {part_type.name}" if isinstance(part_type, Class) else part.name
+        stereotypes = "".join(f"«{s.name}»\n" for s in part.applied_stereotypes)
+        graph.node(part.name, f"{stereotypes}{label}", shape="component")
+    for port in app.top.ports:
+        graph.node(f"port:{port.name}", port.name, shape="box")
+    for connector in app.top.connectors:
+        if len(connector.ends) != 2:
+            continue
+        names = []
+        for end in connector.ends:
+            if end.part is None:
+                names.append(f"port:{end.port.name}")
+            else:
+                names.append(end.part.name)
+        label = " / ".join(
+            f"{end.port.name}" for end in connector.ends
+        )
+        graph.edge(names[0], names[1], label=label, dir="none")
+    return graph.render()
+
+
+def composite_structure_text(app: ApplicationModel) -> str:
+    """Figure 5 as text: one line per connector, ``a.port -- b.port``."""
+    lines: List[str] = [f"composite structure of {app.top.name}"]
+    for port in app.top.ports:
+        lines.append(f"  boundary port {port.name}")
+    for connector in app.top.connectors:
+        lines.append(f"  {connector.describe()}")
+    return "\n".join(lines)
+
+
+def grouping_diagram_text(app: ApplicationModel) -> str:
+    """Figure 6: process grouping as text."""
+    lines: List[str] = ["process grouping"]
+    for group_name in sorted(app.groups):
+        members = app.processes_in(group_name)
+        member_text = ", ".join(
+            f"{m.container.name}::{m.name}" for m in members
+        )
+        group = app.groups[group_name]
+        fixed = group.tag("ProcessGroup", "Fixed", False)
+        suffix = " (fixed)" if fixed else ""
+        lines.append(f"  «ProcessGroup» {group_name}{suffix}: {member_text}")
+    return "\n".join(lines)
+
+
+def platform_diagram_dot(platform: PlatformModel) -> str:
+    """Figure 7: the stereotyped platform composite structure as DOT."""
+    graph = DotGraph(f"{platform.top.name}_platform")
+    graph.attr(rankdir="TB")
+    for name, pe in platform.processing_elements.items():
+        stereotypes = "".join(
+            f"«{s.name}»\n" for s in pe.part.applied_stereotypes
+        )
+        graph.node(name, f"{stereotypes}{name} : {pe.spec.name}", shape="box3d")
+    for name, segment in platform.segments.items():
+        stereotypes = "".join(
+            f"«{s.name}»\n" for s in segment.part.applied_stereotypes
+        )
+        shape = "cds" if not segment.is_bridge else "hexagon"
+        graph.node(name, f"{stereotypes}{name}", shape=shape)
+    for wrapper in platform.wrappers:
+        graph.edge(
+            wrapper.agent_name,
+            wrapper.segment_name,
+            label=f"addr={wrapper.spec.address:#x}",
+            dir="none",
+        )
+    return graph.render()
+
+
+def platform_diagram_text(platform: PlatformModel) -> str:
+    """Figure 7 as text."""
+    lines: List[str] = [f"platform {platform.top.name}"]
+    for name, pe in sorted(platform.processing_elements.items()):
+        lines.append(
+            f"  «PlatformComponentInstance» {name} : {pe.spec.name} "
+            f"(ID={pe.identifier})"
+        )
+    for name, segment in sorted(platform.segments.items()):
+        kind = "bridge segment" if segment.is_bridge else "segment"
+        lines.append(f"  «HIBISegment» {name} ({kind})")
+    for wrapper in platform.wrappers:
+        lines.append(
+            f"  «HIBIWrapper» {wrapper.agent_name} @ {wrapper.segment_name} "
+            f"addr={wrapper.spec.address:#x}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Minimal Graphviz-DOT document builder (no external dependency)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+class DotGraph:
+    """Accumulates nodes/edges and renders a ``digraph``/``graph`` document."""
+
+    def __init__(self, name: str, directed: bool = True) -> None:
+        self.name = name
+        self.directed = directed
+        self.graph_attrs: Dict[str, str] = {}
+        self.node_lines: List[str] = []
+        self.edge_lines: List[str] = []
+        self.subgraphs: List["DotGraph"] = []
+        self._node_ids: Dict[str, str] = {}
+
+    def attr(self, **attrs: str) -> None:
+        self.graph_attrs.update(attrs)
+
+    def _node_id(self, name: str) -> str:
+        if name not in self._node_ids:
+            self._node_ids[name] = f"n{len(self._node_ids)}_{_sanitize(name)}"
+        return self._node_ids[name]
+
+    def node(self, name: str, label: Optional[str] = None, **attrs: str) -> str:
+        node_id = self._node_id(name)
+        rendered = {"label": label if label is not None else name}
+        rendered.update(attrs)
+        attr_text = ", ".join(f"{k}={_quote(v)}" for k, v in rendered.items())
+        self.node_lines.append(f"{node_id} [{attr_text}];")
+        return node_id
+
+    def edge(self, source: str, target: str, label: str = "", **attrs: str) -> None:
+        arrow = "->" if self.directed else "--"
+        rendered = dict(attrs)
+        if label:
+            rendered["label"] = label
+        attr_text = ", ".join(f"{k}={_quote(v)}" for k, v in rendered.items())
+        suffix = f" [{attr_text}]" if attr_text else ""
+        self.edge_lines.append(
+            f"{self._node_id(source)} {arrow} {self._node_id(target)}{suffix};"
+        )
+
+    def subgraph(self, name: str, label: str = "") -> "DotGraph":
+        child = DotGraph(f"cluster_{_sanitize(name)}", directed=self.directed)
+        child._node_ids = self._node_ids  # share the id namespace
+        if label:
+            child.attr(label=label)
+        self.subgraphs.append(child)
+        return child
+
+    def render(self, indent: int = 0, as_subgraph: bool = False) -> str:
+        pad = "    " * indent
+        keyword = (
+            "subgraph"
+            if as_subgraph
+            else ("digraph" if self.directed else "graph")
+        )
+        lines = [f"{pad}{keyword} {_sanitize(self.name)} {{"]
+        for key, value in self.graph_attrs.items():
+            lines.append(f"{pad}    {key}={_quote(value)};")
+        for child in self.subgraphs:
+            lines.append(child.render(indent + 1, as_subgraph=True))
+        for node_line in self.node_lines:
+            lines.append(f"{pad}    {node_line}")
+        for edge_line in self.edge_lines:
+            lines.append(f"{pad}    {edge_line}")
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "g" + cleaned
+    return cleaned

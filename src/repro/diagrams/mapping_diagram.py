@@ -1,0 +1,53 @@
+"""Mapping-diagram rendering (paper Figure 8)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.model import MappingModel
+from repro.diagrams.dot import DotGraph
+
+
+def mapping_diagram_dot(mapping: MappingModel) -> str:
+    """Figure 8: «PlatformMapping» dependencies, groups above PEs."""
+    graph = DotGraph("platform_mapping")
+    graph.attr(rankdir="TB")
+    for group_name in sorted(mapping.application.groups):
+        if not mapping.application.processes_in(group_name):
+            continue
+        graph.node(
+            f"group:{group_name}",
+            f"«ProcessGroup»\n{group_name}",
+            shape="folder",
+        )
+    targets = set(mapping.assignment().values())
+    for pe_name, pe in mapping.platform.processing_elements.items():
+        style = "filled" if pe_name in targets else "dashed"
+        graph.node(
+            f"pe:{pe_name}",
+            f"«PlatformComponentInstance»\n{pe_name} : {pe.spec.name}",
+            shape="box3d",
+            style=style,
+        )
+    for group_name, pe_name in sorted(mapping.assignment().items()):
+        fixed = " (fixed)" if mapping.is_fixed(group_name) else ""
+        graph.edge(
+            f"group:{group_name}",
+            f"pe:{pe_name}",
+            label=f"«PlatformMapping»{fixed}",
+            style="dashed",
+        )
+    return graph.render()
+
+
+def mapping_diagram_text(mapping: MappingModel) -> str:
+    """Figure 8 as text: one line per «PlatformMapping» dependency."""
+    lines: List[str] = ["platform mapping"]
+    for group_name, pe_name in sorted(mapping.assignment().items()):
+        pe = mapping.platform.pe(pe_name)
+        fixed = " (fixed)" if mapping.is_fixed(group_name) else ""
+        lines.append(
+            f"  «PlatformMapping» {group_name} --> {pe_name} : "
+            f"{pe.spec.name}{fixed}"
+        )
+    return "\n".join(lines)

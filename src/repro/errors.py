@@ -1,0 +1,66 @@
+"""Exception hierarchy for the TUT-Profile reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by the library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A UML model is structurally malformed or used incorrectly."""
+
+
+class ValidationError(ModelError):
+    """Raised when model validation finds blocking (error-severity) issues.
+
+    The ``issues`` attribute carries the full list of
+    :class:`repro.uml.validation.Issue` objects that triggered the error.
+    """
+
+    def __init__(self, message: str, issues=None):
+        super().__init__(message)
+        self.issues = list(issues) if issues is not None else []
+
+
+class ProfileError(ModelError):
+    """A stereotype or tagged value is defined or applied incorrectly."""
+
+
+class ActionSyntaxError(ReproError):
+    """The textual action language could not be parsed.
+
+    Carries the offending ``text``, plus ``line`` and ``column`` (1-based)
+    when they are known.
+    """
+
+    def __init__(self, message: str, text: str = "", line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.text = text
+        self.line = line
+        self.column = column
+
+
+class ActionRuntimeError(ReproError):
+    """Evaluation of an action or expression failed at simulation time."""
+
+
+class MappingError(ModelError):
+    """A platform mapping is inconsistent (unmapped group, bad target, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class CodegenError(ReproError):
+    """Code generation could not translate a model construct."""
+
+
+class XmiError(ModelError):
+    """An XMI document could not be written or parsed."""

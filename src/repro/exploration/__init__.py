@@ -1,0 +1,31 @@
+"""Architecture exploration: grouping and mapping optimisation (paper §4.4)."""
+
+from repro.exploration.objectives import EvaluationResult, evaluate, summarize
+from repro.exploration.grouping import (
+    communication_minimizing_grouping,
+    external_traffic,
+    per_process_grouping,
+    round_robin_grouping,
+    single_group_grouping,
+)
+from repro.exploration.mapping import (
+    MappingCandidate,
+    enumerate_assignments,
+    exhaustive_search,
+    improvement_loop,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "MappingCandidate",
+    "communication_minimizing_grouping",
+    "enumerate_assignments",
+    "evaluate",
+    "exhaustive_search",
+    "external_traffic",
+    "improvement_loop",
+    "per_process_grouping",
+    "round_robin_grouping",
+    "single_group_grouping",
+    "summarize",
+]

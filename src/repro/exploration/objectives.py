@@ -1,0 +1,86 @@
+"""Evaluation objectives for architecture exploration.
+
+The paper's profiling report "is used for improving the application.  The
+process groups and mapping are modified to improve performance including
+amount of communication and the division of workload between application
+processes" (Section 4.4).  This module turns one simulation run into the
+numbers those decisions need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.application.model import ApplicationModel
+from repro.mapping.model import MappingModel
+from repro.platform.model import PlatformModel
+from repro.profiling.analysis import analyze
+from repro.profiling.groupinfo import group_info_from_model
+from repro.simulation.system import SimulationResult, SystemSimulation
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics of one simulated (application, platform, mapping) point."""
+
+    bus_signals: int          # signals that crossed the bus
+    bus_bytes: int            # bytes that crossed the bus
+    bus_busy_ps: int          # total segment occupancy
+    max_pe_utilization: float
+    mean_latency_ps: float    # mean delivery latency of bus signals
+    delivered_msdus: int      # end-to-end throughput proxy (if 'user' exists)
+    dropped_signals: int
+    group_cycles: Dict[str, int]
+
+    def cost(self) -> float:
+        """Scalar cost: bus traffic dominates, utilisation imbalance tie-breaks.
+
+        Lower is better.  The weights only order candidate designs — they
+        are not calibrated to anything physical.
+        """
+        return (
+            self.bus_bytes
+            + 1000.0 * self.max_pe_utilization
+            + 1_000_000.0 * self.dropped_signals
+        )
+
+
+def evaluate(
+    application: ApplicationModel,
+    platform: PlatformModel,
+    mapping: MappingModel,
+    duration_us: int = 50_000,
+) -> EvaluationResult:
+    """Simulate one design point and compute its metrics."""
+    simulation = SystemSimulation(application, platform, mapping)
+    result = simulation.run(duration_us)
+    metrics = summarize(result, application)
+    delivered = 0
+    if "user" in simulation.executors:
+        delivered = simulation.executors["user"].variables.get("delivered", 0)
+    metrics.delivered_msdus = delivered
+    return metrics
+
+
+def summarize(result: SimulationResult, application: ApplicationModel) -> EvaluationResult:
+    """Metrics from an existing simulation result."""
+    bus_records = [
+        r for r in result.log.signal_records if r.transport == "bus"
+    ]
+    utilization = result.pe_utilization()
+    data = analyze(result.log, group_info_from_model(application.model))
+    return EvaluationResult(
+        bus_signals=len(bus_records),
+        bus_bytes=sum(r.bytes for r in bus_records),
+        bus_busy_ps=sum(s.busy_ps for s in result.bus_stats.values()),
+        max_pe_utilization=max(utilization.values()) if utilization else 0.0,
+        mean_latency_ps=(
+            sum(r.latency_ps for r in bus_records) / len(bus_records)
+            if bus_records
+            else 0.0
+        ),
+        delivered_msdus=0,
+        dropped_signals=result.dropped_signals,
+        group_cycles=dict(data.group_cycles),
+    )

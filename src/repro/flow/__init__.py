@@ -1,0 +1,10 @@
+"""The Figure 2 design and profiling flow, end to end."""
+
+from repro.flow.design_flow import (
+    FLOW_INVENTORY,
+    FLOW_STEPS,
+    FlowResult,
+    run_design_flow,
+)
+
+__all__ = ["FLOW_INVENTORY", "FLOW_STEPS", "FlowResult", "run_design_flow"]

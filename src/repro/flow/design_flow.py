@@ -1,0 +1,143 @@
+"""The end-to-end design and profiling flow (paper Figures 1 and 2).
+
+``run_design_flow`` executes every box of Figure 2 in order:
+
+1. validate the UML model (well-formedness + TUT-Profile design rules);
+2. serialise the model to XMI (the document external tools parse);
+3. profiling stage 1 — model parsing → process-group information;
+4. automatic code generation (C project with instrumentation);
+5. simulation → simulation log-file;
+6. profiling stage 3 — combine log + group info → profiling report.
+
+Artefacts land in a work directory; the returned :class:`FlowResult`
+carries both the file paths and the in-memory analysis objects so callers
+(e.g. the improvement loop) can continue without re-reading files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.application.model import ApplicationModel
+from repro.codegen.project import GeneratedProject, generate_project
+from repro.mapping.model import MappingModel
+from repro.platform.model import PlatformModel
+from repro.profiling.analysis import ProfilingData, analyze
+from repro.profiling.groupinfo import group_info_from_xmi
+from repro.profiling.report import render_report
+from repro.simulation.system import SimulationResult, SystemSimulation
+from repro.tutprofile.rules import check_design_rules
+from repro.uml.validation import validate_model
+from repro.uml.xmi import model_to_xml
+
+FLOW_STEPS = (
+    "validate",
+    "export-xmi",
+    "parse-group-info",
+    "generate-code",
+    "simulate",
+    "profile",
+)
+
+#: Figure 1's inventory: the tools and target of the TUT-Profile flow and
+#: our stand-in for each (documented substitutions, see DESIGN.md §2).
+FLOW_INVENTORY = {
+    "TUT-Profile": "repro.tutprofile",
+    "Telelogic TAU G2": "repro.uml (metamodel + XMI + validation)",
+    "UML Profiling tool": "repro.profiling",
+    "Code generation": "repro.codegen",
+    "Simulation": "repro.simulation",
+    "Altera FPGA prototype": "repro.platform + repro.simulation (HIBI model)",
+}
+
+
+@dataclass
+class FlowResult:
+    """Artefacts and analyses of one flow execution."""
+
+    work_directory: str
+    xmi_path: str
+    log_path: str
+    report_path: str
+    code_directory: str
+    simulation: SimulationResult
+    profiling: ProfilingData
+    report_text: str
+    steps_run: tuple = FLOW_STEPS
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+
+def run_design_flow(
+    application: ApplicationModel,
+    platform: PlatformModel,
+    mapping: MappingModel,
+    work_directory: str,
+    duration_us: int = 100_000,
+    generate_c: bool = True,
+    strict: bool = True,
+) -> FlowResult:
+    """Run the complete Figure 2 flow; artefacts go to ``work_directory``."""
+    os.makedirs(work_directory, exist_ok=True)
+
+    # 1. validation
+    wellformed = validate_model(application.model)
+    rules = check_design_rules(application.model)
+    if platform.model is not application.model:
+        platform_report = check_design_rules(platform.model)
+        rules.issues.extend(platform_report.issues)
+    if strict:
+        wellformed.raise_on_errors()
+        rules.raise_on_errors()
+
+    # 2. XMI export
+    xmi_text = model_to_xml(application.model)
+    xmi_path = os.path.join(work_directory, "model.xmi")
+    with open(xmi_path, "w", encoding="utf-8") as handle:
+        handle.write(xmi_text)
+
+    # 3. profiling stage 1: parse the XML presentation for group info
+    group_info = group_info_from_xmi(xmi_text, profiles=[application.profile])
+
+    # 4. code generation (with instrumentation)
+    code_directory = os.path.join(work_directory, "generated")
+    if generate_c:
+        project: Optional[GeneratedProject] = generate_project(
+            application, code_directory, instrument=True
+        )
+        project.write()
+    else:
+        project = None
+
+    # 5. simulation → log-file
+    simulation = SystemSimulation(application, platform, mapping)
+    result = simulation.run(duration_us)
+    log_path = os.path.join(work_directory, "simulation.tutlog")
+    result.writer.write(log_path)
+
+    # 6. profiling stage 3: combine and report
+    profiling = analyze(result.log, group_info)
+    report_text = render_report(
+        profiling, title=f"Profiling report: {application.top.name}"
+    )
+    report_path = os.path.join(work_directory, "profiling_report.txt")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(report_text + "\n")
+
+    return FlowResult(
+        work_directory=work_directory,
+        xmi_path=xmi_path,
+        log_path=log_path,
+        report_path=report_path,
+        code_directory=code_directory,
+        simulation=result,
+        profiling=profiling,
+        report_text=report_text,
+        artifacts={
+            "xmi": xmi_path,
+            "log": log_path,
+            "report": report_path,
+            "code": code_directory,
+        },
+    )

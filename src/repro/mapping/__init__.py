@@ -1,0 +1,5 @@
+"""Mapping view: process groups onto platform component instances (Section 3.3)."""
+
+from repro.mapping.model import MappingModel
+
+__all__ = ["MappingModel"]

@@ -1,0 +1,195 @@
+"""Platform mapping (paper Section 3.3).
+
+"When both an application and platform have been defined, each group of
+application processes is mapped to a platform component instance.  Mapping
+is performed by defining a dependency between a process group and a
+platform component instance."
+
+:class:`MappingModel` owns those «PlatformMapping» dependencies and answers
+the central query of the whole flow: *which PE runs this process?*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import MappingError
+from repro.uml.dependency import Dependency
+from repro.uml.packages import Package
+from repro.tutprofile import PLATFORM_MAPPING, TUT_PROFILE
+from repro.tutprofile.tags import process_runs_on
+from repro.application.model import ApplicationModel, ENVIRONMENT_GROUP
+from repro.platform.model import PlatformModel
+
+
+class MappingModel:
+    """Maps the process groups of an application onto platform instances."""
+
+    def __init__(
+        self,
+        application: ApplicationModel,
+        platform: PlatformModel,
+        profile=None,
+        view_name: str = "MappingView",
+    ) -> None:
+        self.application = application
+        self.platform = platform
+        self.profile = profile if profile is not None else TUT_PROFILE
+        self.package = Package(view_name)
+        # The mapping view lives in the application's model so one XMI file
+        # can carry all three views (the profiling tool parses one document).
+        self.application.model.add(self.package)
+        self.mappings: Dict[str, Dependency] = {}  # group name -> dependency
+
+    # ------------------------------------------------------------------
+    # reconstruction from a (possibly XMI-parsed) UML model
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        application: ApplicationModel,
+        platform: PlatformModel,
+        profile=None,
+        view_name: str = "MappingView",
+    ) -> "MappingModel":
+        """Rebuild the mapping view from dependencies found in the model."""
+        mapping = cls.__new__(cls)
+        mapping.application = application
+        mapping.platform = platform
+        mapping.profile = profile if profile is not None else TUT_PROFILE
+        package = application.model.member(view_name)
+        if package is None:
+            raise MappingError(f"model has no {view_name} package")
+        mapping.package = package
+        mapping.mappings = {}
+        for dependency in package.members_of_type(Dependency):
+            if not dependency.has_stereotype(PLATFORM_MAPPING):
+                continue
+            if len(dependency.clients) != 1 or len(dependency.suppliers) != 1:
+                continue  # cross-model reference lost in serialisation
+            mapping.mappings[dependency.client.name] = dependency
+        return mapping
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def map(self, group_name: str, pe_name: str, fixed: bool = False) -> Dependency:
+        """Map ``group_name`` onto ``pe_name`` (type-checked)."""
+        group = self.application.groups.get(group_name)
+        if group is None:
+            raise MappingError(f"application has no process group {group_name!r}")
+        if pe_name not in self.platform.processing_elements:
+            raise MappingError(f"platform has no PE named {pe_name!r}")
+        pe = self.platform.pe(pe_name)
+        group_type = group.tag("ProcessGroup", "ProcessType", "general")
+        if not process_runs_on(group_type, pe.spec.component_type):
+            raise MappingError(
+                f"group {group_name!r} ({group_type}) cannot run on "
+                f"{pe_name!r} ({pe.spec.component_type})"
+            )
+        if group_name in self.mappings:
+            raise MappingError(
+                f"group {group_name!r} is already mapped; unmap it first"
+            )
+        dependency = Dependency(
+            f"{group_name}_to_{pe_name}", client=group, supplier=pe.part
+        )
+        self.package.add(dependency)
+        self.profile.apply(dependency, PLATFORM_MAPPING, Fixed=fixed)
+        self.mappings[group_name] = dependency
+        return dependency
+
+    def unmap(self, group_name: str) -> None:
+        """Remove a group's mapping; fixed mappings refuse (paper §3.3)."""
+        dependency = self.mappings.get(group_name)
+        if dependency is None:
+            raise MappingError(f"group {group_name!r} is not mapped")
+        if dependency.tag(PLATFORM_MAPPING, "Fixed", False):
+            raise MappingError(
+                f"mapping of {group_name!r} is fixed and cannot be changed "
+                "automatically"
+            )
+        del self.mappings[group_name]
+        self.package.disown(dependency)
+        self.package.packaged_elements.remove(dependency)
+
+    def remap(self, group_name: str, pe_name: str, fixed: bool = False) -> Dependency:
+        """Move a (non-fixed) group to a different PE."""
+        if group_name in self.mappings:
+            self.unmap(group_name)
+        return self.map(group_name, pe_name, fixed=fixed)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def pe_of_group(self, group_name: str) -> Optional[str]:
+        dependency = self.mappings.get(group_name)
+        if dependency is None:
+            return None
+        # supplier is the PE part; recover the instance name
+        return dependency.supplier.name
+
+    def pe_of_process(self, process_name: str) -> Optional[str]:
+        """The PE a process executes on; ``None`` for environment processes."""
+        process = self.application.find_process(process_name)
+        if process.is_environment:
+            return None
+        group_name = self.application.group_of(process_name)
+        if group_name is None:
+            return None
+        return self.pe_of_group(group_name)
+
+    def groups_on(self, pe_name: str) -> List[str]:
+        return sorted(
+            group
+            for group, dependency in self.mappings.items()
+            if dependency.supplier.name == pe_name
+        )
+
+    def is_fixed(self, group_name: str) -> bool:
+        dependency = self.mappings.get(group_name)
+        return bool(
+            dependency is not None and dependency.tag(PLATFORM_MAPPING, "Fixed", False)
+        )
+
+    def assignment(self) -> Dict[str, str]:
+        """Mapping group name -> PE name for all mapped groups."""
+        return {g: d.supplier.name for g, d in self.mappings.items()}
+
+    def check_complete(self) -> None:
+        """Raise unless every non-environment group with members is mapped."""
+        missing = []
+        for group_name in self.application.groups:
+            if group_name == ENVIRONMENT_GROUP:
+                continue
+            if not self.application.processes_in(group_name):
+                continue
+            if group_name not in self.mappings:
+                missing.append(group_name)
+        unmapped_processes = [
+            name
+            for name, process in self.application.processes.items()
+            if not process.is_environment
+            and self.application.group_of(name) is None
+        ]
+        if missing or unmapped_processes:
+            parts = []
+            if missing:
+                parts.append(f"unmapped groups: {', '.join(sorted(missing))}")
+            if unmapped_processes:
+                parts.append(
+                    "ungrouped processes: " + ", ".join(sorted(unmapped_processes))
+                )
+            raise MappingError("; ".join(parts))
+
+    def describe(self) -> str:
+        lines = ["Platform mapping:"]
+        for group_name in sorted(self.mappings):
+            fixed = " (fixed)" if self.is_fixed(group_name) else ""
+            lines.append(
+                f"  {group_name} -> {self.pe_of_group(group_name)}{fixed}"
+            )
+        return "\n".join(lines)

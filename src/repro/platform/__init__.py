@@ -1,0 +1,26 @@
+"""Platform view: component library and platform composition (Section 3.2)."""
+
+from repro.platform.components import (
+    ProcessingElementSpec,
+    SegmentSpec,
+    WrapperSpec,
+)
+from repro.platform.library import PlatformLibrary, standard_library
+from repro.platform.model import (
+    PEInstance,
+    PlatformModel,
+    SegmentInstance,
+    WrapperInstance,
+)
+
+__all__ = [
+    "PEInstance",
+    "PlatformLibrary",
+    "PlatformModel",
+    "ProcessingElementSpec",
+    "SegmentInstance",
+    "SegmentSpec",
+    "WrapperInstance",
+    "WrapperSpec",
+    "standard_library",
+]

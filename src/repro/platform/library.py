@@ -1,0 +1,189 @@
+"""The platform component library (paper Section 3.2).
+
+"The platform is seen as a component library with a parameterized
+presentation in UML 2.0 for each library component."  A
+:class:`PlatformLibrary` holds :class:`ProcessingElementSpec` /
+:class:`SegmentSpec` entries together with the UML classes that present
+them; :func:`standard_library` provides the Altera-Stratix-flavoured
+catalogue the TUTWLAN case uses (Nios-like soft cores, a CRC-32 hardware
+accelerator, HIBI segments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ModelError
+from repro.uml.classifier import Class
+from repro.uml.packages import Package
+from repro.tutprofile import (
+    PLATFORM_COMMUNICATION_SEGMENT,
+    PLATFORM_COMPONENT,
+    TUT_PROFILE,
+)
+from repro.tutprofile.tags import ComponentType, ProcessType
+from repro.platform.components import ProcessingElementSpec, SegmentSpec
+
+LibrarySpec = Union[ProcessingElementSpec, SegmentSpec]
+
+
+class PlatformLibrary:
+    """A named catalogue of parameterised platform components."""
+
+    def __init__(self, name: str = "PlatformLibrary", profile=None) -> None:
+        self.name = name
+        self.profile = profile if profile is not None else TUT_PROFILE
+        self.package = Package(name)
+        self.processing_elements: Dict[str, ProcessingElementSpec] = {}
+        self.segments: Dict[str, SegmentSpec] = {}
+        self.classes: Dict[str, Class] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add_processing_element(self, spec: ProcessingElementSpec) -> Class:
+        """Register a PE spec and create its «PlatformComponent» presentation."""
+        if spec.name in self.classes:
+            raise ModelError(f"library already has a component {spec.name!r}")
+        component = Class(spec.name)
+        self.package.add(component)
+        self.profile.apply(
+            component,
+            PLATFORM_COMPONENT,
+            Type=spec.component_type,
+            Area=spec.area_mm2,
+            Power=spec.power_mw,
+        )
+        self.processing_elements[spec.name] = spec
+        self.classes[spec.name] = component
+        return component
+
+    def add_segment(self, spec: SegmentSpec) -> Class:
+        """Register a segment spec with its «PlatformCommunicationSegment»
+        (specialised «HIBISegment») presentation."""
+        if spec.name in self.classes:
+            raise ModelError(f"library already has a component {spec.name!r}")
+        segment = Class(spec.name)
+        self.package.add(segment)
+        stereotype = (
+            "HIBISegment"
+            if self.profile.stereotype("HIBISegment") is not None
+            else PLATFORM_COMMUNICATION_SEGMENT
+        )
+        self.profile.apply(
+            segment,
+            stereotype,
+            DataWidth=spec.data_width_bits,
+            Frequency=spec.frequency_hz,
+            Arbitration=spec.arbitration,
+            **({"IsBridge": spec.is_bridge, "BurstLength": spec.burst_words}
+               if stereotype == "HIBISegment" else {}),
+        )
+        self.segments[spec.name] = spec
+        self.classes[spec.name] = segment
+        return segment
+
+    # -- lookup ---------------------------------------------------------------
+
+    def processing_element(self, name: str) -> ProcessingElementSpec:
+        try:
+            return self.processing_elements[name]
+        except KeyError:
+            raise ModelError(f"library has no processing element {name!r}") from None
+
+    def segment(self, name: str) -> SegmentSpec:
+        try:
+            return self.segments[name]
+        except KeyError:
+            raise ModelError(f"library has no segment {name!r}") from None
+
+    def component_class(self, name: str) -> Class:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise ModelError(f"library has no component {name!r}") from None
+
+    def spec_of(self, name: str) -> LibrarySpec:
+        if name in self.processing_elements:
+            return self.processing_elements[name]
+        if name in self.segments:
+            return self.segments[name]
+        raise ModelError(f"library has no component {name!r}")
+
+    def component_names(self) -> List[str]:
+        return sorted(self.classes)
+
+
+def standard_library(profile=None) -> PlatformLibrary:
+    """The TUTWLAN-flavoured component catalogue.
+
+    Entries model the paper's physical platform: Altera Nios-class soft
+    cores on a Stratix FPGA, a CRC-32 hardware accelerator, and HIBI v2 bus
+    segments (50 MHz system clock, 32-bit bus).
+    """
+    library = PlatformLibrary("TUTPlatformLibrary", profile=profile)
+    library.add_processing_element(
+        ProcessingElementSpec(
+            name="NiosCPU",
+            component_type=ComponentType.GENERAL,
+            frequency_hz=50_000_000,
+            cycles_per_statement={
+                ProcessType.GENERAL: 10,
+                ProcessType.DSP: 14,
+                ProcessType.HARDWARE: 40,
+            },
+            context_switch_cycles=120,
+            signal_dispatch_cycles=30,
+            area_mm2=2.6,
+            power_mw=85.0,
+            internal_memory_bytes=131072,
+        )
+    )
+    library.add_processing_element(
+        ProcessingElementSpec(
+            name="NiosDSP",
+            component_type=ComponentType.DSP,
+            frequency_hz=50_000_000,
+            cycles_per_statement={
+                ProcessType.GENERAL: 12,
+                ProcessType.DSP: 6,
+            },
+            context_switch_cycles=140,
+            signal_dispatch_cycles=30,
+            area_mm2=3.4,
+            power_mw=110.0,
+            internal_memory_bytes=131072,
+        )
+    )
+    library.add_processing_element(
+        ProcessingElementSpec(
+            name="CRCAccelerator",
+            component_type=ComponentType.HW_ACCELERATOR,
+            frequency_hz=50_000_000,
+            cycles_per_statement={ProcessType.HARDWARE: 1},
+            context_switch_cycles=0,
+            signal_dispatch_cycles=4,
+            area_mm2=0.4,
+            power_mw=12.0,
+            internal_memory_bytes=2048,
+        )
+    )
+    library.add_segment(
+        SegmentSpec(
+            name="HIBISegment",
+            data_width_bits=32,
+            frequency_hz=50_000_000,
+            arbitration="priority",
+            burst_words=8,
+        )
+    )
+    library.add_segment(
+        SegmentSpec(
+            name="HIBIBridgeSegment",
+            data_width_bits=32,
+            frequency_hz=50_000_000,
+            arbitration="priority",
+            is_bridge=True,
+            burst_words=8,
+        )
+    )
+    return library

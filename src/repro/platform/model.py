@@ -1,0 +1,473 @@
+"""Designer-facing platform view (paper Sections 3.2 and 4.2).
+
+A :class:`PlatformModel` composes library components into a concrete
+platform: «PlatformComponentInstance» parts for processing elements,
+«HIBISegment» parts for bus segments, and «HIBIWrapper» dependencies
+attaching agents (PEs or bridged segments) to segments.  The class also
+answers the topology queries the bus simulator needs: which segment a PE
+sits on and which sequence of segments a transfer crosses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MappingError, ModelError
+from repro.uml.classifier import Class
+from repro.uml.dependency import Dependency
+from repro.uml.packages import Model, Package
+from repro.uml.structure import Property
+from repro.tutprofile import (
+    HIBI_WRAPPER,
+    PLATFORM,
+    PLATFORM_COMPONENT_INSTANCE,
+    PLATFORM_COMMUNICATION_SEGMENT,
+    TUT_PROFILE,
+)
+from repro.platform.components import ProcessingElementSpec, SegmentSpec, WrapperSpec
+from repro.platform.library import PlatformLibrary
+
+
+class PEInstance:
+    """One instantiated processing element."""
+
+    def __init__(
+        self, name: str, part: Property, spec: ProcessingElementSpec, identifier: int
+    ) -> None:
+        self.name = name
+        self.part = part
+        self.spec = spec
+        self.identifier = identifier
+
+    def priority(self) -> int:
+        return self.part.tag(PLATFORM_COMPONENT_INSTANCE, "Priority", 0)
+
+    # -- «PlatformRtos» accessors (paper future work: RTOS accounting) -----
+
+    def has_rtos(self) -> bool:
+        return self.part.has_stereotype("PlatformRtos")
+
+    def scheduling_policy(self) -> str:
+        return self.part.tag("PlatformRtos", "Scheduling", "priority")
+
+    def dispatch_overhead_cycles(self) -> int:
+        return self.part.tag("PlatformRtos", "DispatchOverhead", 0)
+
+    def tick_period_us(self) -> int:
+        return self.part.tag("PlatformRtos", "TickPeriod", 0)
+
+    def __repr__(self) -> str:
+        return f"PEInstance({self.name} : {self.spec.name})"
+
+
+class SegmentInstance:
+    """One instantiated bus segment."""
+
+    def __init__(self, name: str, part: Property, spec: SegmentSpec) -> None:
+        self.name = name
+        self.part = part
+        self.spec = spec
+
+    @property
+    def is_bridge(self) -> bool:
+        return self.spec.is_bridge
+
+    def __repr__(self) -> str:
+        return f"SegmentInstance({self.name} : {self.spec.name})"
+
+
+class WrapperInstance:
+    """A wrapper attaching an agent (PE or segment) to a segment."""
+
+    def __init__(
+        self,
+        dependency: Dependency,
+        agent_name: str,
+        segment_name: str,
+        spec: WrapperSpec,
+    ) -> None:
+        self.dependency = dependency
+        self.agent_name = agent_name
+        self.segment_name = segment_name
+        self.spec = spec
+
+    def __repr__(self) -> str:
+        return f"WrapperInstance({self.agent_name} @ {self.segment_name})"
+
+
+class PlatformModel:
+    """Builder and query facade for one TUT-Profile platform."""
+
+    def __init__(
+        self,
+        name: str,
+        library: PlatformLibrary,
+        model: Optional[Model] = None,
+        profile=None,
+    ) -> None:
+        self.profile = profile if profile is not None else TUT_PROFILE
+        self.library = library
+        self.model = model if model is not None else Model(f"{name}Model")
+        self.package = Package("PlatformView")
+        self.model.add(self.package)
+        if library.package.owner is None:
+            self.model.add(library.package)
+        self.top = Class(name)
+        self.package.add(self.top)
+        self.profile.apply(self.top, PLATFORM)
+        self.processing_elements: Dict[str, PEInstance] = {}
+        self.segments: Dict[str, SegmentInstance] = {}
+        self.wrappers: List[WrapperInstance] = []
+        self._next_id = 1
+        self._next_address = 0x100
+
+    # ------------------------------------------------------------------
+    # reconstruction from a (possibly XMI-parsed) UML model
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Model,
+        library: PlatformLibrary,
+        profile=None,
+        view_name: str = "PlatformView",
+    ) -> "PlatformModel":
+        """Rebuild the facade from an existing model (e.g. parsed XMI).
+
+        Performance specs (cycle costs) are not part of the UML view — they
+        come from ``library`` by component class name, exactly as the
+        paper's platform library supplies the parameterised presentation.
+        """
+        from repro.tutprofile import (
+            PLATFORM as PLATFORM_ST,
+            PLATFORM_COMMUNICATION_SEGMENT as SEGMENT_ST,
+            PLATFORM_COMMUNICATION_WRAPPER as WRAPPER_ST,
+            PLATFORM_COMPONENT_INSTANCE as INSTANCE_ST,
+        )
+        from repro.uml.packages import Package
+
+        platform = cls.__new__(cls)
+        platform.profile = profile if profile is not None else TUT_PROFILE
+        platform.library = library
+        platform.model = model
+        package = model.member(view_name)
+        if not isinstance(package, Package):
+            raise ModelError(f"model has no {view_name} package")
+        platform.package = package
+        tops = [
+            e
+            for e in package.packaged_elements
+            if isinstance(e, Class) and e.has_stereotype(PLATFORM_ST)
+        ]
+        if len(tops) != 1:
+            raise ModelError(
+                f"expected exactly one «Platform» class, found {len(tops)}"
+            )
+        platform.top = tops[0]
+        platform.processing_elements = {}
+        platform.segments = {}
+        platform.wrappers = []
+        max_id, max_address = 0, 0
+        for part in platform.top.parts:
+            type_name = part.type.name if part.type is not None else ""
+            if part.has_stereotype(INSTANCE_ST):
+                spec = library.processing_element(type_name)
+                identifier = part.tag(INSTANCE_ST, "ID", 0)
+                platform.processing_elements[part.name] = PEInstance(
+                    part.name, part, spec, identifier
+                )
+                max_id = max(max_id, identifier)
+            elif part.has_stereotype(SEGMENT_ST):
+                base = library.segment(type_name)
+                spec = SegmentSpec(
+                    name=base.name,
+                    data_width_bits=part.tag(SEGMENT_ST, "DataWidth", base.data_width_bits),
+                    frequency_hz=part.tag(SEGMENT_ST, "Frequency", base.frequency_hz),
+                    arbitration=part.tag(SEGMENT_ST, "Arbitration", base.arbitration),
+                    is_bridge=part.tag("HIBISegment", "IsBridge", base.is_bridge),
+                    burst_words=part.tag("HIBISegment", "BurstLength", base.burst_words),
+                    arbitration_cycles=base.arbitration_cycles,
+                )
+                platform.segments[part.name] = SegmentInstance(part.name, part, spec)
+        for dependency in package.members_of_type(Dependency):
+            if not dependency.has_stereotype(WRAPPER_ST):
+                continue
+            address = dependency.tag(WRAPPER_ST, "Address", 0)
+            spec = WrapperSpec(
+                address=address,
+                tx_buffer_words=dependency.tag(
+                    "HIBIWrapper", "TxBufferSize",
+                    dependency.tag(WRAPPER_ST, "BufferSize", 8),
+                ),
+                rx_buffer_words=dependency.tag("HIBIWrapper", "RxBufferSize", 8),
+                priority_class=dependency.tag("HIBIWrapper", "PriorityClass", 0),
+                max_reservation_cycles=dependency.tag(WRAPPER_ST, "MaxTime", 0),
+            )
+            platform.wrappers.append(
+                WrapperInstance(
+                    dependency,
+                    dependency.client.name,
+                    dependency.supplier.name,
+                    spec,
+                )
+            )
+            max_address = max(max_address, address)
+        platform._next_id = max_id + 1
+        platform._next_address = max(0x100, ((max_address >> 8) + 1) << 8)
+        return platform
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def instantiate(
+        self,
+        name: str,
+        component_name: str,
+        priority: int = 0,
+        identifier: Optional[int] = None,
+        internal_memory: Optional[int] = None,
+    ) -> PEInstance:
+        """Instantiate a library processing element on the platform."""
+        if name in self.processing_elements or name in self.segments:
+            raise ModelError(f"platform already has an instance {name!r}")
+        spec = self.library.processing_element(component_name)
+        component_class = self.library.component_class(component_name)
+        part = self.top.add_part(Property(name, component_class))
+        if identifier is None:
+            identifier = self._next_id
+        self._next_id = max(self._next_id, identifier) + 1
+        self.profile.apply(
+            part,
+            PLATFORM_COMPONENT_INSTANCE,
+            ID=identifier,
+            Priority=priority,
+            IntMemory=(
+                internal_memory
+                if internal_memory is not None
+                else spec.internal_memory_bytes
+            ),
+        )
+        instance = PEInstance(name, part, spec, identifier)
+        self.processing_elements[name] = instance
+        return instance
+
+    def configure_rtos(
+        self,
+        pe_name: str,
+        scheduling: str = "priority",
+        dispatch_overhead_cycles: int = 0,
+        tick_period_us: int = 0,
+    ) -> PEInstance:
+        """Install an RTOS on a processor («PlatformRtos», paper future work)."""
+        pe = self.pe(pe_name)
+        if self.profile.stereotype("PlatformRtos") is None:
+            from repro.tutprofile import extend_with_rtos
+
+            extend_with_rtos(self.profile)
+        self.profile.apply(
+            pe.part,
+            "PlatformRtos",
+            Scheduling=scheduling,
+            DispatchOverhead=dispatch_overhead_cycles,
+            TickPeriod=tick_period_us,
+        )
+        return pe
+
+    def segment(
+        self, name: str, component_name: str = "HIBISegment", **overrides
+    ) -> SegmentInstance:
+        """Instantiate a bus segment; ``overrides`` adjust the spec."""
+        if name in self.processing_elements or name in self.segments:
+            raise ModelError(f"platform already has an instance {name!r}")
+        base = self.library.segment(component_name)
+        spec = (
+            base
+            if not overrides
+            else SegmentSpec(
+                name=base.name,
+                data_width_bits=overrides.get("data_width_bits", base.data_width_bits),
+                frequency_hz=overrides.get("frequency_hz", base.frequency_hz),
+                arbitration=overrides.get("arbitration", base.arbitration),
+                is_bridge=overrides.get("is_bridge", base.is_bridge),
+                burst_words=overrides.get("burst_words", base.burst_words),
+                arbitration_cycles=overrides.get(
+                    "arbitration_cycles", base.arbitration_cycles
+                ),
+            )
+        )
+        segment_class = self.library.component_class(component_name)
+        part = self.top.add_part(Property(name, segment_class))
+        stereotype = (
+            "HIBISegment"
+            if self.profile.stereotype("HIBISegment") is not None
+            else PLATFORM_COMMUNICATION_SEGMENT
+        )
+        tags = {
+            "DataWidth": spec.data_width_bits,
+            "Frequency": spec.frequency_hz,
+            "Arbitration": spec.arbitration,
+        }
+        if stereotype == "HIBISegment":
+            tags["IsBridge"] = spec.is_bridge
+            tags["BurstLength"] = spec.burst_words
+        self.profile.apply(part, stereotype, **tags)
+        instance = SegmentInstance(name, part, spec)
+        self.segments[name] = instance
+        return instance
+
+    def attach(
+        self,
+        agent_name: str,
+        segment_name: str,
+        address: Optional[int] = None,
+        tx_buffer_words: int = 8,
+        rx_buffer_words: int = 8,
+        priority_class: int = 0,
+        max_reservation_cycles: int = 0,
+    ) -> WrapperInstance:
+        """Attach an agent (PE or another segment) to a segment via a wrapper.
+
+        Attaching a segment to a segment makes one of them a bridge hop:
+        transfers may cross between them.
+        """
+        agent_part = self._agent_part(agent_name)
+        segment = self._segment(segment_name)
+        if address is None:
+            address = self._next_address
+            self._next_address += 0x100
+        for wrapper in self.wrappers:
+            if wrapper.spec.address == address:
+                raise ModelError(
+                    f"wrapper address {address:#x} already used by "
+                    f"{wrapper.agent_name!r}"
+                )
+            if (
+                wrapper.agent_name == agent_name
+                and wrapper.segment_name == segment_name
+            ):
+                raise ModelError(
+                    f"{agent_name!r} is already attached to {segment_name!r}"
+                )
+        spec = WrapperSpec(
+            address=address,
+            tx_buffer_words=tx_buffer_words,
+            rx_buffer_words=rx_buffer_words,
+            priority_class=priority_class,
+            max_reservation_cycles=max_reservation_cycles,
+        )
+        dependency = Dependency(
+            f"{agent_name}_on_{segment_name}",
+            client=agent_part,
+            supplier=segment.part,
+        )
+        self.package.add(dependency)
+        stereotype = (
+            HIBI_WRAPPER
+            if self.profile.stereotype(HIBI_WRAPPER) is not None
+            else "PlatformCommunicationWrapper"
+        )
+        tags = {
+            "Address": address,
+            "BufferSize": tx_buffer_words,
+            "MaxTime": max_reservation_cycles,
+        }
+        if stereotype == HIBI_WRAPPER:
+            tags["TxBufferSize"] = tx_buffer_words
+            tags["RxBufferSize"] = rx_buffer_words
+            tags["PriorityClass"] = priority_class
+        self.profile.apply(dependency, stereotype, **tags)
+        wrapper = WrapperInstance(dependency, agent_name, segment_name, spec)
+        self.wrappers.append(wrapper)
+        return wrapper
+
+    def _agent_part(self, agent_name: str) -> Property:
+        if agent_name in self.processing_elements:
+            return self.processing_elements[agent_name].part
+        if agent_name in self.segments:
+            return self.segments[agent_name].part
+        raise ModelError(f"platform has no agent named {agent_name!r}")
+
+    def _segment(self, name: str) -> SegmentInstance:
+        try:
+            return self.segments[name]
+        except KeyError:
+            raise ModelError(f"platform has no segment named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # topology queries
+    # ------------------------------------------------------------------
+
+    def pe(self, name: str) -> PEInstance:
+        try:
+            return self.processing_elements[name]
+        except KeyError:
+            raise ModelError(f"platform has no PE named {name!r}") from None
+
+    def wrapper_of(self, agent_name: str, segment_name: str) -> WrapperInstance:
+        for wrapper in self.wrappers:
+            if (
+                wrapper.agent_name == agent_name
+                and wrapper.segment_name == segment_name
+            ):
+                return wrapper
+        raise ModelError(
+            f"no wrapper attaches {agent_name!r} to {segment_name!r}"
+        )
+
+    def segments_of(self, agent_name: str) -> List[str]:
+        """Segments an agent is (directly) attached to."""
+        return [
+            w.segment_name for w in self.wrappers if w.agent_name == agent_name
+        ]
+
+    def agents_on(self, segment_name: str) -> List[str]:
+        """Agents (PEs and segments) attached to ``segment_name``."""
+        return [
+            w.agent_name for w in self.wrappers if w.segment_name == segment_name
+        ]
+
+    def _adjacency(self) -> Dict[str, List[str]]:
+        """Undirected node graph over PEs and segments (wrappers are edges)."""
+        graph: Dict[str, List[str]] = {}
+        for wrapper in self.wrappers:
+            graph.setdefault(wrapper.agent_name, []).append(wrapper.segment_name)
+            graph.setdefault(wrapper.segment_name, []).append(wrapper.agent_name)
+        return graph
+
+    def transfer_path(self, source_pe: str, target_pe: str) -> List[str]:
+        """Segment names a transfer crosses between two PEs (BFS, fewest hops).
+
+        Returns an empty list for a PE talking to itself.  Raises
+        :class:`MappingError` when the PEs are not connected.
+        """
+        if source_pe == target_pe:
+            return []
+        self.pe(source_pe)
+        self.pe(target_pe)
+        graph = self._adjacency()
+        queue = deque([(source_pe, [])])
+        visited = {source_pe}
+        while queue:
+            node, path = queue.popleft()
+            for neighbor in graph.get(node, []):
+                if neighbor in visited:
+                    continue
+                next_path = path + [neighbor] if neighbor in self.segments else path
+                if neighbor == target_pe:
+                    return next_path
+                visited.add(neighbor)
+                # Only segments forward traffic; a PE is never an intermediate hop.
+                if neighbor in self.segments:
+                    queue.append((neighbor, next_path))
+        raise MappingError(
+            f"no communication path between {source_pe!r} and {target_pe!r}"
+        )
+
+    def total_area(self) -> float:
+        return sum(pe.spec.area_mm2 for pe in self.processing_elements.values())
+
+    def total_power(self) -> float:
+        return sum(pe.spec.power_mw for pe in self.processing_elements.values())

@@ -1,0 +1,85 @@
+"""CSV export of profiling data — for spreadsheets and plotting tools.
+
+The paper's profiling report is a table in a document; downstream users
+usually want the raw numbers.  These helpers write the three core data
+sets (group execution, signal matrix, latency statistics) as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List
+
+from repro.profiling.analysis import ProfilingData
+
+
+def group_times_csv(data: ProfilingData) -> str:
+    """Table 4(a) as CSV: group, cycles, share, steps."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["group", "cycles", "share", "steps"])
+    for group in data.group_info.all_groups():
+        writer.writerow(
+            [
+                group,
+                data.group_cycles.get(group, 0),
+                f"{data.group_share(group):.6f}",
+                data.group_steps.get(group, 0),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def signal_matrix_csv(data: ProfilingData) -> str:
+    """Table 4(b) as CSV: one row per sender, one column per receiver."""
+    groups = data.group_info.all_groups()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["sender"] + groups)
+    for sender, counts in zip(groups, data.signal_matrix()):
+        writer.writerow([sender] + counts)
+    return buffer.getvalue()
+
+
+def process_transfers_csv(data: ProfilingData) -> str:
+    """Per-process transfers: sender, receiver, signals, plus cycles rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["sender", "receiver", "signals"])
+    for (sender, receiver), count in sorted(data.process_signals.items()):
+        writer.writerow([sender, receiver, count])
+    return buffer.getvalue()
+
+
+def latency_csv(data: ProfilingData) -> str:
+    """Per-signal delivery latency statistics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["signal", "count", "mean_latency_ps", "max_latency_ps"])
+    for signal in sorted(data.signal_latency):
+        stats = data.signal_latency[signal]
+        writer.writerow(
+            [signal, stats.count, f"{stats.mean_ps:.1f}", stats.max_ps]
+        )
+    return buffer.getvalue()
+
+
+def write_all_csv(data: ProfilingData, directory) -> List[str]:
+    """Write every CSV into ``directory``; returns the written paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    outputs = {
+        "group_times.csv": group_times_csv(data),
+        "signal_matrix.csv": signal_matrix_csv(data),
+        "process_transfers.csv": process_transfers_csv(data),
+        "latency.csv": latency_csv(data),
+    }
+    paths = []
+    for name, content in outputs.items():
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(content)
+        paths.append(path)
+    return paths

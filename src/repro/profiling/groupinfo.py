@@ -1,0 +1,96 @@
+"""Profiling stage 1: gather process-group information from the model.
+
+Paper Section 4.4: "First, the XML presentation of the UML 2.0 model is
+parsed to gather process group information from the model."  This module
+does exactly that — :func:`group_info_from_xmi` works on the serialised
+document; :func:`group_info_from_model` on an in-memory model (both walk
+the same stereotypes, so they agree by construction, which tests verify).
+
+Processes that belong to no process group are attributed to the
+``Environment`` pseudo-group, matching Table 4's Environment row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.uml.element import Element
+from repro.uml.profile import Profile
+from repro.uml.visitor import iter_tree
+from repro.uml.xmi import xml_to_model
+from repro.tutprofile import (
+    APPLICATION_PROCESS,
+    PROCESS_GROUP,
+    PROCESS_GROUPING,
+    TUT_PROFILE,
+)
+
+ENVIRONMENT_GROUP = "Environment"
+
+
+@dataclass
+class ProcessGroupInfo:
+    """Which process belongs to which group."""
+
+    process_to_group: Dict[str, str] = field(default_factory=dict)
+    group_names: List[str] = field(default_factory=list)
+
+    def group_of(self, process_name: str) -> str:
+        return self.process_to_group.get(process_name, ENVIRONMENT_GROUP)
+
+    def members(self, group_name: str) -> List[str]:
+        return sorted(
+            process
+            for process, group in self.process_to_group.items()
+            if group == group_name
+        )
+
+    def all_groups(self, include_environment: bool = True) -> List[str]:
+        """Group names in declaration order, optionally plus Environment."""
+        names = list(self.group_names)
+        if include_environment and ENVIRONMENT_GROUP not in names:
+            names.append(ENVIRONMENT_GROUP)
+        return names
+
+    @property
+    def process_count(self) -> int:
+        return len(self.process_to_group)
+
+
+def group_info_from_model(root: Element) -> ProcessGroupInfo:
+    """Collect group info by walking a model's stereotyped elements."""
+    info = ProcessGroupInfo()
+    groups: List[str] = []
+    processes: List[str] = []
+    groupings = []
+    for element in iter_tree(root):
+        if element.has_stereotype(PROCESS_GROUP):
+            name = getattr(element, "name", "")
+            if name and name not in groups:
+                groups.append(name)
+        if element.has_stereotype(APPLICATION_PROCESS):
+            name = getattr(element, "name", "")
+            if name:
+                processes.append(name)
+        if element.has_stereotype(PROCESS_GROUPING):
+            groupings.append(element)
+    info.group_names = groups
+    for process_name in processes:
+        info.process_to_group[process_name] = ENVIRONMENT_GROUP
+    for grouping in groupings:
+        if len(grouping.clients) == 1 and len(grouping.suppliers) == 1:
+            process_name = getattr(grouping.client, "name", "")
+            group_name = getattr(grouping.supplier, "name", "")
+            if process_name and group_name:
+                info.process_to_group[process_name] = group_name
+    return info
+
+
+def group_info_from_xmi(
+    text: str, profiles: Optional[Sequence[Profile]] = None
+) -> ProcessGroupInfo:
+    """Parse an XMI document and collect group info from it (stage 1)."""
+    resolved = list(profiles) if profiles is not None else [TUT_PROFILE]
+    model = xml_to_model(text, profiles=resolved)
+    return group_info_from_model(model)

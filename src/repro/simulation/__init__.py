@@ -1,0 +1,68 @@
+"""Discrete-event simulation of TUT-Profile systems.
+
+The simulator plays the role of the paper's verification/simulation stage
+(Figure 2): it executes application EFSMs on the mapped platform (or on a
+workstation reference PE) and produces the simulation log-file consumed by
+the profiling tool.
+"""
+
+from repro.simulation.kernel import Kernel, PS_PER_MS, PS_PER_US, cycles_to_ps
+from repro.simulation.logfile import (
+    DropRecord,
+    ExecRecord,
+    LogFile,
+    LogWriter,
+    SignalRecord,
+    TRANSPORT_BUS,
+    TRANSPORT_ENV,
+    TRANSPORT_LOCAL,
+    parse_log,
+    read_log,
+)
+from repro.simulation.timing import (
+    CostModel,
+    StepCost,
+    WORKSTATION_SPEC,
+    timer_duration_ps,
+)
+from repro.simulation.executor import ProcessExecutor, SendIntent, StepOutcome
+from repro.simulation.bus import HibiBus, TransferStats
+from repro.simulation.system import SimulationResult, SystemSimulation
+from repro.simulation.reference import (
+    REFERENCE_PE,
+    build_reference_mapping,
+    build_reference_platform,
+    run_reference_simulation,
+)
+
+__all__ = [
+    "CostModel",
+    "DropRecord",
+    "ExecRecord",
+    "HibiBus",
+    "Kernel",
+    "LogFile",
+    "LogWriter",
+    "PS_PER_MS",
+    "PS_PER_US",
+    "ProcessExecutor",
+    "REFERENCE_PE",
+    "SendIntent",
+    "SignalRecord",
+    "SimulationResult",
+    "StepCost",
+    "StepOutcome",
+    "SystemSimulation",
+    "TRANSPORT_BUS",
+    "TRANSPORT_ENV",
+    "TRANSPORT_LOCAL",
+    "TransferStats",
+    "WORKSTATION_SPEC",
+    "build_reference_mapping",
+    "build_reference_platform",
+    "cycles_to_ps",
+    "parse_log",
+    "read_log",
+    "run_reference_simulation",
+    "timer_duration_ps",
+]

@@ -1,0 +1,191 @@
+"""HIBI bus simulation: segment occupancy, arbitration, bridged transfers.
+
+A transfer between PEs crosses the sequence of segments
+:meth:`~repro.platform.model.PlatformModel.transfer_path` returns,
+store-and-forward at bridge boundaries (HIBI bridges buffer a burst before
+re-arbitrating on the next segment).  Each segment grants pending requests
+by its arbitration policy:
+
+* ``priority`` — lowest wrapper ``PriorityClass`` wins, FIFO among equals;
+* ``round-robin`` — rotate over wrapper addresses, starting after the last
+  served address.
+
+A wrapper's ``MaxTime`` (maximum segment reservation) splits long transfers
+into chunks, each paying arbitration again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.platform.components import SegmentSpec, WrapperSpec
+from repro.platform.model import PlatformModel
+from repro.simulation.kernel import Kernel, cycles_to_ps
+
+
+@dataclass
+class TransferStats:
+    """Aggregate bus statistics, per segment."""
+
+    transfers: int = 0
+    words: int = 0
+    busy_ps: int = 0
+    wait_ps: int = 0
+
+
+@dataclass
+class _Transfer:
+    path: List[str]                   # remaining segments to cross
+    agents: List[str]                 # agent requesting each remaining hop
+    size_bytes: int
+    on_complete: Callable[[int], None]  # called with total latency (ps)
+    started_ps: int = 0
+    enqueued_ps: int = 0
+
+
+class _SegmentRuntime:
+    def __init__(self, name: str, spec: SegmentSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self.busy = False
+        self.queue: List[tuple] = []  # (wrapper_spec, transfer)
+        self.last_served_address = -1
+        self.stats = TransferStats()
+
+
+class HibiBus:
+    """Cycle-approximate model of the platform's segmented interconnect."""
+
+    def __init__(self, platform: PlatformModel, kernel: Kernel) -> None:
+        self.platform = platform
+        self.kernel = kernel
+        self.segments: Dict[str, _SegmentRuntime] = {
+            name: _SegmentRuntime(name, instance.spec)
+            for name, instance in platform.segments.items()
+        }
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        source_pe: str,
+        target_pe: str,
+        size_bytes: int,
+        on_complete: Callable[[int], None],
+    ) -> None:
+        """Start a transfer; ``on_complete(latency_ps)`` fires on delivery."""
+        path = self.platform.transfer_path(source_pe, target_pe)
+        if not path:
+            raise SimulationError(
+                f"transfer {source_pe!r}->{target_pe!r} needs no bus; deliver "
+                "locally instead"
+            )
+        agents = [source_pe] + path[:-1]
+        transfer = _Transfer(
+            path=list(path),
+            agents=agents,
+            size_bytes=size_bytes,
+            on_complete=on_complete,
+            started_ps=self.kernel.now_ps,
+        )
+        self._request_next_hop(transfer)
+
+    def stats(self) -> Dict[str, TransferStats]:
+        return {name: runtime.stats for name, runtime in self.segments.items()}
+
+    def utilization(self, end_time_ps: int) -> Dict[str, float]:
+        """Fraction of time each segment was occupied."""
+        if end_time_ps <= 0:
+            return {name: 0.0 for name in self.segments}
+        return {
+            name: min(1.0, runtime.stats.busy_ps / end_time_ps)
+            for name, runtime in self.segments.items()
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _wrapper_between(self, agent: str, segment: str) -> WrapperSpec:
+        for wrapper in self.platform.wrappers:
+            if wrapper.agent_name == agent and wrapper.segment_name == segment:
+                return wrapper.spec
+            if wrapper.agent_name == segment and wrapper.segment_name == agent:
+                return wrapper.spec
+        raise SimulationError(f"no wrapper between {agent!r} and {segment!r}")
+
+    def _request_next_hop(self, transfer: _Transfer) -> None:
+        if not transfer.path:
+            latency = self.kernel.now_ps - transfer.started_ps
+            transfer.on_complete(latency)
+            return
+        segment_name = transfer.path[0]
+        agent = transfer.agents[0]
+        runtime = self.segments[segment_name]
+        wrapper = self._wrapper_between(agent, segment_name)
+        transfer.enqueued_ps = self.kernel.now_ps
+        runtime.queue.append((wrapper, transfer))
+        if not runtime.busy:
+            self._grant(runtime)
+
+    def _grant(self, runtime: _SegmentRuntime) -> None:
+        if runtime.busy or not runtime.queue:
+            return
+        index = self._select(runtime)
+        wrapper, transfer = runtime.queue.pop(index)
+        runtime.busy = True
+        runtime.last_served_address = wrapper.address
+        occupancy_cycles = self._occupancy_cycles(runtime.spec, wrapper, transfer)
+        duration_ps = cycles_to_ps(occupancy_cycles, runtime.spec.frequency_hz)
+        runtime.stats.transfers += 1
+        runtime.stats.words += runtime.spec.words_for_bytes(transfer.size_bytes)
+        runtime.stats.busy_ps += duration_ps
+        runtime.stats.wait_ps += self.kernel.now_ps - transfer.enqueued_ps
+        self.kernel.schedule(
+            duration_ps, lambda r=runtime, t=transfer: self._release(r, t)
+        )
+
+    def _release(self, runtime: _SegmentRuntime, transfer: _Transfer) -> None:
+        runtime.busy = False
+        transfer.path = transfer.path[1:]
+        transfer.agents = transfer.agents[1:]
+        self._request_next_hop(transfer)
+        self._grant(runtime)
+
+    def _select(self, runtime: _SegmentRuntime) -> int:
+        """Index into ``runtime.queue`` of the transfer to grant next."""
+        if runtime.spec.arbitration == "round-robin":
+            best_index = 0
+            best_key = None
+            for index, (wrapper, _) in enumerate(runtime.queue):
+                # distance ahead of the last served address, cyclically
+                distance = (wrapper.address - runtime.last_served_address) % (1 << 32)
+                if distance == 0:
+                    distance = 1 << 32
+                key = (distance, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = index
+            return best_index
+        # priority: lowest PriorityClass wins, FIFO among equals
+        best_index = 0
+        best_key = None
+        for index, (wrapper, _) in enumerate(runtime.queue):
+            key = (wrapper.priority_class, index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def _occupancy_cycles(
+        self, spec: SegmentSpec, wrapper: WrapperSpec, transfer: _Transfer
+    ) -> int:
+        transfer_cycles = spec.transfer_cycles(transfer.size_bytes)
+        chunks = 1
+        if wrapper.max_reservation_cycles > 0:
+            chunks = -(-transfer_cycles // wrapper.max_reservation_cycles)
+        return transfer_cycles + chunks * spec.arbitration_cycles

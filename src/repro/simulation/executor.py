@@ -1,0 +1,291 @@
+"""EFSM execution: run-to-completion steps over the state machine model.
+
+The executor is deliberately time-free: it computes *what happens* (state
+changes, statements executed, signals produced, timers armed) and leaves
+*when and how long* to the system simulator's cost model.  This split lets
+the same executor serve the full-platform simulation, the workstation
+reference run, and direct unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.uml.actions import ActionEnvironment, evaluate, execute
+from repro.uml.statemachine import (
+    CompletionTrigger,
+    SignalTrigger,
+    State,
+    StateMachine,
+    TimerTrigger,
+    Transition,
+)
+
+MAX_COMPLETION_CHAIN = 100
+
+
+@dataclass
+class SendIntent:
+    """A signal produced during a step, before routing."""
+
+    signal: str
+    args: Tuple[int, ...]
+    via: Optional[str]
+
+
+@dataclass
+class StepOutcome:
+    """Everything a run-to-completion step did."""
+
+    fired: bool = False
+    from_state: str = ""
+    to_state: str = ""
+    trigger: str = ""
+    statements: int = 0
+    guards_evaluated: int = 0
+    sends: List[SendIntent] = field(default_factory=list)
+    timers_set: List[Tuple[str, int]] = field(default_factory=list)
+    timers_reset: List[str] = field(default_factory=list)
+    timer_ops: List[Tuple[str, str, int]] = field(default_factory=list)
+    reached_final: bool = False
+
+
+class _StepEnvironment(ActionEnvironment):
+    """Binds a process's variables; collects sends and timer operations."""
+
+    def __init__(self, variables: Dict[str, int]) -> None:
+        super().__init__()
+        self.variables = variables  # shared reference: writes persist
+
+
+class ProcessExecutor:
+    """Runtime state of one application process (one EFSM instance)."""
+
+    def __init__(self, name: str, machine: StateMachine) -> None:
+        if machine.initial_state is None:
+            raise SimulationError(
+                f"machine {machine.name!r} of process {name!r} has no initial state"
+            )
+        self.name = name
+        self.machine = machine
+        self.variables: Dict[str, int] = dict(machine.variables)
+        self.current: Optional[State] = None
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # steps
+    # ------------------------------------------------------------------
+
+    def start(self) -> StepOutcome:
+        """Enter the initial state (entry actions + completion chasing).
+
+        A composite initial state is entered hierarchically: its entry
+        actions run, then the initial-substate chain's, innermost last.
+        """
+        if self.current is not None:
+            raise SimulationError(f"process {self.name!r} already started")
+        outcome = StepOutcome(fired=True, trigger="start")
+        environment = _StepEnvironment(self.variables)
+        initial = self.machine.initial_state
+        outcome.from_state = initial.name
+        outcome.statements += execute(initial.entry, environment)
+        node = initial
+        while node.initial_substate is not None:
+            node = node.initial_substate
+            outcome.statements += execute(node.entry, environment)
+        self.current = node
+        self._chase_completions(outcome, environment)
+        outcome.to_state = self.current.name
+        self._collect(outcome, environment)
+        return outcome
+
+    def consume_signal(
+        self, signal_name: str, args: Sequence[int]
+    ) -> Tuple[Optional[StepOutcome], Optional[str]]:
+        """Consume one signal; returns (outcome, None) or (None, drop reason).
+
+        Transition lookup is hierarchical: the active leaf state is searched
+        first, then its enclosing composite states (innermost first).
+        """
+        self._require_running()
+        guards = 0
+        chosen: Optional[Transition] = None
+        chosen_params: Dict[str, int] = {}
+        saw_trigger = False
+        for source in [self.current] + self.current.ancestors():
+            for transition in self.machine.outgoing(source):
+                trigger = transition.trigger
+                if not isinstance(trigger, SignalTrigger):
+                    continue
+                if trigger.signal_name != signal_name:
+                    continue
+                saw_trigger = True
+                params = self._bind_parameters(trigger, args)
+                if transition.guard is not None:
+                    guards += 1
+                    if not self._guard_holds(transition.guard, params):
+                        continue
+                chosen = transition
+                chosen_params = params
+                break
+            if chosen is not None:
+                break
+        if chosen is None:
+            reason = "guards-false" if saw_trigger else "no-transition"
+            return None, reason
+        outcome = self._fire(chosen, chosen_params, f"{signal_name}")
+        outcome.guards_evaluated += guards
+        return outcome, None
+
+    def fire_timer(self, timer_name: str) -> Tuple[Optional[StepOutcome], Optional[str]]:
+        """Handle a timer expiry; returns (outcome, None) or (None, reason)."""
+        self._require_running()
+        guards = 0
+        for source in [self.current] + self.current.ancestors():
+            for transition in self.machine.outgoing(source):
+                trigger = transition.trigger
+                if not isinstance(trigger, TimerTrigger):
+                    continue
+                if trigger.timer_name != timer_name:
+                    continue
+                if transition.guard is not None:
+                    guards += 1
+                    if not self._guard_holds(transition.guard, {}):
+                        continue
+                outcome = self._fire(transition, {}, f"timer:{timer_name}")
+                outcome.guards_evaluated += guards
+                return outcome, None
+        return None, "no-transition"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_running(self) -> None:
+        if self.current is None:
+            raise SimulationError(f"process {self.name!r} was never started")
+        if self.terminated:
+            raise SimulationError(f"process {self.name!r} has terminated")
+
+    def _bind_parameters(
+        self, trigger: SignalTrigger, args: Sequence[int]
+    ) -> Dict[str, int]:
+        names = trigger.parameter_names
+        if len(args) < len(names):
+            raise SimulationError(
+                f"signal {trigger.signal_name!r} delivered {len(args)} argument(s) "
+                f"but process {self.name!r} binds {len(names)}"
+            )
+        return dict(zip(names, args))
+
+    def _guard_holds(self, guard, params: Dict[str, int]) -> bool:
+        environment = _StepEnvironment(self.variables)
+        environment.parameters = params
+        return bool(evaluate(guard, environment))
+
+    def _fire(
+        self, transition: Transition, params: Dict[str, int], trigger_desc: str
+    ) -> StepOutcome:
+        outcome = StepOutcome(
+            fired=True,
+            from_state=self.current.name,
+            trigger=trigger_desc,
+        )
+        environment = _StepEnvironment(self.variables)
+        environment.parameters = params
+        if transition.internal:
+            # Internal transition: effect only, no exit/entry, stay in state.
+            outcome.statements += execute(transition.effect, environment)
+        else:
+            self._take(transition, outcome, environment)
+            environment.parameters = {}
+            if self.terminated:
+                pass
+            else:
+                self._chase_completions(outcome, environment)
+        outcome.to_state = self.current.name
+        self._collect(outcome, environment)
+        return outcome
+
+    def _take(
+        self, transition: Transition, outcome: StepOutcome, environment
+    ) -> None:
+        """Perform a non-internal transition: hierarchical exit, effect,
+        hierarchical entry, initial-substate descent."""
+        target = transition.target
+        lca = self._least_common_ancestor(transition.source, target)
+        # exit from the active leaf upward to (exclusive) the LCA
+        node = self.current
+        while node is not None and node is not lca:
+            outcome.statements += execute(node.exit, environment)
+            node = node.parent
+        outcome.statements += execute(transition.effect, environment)
+        # enter from below the LCA down to the target
+        for state in target.path_from_root():
+            if lca is not None and (state is lca or not lca.contains(state)):
+                continue  # the LCA and anything above it were never exited
+            outcome.statements += execute(state.entry, environment)
+        # ... and descend the initial-substate chain
+        node = target
+        while node.initial_substate is not None:
+            node = node.initial_substate
+            outcome.statements += execute(node.entry, environment)
+        self.current = node
+        if self.current.is_final and self.current.parent is None:
+            self.terminated = True
+
+    @staticmethod
+    def _least_common_ancestor(source, target):
+        """Innermost state containing both ends (None = machine root)."""
+        source_chain = set(id(s) for s in source.ancestors())
+        node = target.parent
+        while node is not None:
+            if id(node) in source_chain:
+                return node
+            node = node.parent
+        return None
+
+    def _chase_completions(
+        self, outcome: StepOutcome, environment: _StepEnvironment
+    ) -> None:
+        """Follow enabled completion transitions until none fires.
+
+        Completion transitions of the active leaf are considered first,
+        then those of its enclosing composite states.
+        """
+        environment.parameters = {}
+        for _ in range(MAX_COMPLETION_CHAIN):
+            fired = False
+            for source in [self.current] + self.current.ancestors():
+                for transition in self.machine.outgoing(source):
+                    if not isinstance(transition.trigger, CompletionTrigger):
+                        continue
+                    if transition.guard is not None:
+                        outcome.guards_evaluated += 1
+                        if not self._guard_holds(transition.guard, {}):
+                            continue
+                    self._take(transition, outcome, environment)
+                    fired = True
+                    if self.terminated:
+                        return
+                    break
+                if fired:
+                    break
+            if not fired:
+                return
+        raise SimulationError(
+            f"process {self.name!r} chained more than {MAX_COMPLETION_CHAIN} "
+            "completion transitions (livelock in the model?)"
+        )
+
+    def _collect(self, outcome: StepOutcome, environment: _StepEnvironment) -> None:
+        outcome.sends.extend(
+            SendIntent(signal, tuple(args), via)
+            for signal, args, via in environment.sent
+        )
+        outcome.timers_set.extend(environment.timers_set)
+        outcome.timers_reset.extend(environment.timers_reset)
+        outcome.timer_ops.extend(environment.timer_ops)
+        outcome.reached_final = self.terminated

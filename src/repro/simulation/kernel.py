@@ -1,0 +1,97 @@
+"""Deterministic discrete-event kernel.
+
+Time is integer **picoseconds** so all PE/bus clock periods divide evenly
+(a 50 MHz cycle is exactly 20 000 ps).  Events at equal times fire in
+scheduling order (a monotonic sequence number breaks ties), which makes
+every simulation run bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+
+
+def cycles_to_ps(cycles: int, frequency_hz: int) -> int:
+    """Duration of ``cycles`` clock cycles, in picoseconds."""
+    if frequency_hz <= 0:
+        raise SimulationError("frequency must be positive")
+    return (cycles * 1_000_000_000_000) // frequency_hz
+
+
+class Event:
+    """A scheduled callback; cancel by setting ``cancelled``."""
+
+    __slots__ = ("time_ps", "sequence", "callback", "cancelled")
+
+    def __init__(self, time_ps: int, sequence: int, callback: Callable[[], None]) -> None:
+        self.time_ps = time_ps
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ps, self.sequence) < (other.time_ps, other.sequence)
+
+
+class Kernel:
+    """Event heap with a current time and a hard event budget."""
+
+    def __init__(self, max_events: int = 5_000_000) -> None:
+        self.now_ps: int = 0
+        self.max_events = max_events
+        self._heap: list = []
+        self._sequence = 0
+        self._dispatched = 0
+
+    def schedule(self, delay_ps: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay_ps`` after the current time."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay_ps} ps)")
+        self._sequence += 1
+        event = Event(self.now_ps + delay_ps, self._sequence, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
+        return self.schedule(time_ps - self.now_ps, callback)
+
+    def cancel(self, event: Event) -> None:
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def run(self, until_ps: Optional[int] = None) -> int:
+        """Dispatch events in order until the heap drains or ``until_ps``.
+
+        Returns the number of dispatched events.  The kernel clock is left
+        at ``until_ps`` (if given) or at the last event time.
+        """
+        dispatched = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ps is not None and event.time_ps > until_ps:
+                break
+            heapq.heappop(self._heap)
+            self.now_ps = event.time_ps
+            event.callback()
+            dispatched += 1
+            self._dispatched += 1
+            if self._dispatched > self.max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self.max_events} events); "
+                    "runaway model?"
+                )
+        if until_ps is not None and until_ps > self.now_ps:
+            self.now_ps = until_ps
+        return dispatched

@@ -1,0 +1,249 @@
+"""The simulation log-file: the artefact joining simulation and profiling.
+
+Paper Figure 2: code generation inserts "custom C functions to create
+simulation log-file during simulations"; the profiling tool later combines
+"the profiling data in the simulation log-file and the process group
+information".  This module defines that interchange format.
+
+The format is line-oriented text (one record per line, ``key=value``
+fields), so it diffs well and any log line can be grepped:
+
+    TUTLOG 1
+    META key=value
+    EXEC time=<ps> process=<name> pe=<pe> cycles=<n> duration=<ps> \
+         from=<state> to=<state> trigger=<desc>
+    SIG time=<ps> signal=<name> sender=<proc> receiver=<proc> bytes=<n> \
+        latency=<ps> transport=<local|bus|env>
+    DROP time=<ps> process=<name> signal=<name> reason=<text>
+    END time=<ps> events=<n>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import SimulationError
+
+MAGIC = "TUTLOG 1"
+
+TRANSPORT_LOCAL = "local"
+TRANSPORT_BUS = "bus"
+TRANSPORT_ENV = "env"
+
+
+@dataclass(frozen=True)
+class ExecRecord:
+    """One run-to-completion step of a process on a PE."""
+
+    time_ps: int
+    process: str
+    pe: str
+    cycles: int
+    duration_ps: int
+    from_state: str
+    to_state: str
+    trigger: str
+
+    def render(self) -> str:
+        return (
+            f"EXEC time={self.time_ps} process={self.process} pe={self.pe} "
+            f"cycles={self.cycles} duration={self.duration_ps} "
+            f"from={self.from_state} to={self.to_state} trigger={self.trigger}"
+        )
+
+
+@dataclass(frozen=True)
+class SignalRecord:
+    """One delivered signal instance."""
+
+    time_ps: int
+    signal: str
+    sender: str
+    receiver: str
+    bytes: int
+    latency_ps: int
+    transport: str
+
+    def render(self) -> str:
+        return (
+            f"SIG time={self.time_ps} signal={self.signal} sender={self.sender} "
+            f"receiver={self.receiver} bytes={self.bytes} "
+            f"latency={self.latency_ps} transport={self.transport}"
+        )
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """A signal consumed without firing any transition."""
+
+    time_ps: int
+    process: str
+    signal: str
+    reason: str
+
+    def render(self) -> str:
+        return (
+            f"DROP time={self.time_ps} process={self.process} "
+            f"signal={self.signal} reason={self.reason}"
+        )
+
+
+LogRecord = Union[ExecRecord, SignalRecord, DropRecord]
+
+
+class LogWriter:
+    """Accumulates records and renders/writes the log file."""
+
+    def __init__(self, meta: Optional[Dict[str, str]] = None) -> None:
+        self.meta: Dict[str, str] = dict(meta or {})
+        self.records: List[LogRecord] = []
+        self.end_time_ps = 0
+
+    def exec_step(self, **kwargs) -> None:
+        self.records.append(ExecRecord(**kwargs))
+
+    def signal(self, **kwargs) -> None:
+        self.records.append(SignalRecord(**kwargs))
+
+    def drop(self, **kwargs) -> None:
+        self.records.append(DropRecord(**kwargs))
+
+    def finish(self, end_time_ps: int) -> None:
+        self.end_time_ps = end_time_ps
+
+    def render(self) -> str:
+        lines = [MAGIC]
+        for key in sorted(self.meta):
+            value = str(self.meta[key]).replace("\n", " ")
+            lines.append(f"META {key}={value}")
+        lines.extend(record.render() for record in self.records)
+        lines.append(f"END time={self.end_time_ps} events={len(self.records)}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+
+class LogFile:
+    """A parsed simulation log."""
+
+    def __init__(
+        self,
+        meta: Dict[str, str],
+        records: List[LogRecord],
+        end_time_ps: int,
+    ) -> None:
+        self.meta = meta
+        self.records = records
+        self.end_time_ps = end_time_ps
+
+    @property
+    def exec_records(self) -> List[ExecRecord]:
+        return [r for r in self.records if isinstance(r, ExecRecord)]
+
+    @property
+    def signal_records(self) -> List[SignalRecord]:
+        return [r for r in self.records if isinstance(r, SignalRecord)]
+
+    @property
+    def drop_records(self) -> List[DropRecord]:
+        return [r for r in self.records if isinstance(r, DropRecord)]
+
+    def cycles_by_process(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for record in self.exec_records:
+            totals[record.process] = totals.get(record.process, 0) + record.cycles
+        return totals
+
+    def signal_counts(self) -> Dict[tuple, int]:
+        """(sender, receiver) -> number of delivered signals."""
+        counts: Dict[tuple, int] = {}
+        for record in self.signal_records:
+            key = (record.sender, record.receiver)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _parse_fields(line: str, start: int) -> Dict[str, str]:
+    fields: Dict[str, str] = {}
+    for token in line.split()[start:]:
+        key, _, value = token.partition("=")
+        fields[key] = value
+    return fields
+
+
+def parse_log(text: str) -> LogFile:
+    """Parse a log file's text; raises :class:`SimulationError` on bad input."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise SimulationError(f"not a simulation log (expected {MAGIC!r} header)")
+    meta: Dict[str, str] = {}
+    records: List[LogRecord] = []
+    end_time_ps = 0
+    saw_end = False
+    for number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        kind = line.split(None, 1)[0]
+        try:
+            if kind == "META":
+                fields = _parse_fields(line, 1)
+                meta.update(fields)
+            elif kind == "EXEC":
+                f = _parse_fields(line, 1)
+                records.append(
+                    ExecRecord(
+                        time_ps=int(f["time"]),
+                        process=f["process"],
+                        pe=f["pe"],
+                        cycles=int(f["cycles"]),
+                        duration_ps=int(f["duration"]),
+                        from_state=f["from"],
+                        to_state=f["to"],
+                        trigger=f["trigger"],
+                    )
+                )
+            elif kind == "SIG":
+                f = _parse_fields(line, 1)
+                records.append(
+                    SignalRecord(
+                        time_ps=int(f["time"]),
+                        signal=f["signal"],
+                        sender=f["sender"],
+                        receiver=f["receiver"],
+                        bytes=int(f["bytes"]),
+                        latency_ps=int(f["latency"]),
+                        transport=f["transport"],
+                    )
+                )
+            elif kind == "DROP":
+                f = _parse_fields(line, 1)
+                records.append(
+                    DropRecord(
+                        time_ps=int(f["time"]),
+                        process=f["process"],
+                        signal=f["signal"],
+                        reason=f["reason"],
+                    )
+                )
+            elif kind == "END":
+                f = _parse_fields(line, 1)
+                end_time_ps = int(f["time"])
+                saw_end = True
+            else:
+                raise SimulationError(f"unknown record kind {kind!r}")
+        except (KeyError, ValueError) as exc:
+            raise SimulationError(
+                f"malformed log line {number}: {line!r} ({exc})"
+            ) from exc
+    if not saw_end:
+        raise SimulationError("log file is truncated (no END record)")
+    return LogFile(meta, records, end_time_ps)
+
+
+def read_log(path) -> LogFile:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_log(handle.read())

@@ -1,0 +1,64 @@
+"""Workstation reference simulation (paper Section 4.4).
+
+"The performance information is gathered with simulations on a reference
+platform, such as a PC workstation."  Table 4 was measured this way: the
+whole TUTMAC application runs on one workstation processor, and the
+profiling report shows per-group cycle shares and inter-group signalling.
+
+:func:`run_reference_simulation` builds a throwaway single-PE platform
+around :data:`~repro.simulation.timing.WORKSTATION_SPEC`, maps every
+process group onto it, and runs the normal system simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.application.model import ApplicationModel
+from repro.mapping.model import MappingModel
+from repro.platform.library import PlatformLibrary
+from repro.platform.model import PlatformModel
+from repro.simulation.system import SimulationResult, SystemSimulation
+from repro.simulation.timing import WORKSTATION_SPEC
+
+REFERENCE_PE = "workstation"
+
+
+def build_reference_platform(profile=None) -> PlatformModel:
+    """A platform with exactly one workstation-class PE."""
+    library = PlatformLibrary("ReferenceLibrary", profile=profile)
+    library.add_processing_element(WORKSTATION_SPEC)
+    platform = PlatformModel("WorkstationReference", library, profile=profile)
+    platform.instantiate(REFERENCE_PE, WORKSTATION_SPEC.name)
+    return platform
+
+
+def build_reference_mapping(
+    application: ApplicationModel, platform: Optional[PlatformModel] = None
+) -> MappingModel:
+    """Map every process group of ``application`` onto the workstation PE."""
+    if platform is None:
+        platform = build_reference_platform(profile=application.profile)
+    mapping = MappingModel(
+        application, platform, view_name="ReferenceMappingView"
+    )
+    for group_name in application.groups:
+        if application.processes_in(group_name):
+            mapping.map(group_name, REFERENCE_PE)
+    return mapping
+
+
+def run_reference_simulation(
+    application: ApplicationModel,
+    duration_us: int,
+    max_events: int = 5_000_000,
+) -> SimulationResult:
+    """Run ``application`` on the workstation reference for ``duration_us``."""
+    platform = build_reference_platform(profile=application.profile)
+    mapping = build_reference_mapping(application, platform)
+    simulation = SystemSimulation(
+        application, platform, mapping, max_events=max_events
+    )
+    result = simulation.run(duration_us)
+    result.writer.meta["reference"] = "workstation"
+    return result

@@ -1,0 +1,437 @@
+"""Full-system simulation: application × platform × mapping → log-file.
+
+This is the executable stand-in for the paper's "Simulation" box in
+Figure 2: application processes run as EFSMs on their mapped processing
+elements (non-preemptive priority scheduling per PE), signals between PEs
+cross the HIBI bus model, and everything is recorded in the simulation
+log-file the profiling tool consumes.
+
+Environment (testbench) processes execute outside the platform with zero
+cycle cost — the paper's Table 4 reports the Environment row at 0 cycles.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.application.model import ApplicationModel
+from repro.mapping.model import MappingModel
+from repro.platform.model import PlatformModel
+from repro.simulation.bus import HibiBus, TransferStats
+from repro.simulation.executor import ProcessExecutor, SendIntent, StepOutcome
+from repro.simulation.kernel import Kernel, PS_PER_US, cycles_to_ps
+from repro.simulation.logfile import (
+    LogFile,
+    LogWriter,
+    TRANSPORT_BUS,
+    TRANSPORT_ENV,
+    TRANSPORT_LOCAL,
+    parse_log,
+)
+from repro.simulation.timing import CostModel, timer_duration_ps
+
+ENVIRONMENT_PE = "-"
+
+
+@dataclass
+class _Activation:
+    """A pending reason to run a process: start, signal, or timer."""
+
+    kind: str  # 'start' | 'signal' | 'timer'
+    process: str
+    signal: str = ""
+    args: Tuple[int, ...] = ()
+    timer: str = ""
+    sender: str = ""
+    sent_ps: int = 0
+    transport: str = TRANSPORT_LOCAL
+    bytes: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "signal":
+            return self.signal
+        if self.kind == "timer":
+            return f"timer:{self.timer}"
+        return "start"
+
+
+class _PERuntime:
+    """Non-preemptive scheduler for one processing element.
+
+    The ready-queue policy comes from the PE's «PlatformRtos» stereotype
+    (paper future work): ``priority`` (default), ``fifo``, or
+    ``round-robin`` over the mapped processes.  ``dispatch_overhead``
+    cycles are charged per step when an RTOS is configured.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cost_model: CostModel,
+        policy: str = "priority",
+        dispatch_overhead_cycles: int = 0,
+        tick_period_us: int = 0,
+    ) -> None:
+        self.name = name
+        self.cost_model = cost_model
+        self.policy = policy
+        self.dispatch_overhead_cycles = dispatch_overhead_cycles
+        self.tick_period_us = tick_period_us
+        self.ready: List[tuple] = []  # (seq, priority, activation)
+        self.busy = False
+        self.busy_ps = 0
+        self.last_process: Optional[str] = None
+        self._seq = 0
+
+    def enqueue(self, activation: _Activation, priority: int) -> None:
+        self._seq += 1
+        self.ready.append((self._seq, priority, activation))
+
+    def pop(self) -> Optional[_Activation]:
+        if not self.ready:
+            return None
+        if self.policy == "fifo":
+            index = min(range(len(self.ready)), key=lambda i: self.ready[i][0])
+        elif self.policy == "round-robin":
+            index = self._round_robin_index()
+        else:  # priority: highest priority, FIFO among equals
+            index = min(
+                range(len(self.ready)),
+                key=lambda i: (-self.ready[i][1], self.ready[i][0]),
+            )
+        return self.ready.pop(index)[2]
+
+    def _round_robin_index(self) -> int:
+        """The earliest entry of the 'next' process after the last served."""
+        names = sorted({entry[2].process for entry in self.ready})
+        if self.last_process is not None:
+            after = [n for n in names if n > self.last_process]
+            next_name = after[0] if after else names[0]
+        else:
+            next_name = names[0]
+        candidates = [
+            (entry[0], i)
+            for i, entry in enumerate(self.ready)
+            if entry[2].process == next_name
+        ]
+        return min(candidates)[1]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    writer: LogWriter
+    end_time_ps: int
+    dispatched_events: int
+    pe_busy_ps: Dict[str, int]
+    bus_stats: Dict[str, TransferStats]
+    dropped_signals: int
+    _parsed: Optional[LogFile] = field(default=None, repr=False)
+
+    @property
+    def log(self) -> LogFile:
+        if self._parsed is None:
+            self._parsed = parse_log(self.writer.render())
+        return self._parsed
+
+    def pe_utilization(self) -> Dict[str, float]:
+        if self.end_time_ps <= 0:
+            return {pe: 0.0 for pe in self.pe_busy_ps}
+        return {
+            pe: min(1.0, busy / self.end_time_ps)
+            for pe, busy in self.pe_busy_ps.items()
+        }
+
+    def total_cycles(self) -> int:
+        return sum(self.log.cycles_by_process().values())
+
+
+class SystemSimulation:
+    """Executes an application mapped onto a platform."""
+
+    def __init__(
+        self,
+        application: ApplicationModel,
+        platform: PlatformModel,
+        mapping: MappingModel,
+        max_events: int = 5_000_000,
+    ) -> None:
+        mapping.check_complete()
+        self.application = application
+        self.platform = platform
+        self.mapping = mapping
+        self.kernel = Kernel(max_events=max_events)
+        self.bus = HibiBus(platform, self.kernel)
+        self.writer = LogWriter(
+            meta={
+                "application": application.top.name,
+                "platform": platform.top.name,
+            }
+        )
+        self.pe_runtimes: Dict[str, _PERuntime] = {
+            name: _PERuntime(
+                name,
+                CostModel(instance.spec),
+                policy=instance.scheduling_policy(),
+                dispatch_overhead_cycles=instance.dispatch_overhead_cycles(),
+                tick_period_us=instance.tick_period_us(),
+            )
+            for name, instance in platform.processing_elements.items()
+        }
+        self.executors: Dict[str, ProcessExecutor] = {}
+        self.pe_of_process: Dict[str, Optional[str]] = {}
+        for name, process in application.processes.items():
+            self.executors[name] = ProcessExecutor(name, process.behavior)
+            if process.is_environment:
+                self.pe_of_process[name] = None
+            else:
+                pe_name = mapping.pe_of_process(name)
+                if pe_name is None:
+                    raise SimulationError(
+                        f"process {name!r} has no platform mapping"
+                    )
+                self.pe_of_process[name] = pe_name
+        self.timers: Dict[Tuple[str, str], object] = {}
+        self.dropped = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self, duration_us: int) -> SimulationResult:
+        """Run for ``duration_us`` microseconds of simulated time."""
+        if self._started:
+            raise SimulationError("a SystemSimulation instance runs only once")
+        self._started = True
+        # canonical start order (name-sorted): the same design produces the
+        # same log regardless of model construction or reload order
+        for name in sorted(self.application.processes):
+            activation = _Activation(kind="start", process=name)
+            self.kernel.schedule(0, lambda a=activation: self._deliver(a))
+        dispatched = self.kernel.run(until_ps=duration_us * PS_PER_US)
+        end = self.kernel.now_ps
+        self.writer.finish(end)
+        return SimulationResult(
+            writer=self.writer,
+            end_time_ps=end,
+            dispatched_events=dispatched,
+            pe_busy_ps={n: r.busy_ps for n, r in self.pe_runtimes.items()},
+            bus_stats=self.bus.stats(),
+            dropped_signals=self.dropped,
+        )
+
+    # ------------------------------------------------------------------
+    # activation delivery and execution
+    # ------------------------------------------------------------------
+
+    def _deliver(self, activation: _Activation) -> None:
+        """An activation arrives at its process (kernel time = arrival)."""
+        if activation.kind == "signal":
+            self.writer.signal(
+                time_ps=self.kernel.now_ps,
+                signal=activation.signal,
+                sender=activation.sender,
+                receiver=activation.process,
+                bytes=activation.bytes,
+                latency_ps=self.kernel.now_ps - activation.sent_ps,
+                transport=activation.transport,
+            )
+        pe_name = self.pe_of_process[activation.process]
+        if pe_name is None:
+            self._run_environment_step(activation)
+            return
+        runtime = self.pe_runtimes[pe_name]
+        priority = self.application.find_process(activation.process).priority()
+        runtime.enqueue(activation, priority)
+        if not runtime.busy:
+            self._start_next(runtime)
+
+    def _start_next(self, runtime: _PERuntime) -> None:
+        """Pop ready activations until one fires a step or the queue drains."""
+        while not runtime.busy:
+            activation = runtime.pop()
+            if activation is None:
+                return
+            executor = self.executors[activation.process]
+            if executor.terminated:
+                continue
+            outcome, reason = self._execute(executor, activation)
+            if outcome is None:
+                self.dropped += 1
+                self.writer.drop(
+                    time_ps=self.kernel.now_ps,
+                    process=activation.process,
+                    signal=activation.describe(),
+                    reason=reason or "no-transition",
+                )
+                continue
+            process = self.application.find_process(activation.process)
+            cost = runtime.cost_model.step_cost(
+                process_type=process.process_type(),
+                statements=outcome.statements,
+                guards_evaluated=outcome.guards_evaluated,
+                sends=len(outcome.sends),
+                context_switch=(
+                    runtime.last_process is not None
+                    and runtime.last_process != activation.process
+                ),
+            )
+            cycles = cost.cycles + runtime.dispatch_overhead_cycles
+            duration_ps = cost.duration_ps + cycles_to_ps(
+                runtime.dispatch_overhead_cycles,
+                runtime.cost_model.spec.frequency_hz,
+            )
+            runtime.busy = True
+            runtime.last_process = activation.process
+            started_ps = self.kernel.now_ps
+            self.kernel.schedule(
+                duration_ps,
+                lambda r=runtime, a=activation, o=outcome, c=cycles, s=started_ps: (
+                    self._complete_step(r, a, o, c, s)
+                ),
+            )
+            return
+
+    def _execute(self, executor: ProcessExecutor, activation: _Activation):
+        if activation.kind == "start":
+            return executor.start(), None
+        if activation.kind == "signal":
+            return executor.consume_signal(activation.signal, activation.args)
+        if activation.kind == "timer":
+            self.timers.pop((activation.process, activation.timer), None)
+            return executor.fire_timer(activation.timer)
+        raise SimulationError(f"unknown activation kind {activation.kind!r}")
+
+    def _complete_step(
+        self,
+        runtime: _PERuntime,
+        activation: _Activation,
+        outcome: StepOutcome,
+        cycles: int,
+        started_ps: int,
+    ) -> None:
+        runtime.busy = False
+        # accrue busy time at completion so it equals the sum of logged
+        # step durations exactly (steps in flight at the horizon are not
+        # logged and not counted)
+        runtime.busy_ps += self.kernel.now_ps - started_ps
+        self.writer.exec_step(
+            time_ps=started_ps,
+            process=activation.process,
+            pe=runtime.name,
+            cycles=cycles,
+            duration_ps=self.kernel.now_ps - started_ps,
+            from_state=outcome.from_state,
+            to_state=outcome.to_state,
+            trigger=activation.describe(),
+        )
+        self._apply_outcome(activation.process, outcome)
+        self._start_next(runtime)
+
+    def _run_environment_step(self, activation: _Activation) -> None:
+        """Environment processes execute instantly at zero cycle cost."""
+        executor = self.executors[activation.process]
+        if executor.terminated:
+            return
+        outcome, reason = self._execute(executor, activation)
+        if outcome is None:
+            self.dropped += 1
+            self.writer.drop(
+                time_ps=self.kernel.now_ps,
+                process=activation.process,
+                signal=activation.describe(),
+                reason=reason or "no-transition",
+            )
+            return
+        self.writer.exec_step(
+            time_ps=self.kernel.now_ps,
+            process=activation.process,
+            pe=ENVIRONMENT_PE,
+            cycles=0,
+            duration_ps=0,
+            from_state=outcome.from_state,
+            to_state=outcome.to_state,
+            trigger=activation.describe(),
+        )
+        self._apply_outcome(activation.process, outcome)
+
+    # ------------------------------------------------------------------
+    # outcome side effects: timers and sends
+    # ------------------------------------------------------------------
+
+    def _apply_outcome(self, process_name: str, outcome: StepOutcome) -> None:
+        # timer operations replay in program order: a reset after a set
+        # cancels it, a second set re-arms (replacing the first)
+        for operation, timer_name, duration_us in outcome.timer_ops:
+            key = (process_name, timer_name)
+            previous = self.timers.pop(key, None)
+            if previous is not None:
+                self.kernel.cancel(previous)
+            if operation == "set":
+                activation = _Activation(
+                    kind="timer", process=process_name, timer=timer_name
+                )
+                delay_ps = timer_duration_ps(duration_us)
+                pe_name = self.pe_of_process.get(process_name)
+                if pe_name is not None:
+                    tick_us = self.pe_runtimes[pe_name].tick_period_us
+                    if tick_us > 0:
+                        # RTOS tick bounds timer resolution: round up
+                        tick_ps = timer_duration_ps(tick_us)
+                        delay_ps = -(-delay_ps // tick_ps) * tick_ps
+                self.timers[key] = self.kernel.schedule(
+                    delay_ps,
+                    lambda a=activation: self._deliver(a),
+                )
+        for intent in outcome.sends:
+            self._dispatch_send(process_name, intent)
+
+    def _dispatch_send(self, sender: str, intent: SendIntent) -> None:
+        receiver, _port = self.application.route(sender, intent.signal, intent.via)
+        signal = self.application.find_signal(intent.signal)
+        size = signal.size_bytes()
+        sender_pe = self.pe_of_process[sender]
+        receiver_pe = self.pe_of_process[receiver]
+        activation = _Activation(
+            kind="signal",
+            process=receiver,
+            signal=intent.signal,
+            args=intent.args,
+            sender=sender,
+            sent_ps=self.kernel.now_ps,
+            bytes=size,
+        )
+        if sender_pe is None or receiver_pe is None:
+            # Environment boundary: no platform transport involved.
+            activation.transport = TRANSPORT_ENV
+            self.kernel.schedule(0, lambda a=activation: self._deliver(a))
+        elif sender_pe == receiver_pe:
+            activation.transport = TRANSPORT_LOCAL
+            self.kernel.schedule(
+                self._receive_delay_ps(receiver_pe),
+                lambda a=activation: self._deliver(a),
+            )
+        else:
+            # Bus transport pays the wire latency plus the same receive
+            # cost a local delivery pays (wrapper -> CPU hand-off).
+            activation.transport = TRANSPORT_BUS
+            self.bus.transfer(
+                sender_pe,
+                receiver_pe,
+                size,
+                lambda _latency, a=activation, pe=receiver_pe: self.kernel.schedule(
+                    self._receive_delay_ps(pe), lambda: self._deliver(a)
+                ),
+            )
+
+    def _receive_delay_ps(self, pe_name: str) -> int:
+        runtime = self.pe_runtimes[pe_name]
+        return cycles_to_ps(
+            runtime.cost_model.receive_cost_cycles(),
+            runtime.cost_model.spec.frequency_hz,
+        )

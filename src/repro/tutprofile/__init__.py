@@ -1,0 +1,101 @@
+"""TUT-Profile: the paper's UML 2.0 profile (stereotypes, tags, rules).
+
+The module-level :data:`TUT_PROFILE` is the shared default instance,
+already extended with the HIBI specialisations of Section 4.2.  Call
+:func:`fresh_profile` for an isolated copy (e.g. to mutate in tests).
+"""
+
+from repro.tutprofile.stereotypes import (
+    ALL_STEREOTYPES,
+    APPLICATION,
+    APPLICATION_COMPONENT,
+    APPLICATION_PROCESS,
+    APPLICATION_STEREOTYPES,
+    MAPPING_STEREOTYPES,
+    PLATFORM,
+    PLATFORM_COMMUNICATION_SEGMENT,
+    PLATFORM_COMMUNICATION_WRAPPER,
+    PLATFORM_COMPONENT,
+    PLATFORM_COMPONENT_INSTANCE,
+    PLATFORM_MAPPING,
+    PLATFORM_STEREOTYPES,
+    PROCESS_GROUP,
+    PROCESS_GROUPING,
+    PROFILE_NAME,
+    build_tut_profile,
+)
+from repro.tutprofile.hibi import HIBI_SEGMENT, HIBI_STEREOTYPES, HIBI_WRAPPER, extend_with_hibi
+from repro.tutprofile.rtos import PLATFORM_RTOS, SchedulingPolicy, extend_with_rtos
+from repro.tutprofile.tags import (
+    Arbitration,
+    ComponentType,
+    ProcessType,
+    RealTimeType,
+    process_runs_on,
+)
+from repro.tutprofile.rules import check_design_rules
+from repro.tutprofile.summary import (
+    describe_stereotype,
+    profile_hierarchy_edges,
+    render_table1,
+    render_table2,
+    render_table3,
+    stereotype_summary_rows,
+    tagged_value_rows,
+)
+
+
+def fresh_profile(with_hibi: bool = True, with_rtos: bool = True):
+    """Build an isolated TUT-Profile instance."""
+    profile = build_tut_profile()
+    if with_hibi:
+        extend_with_hibi(profile)
+    if with_rtos:
+        extend_with_rtos(profile)
+    return profile
+
+
+#: Shared default profile instance (with HIBI specialisations).
+TUT_PROFILE = fresh_profile()
+
+__all__ = [
+    "ALL_STEREOTYPES",
+    "PLATFORM_RTOS",
+    "SchedulingPolicy",
+    "extend_with_rtos",
+    "APPLICATION",
+    "APPLICATION_COMPONENT",
+    "APPLICATION_PROCESS",
+    "APPLICATION_STEREOTYPES",
+    "Arbitration",
+    "ComponentType",
+    "HIBI_SEGMENT",
+    "HIBI_STEREOTYPES",
+    "HIBI_WRAPPER",
+    "MAPPING_STEREOTYPES",
+    "PLATFORM",
+    "PLATFORM_COMMUNICATION_SEGMENT",
+    "PLATFORM_COMMUNICATION_WRAPPER",
+    "PLATFORM_COMPONENT",
+    "PLATFORM_COMPONENT_INSTANCE",
+    "PLATFORM_MAPPING",
+    "PLATFORM_STEREOTYPES",
+    "PROCESS_GROUP",
+    "PROCESS_GROUPING",
+    "PROFILE_NAME",
+    "ProcessType",
+    "RealTimeType",
+    "TUT_PROFILE",
+    "build_tut_profile",
+    "check_design_rules",
+    "describe_stereotype",
+    "extend_with_hibi",
+    "fresh_profile",
+    "process_runs_on",
+    "profile_hierarchy_edges",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "stereotype_summary_rows",
+    "tagged_value_rows",
+]

@@ -1,0 +1,82 @@
+"""HIBI specialisations of the platform communication stereotypes.
+
+Paper Section 4.2: "For HIBI, the platform stereotypes are specialized …
+«HIBIWrapper» from «PlatformCommunicationWrapper», and «HIBISegment» from
+«PlatformCommunicationSegment».  The specialized information contains sizes
+of buffers, bus arbitration, and addressing."
+
+The specialisations inherit the base tags and add HIBI v2 specifics.
+"""
+
+from __future__ import annotations
+
+from repro.uml.profile import Profile, Stereotype, TagType
+from repro.tutprofile.stereotypes import (
+    PLATFORM_COMMUNICATION_SEGMENT,
+    PLATFORM_COMMUNICATION_WRAPPER,
+)
+
+HIBI_WRAPPER = "HIBIWrapper"
+HIBI_SEGMENT = "HIBISegment"
+
+HIBI_STEREOTYPES = (HIBI_WRAPPER, HIBI_SEGMENT)
+
+
+def extend_with_hibi(profile: Profile) -> Profile:
+    """Add the HIBI specialisations to an existing TUT-Profile instance."""
+    base_wrapper = profile.stereotype(PLATFORM_COMMUNICATION_WRAPPER)
+    base_segment = profile.stereotype(PLATFORM_COMMUNICATION_SEGMENT)
+    if base_wrapper is None or base_segment is None:
+        raise ValueError(
+            "profile lacks the base communication stereotypes; build it with "
+            "build_tut_profile() first"
+        )
+    if profile.stereotype(HIBI_WRAPPER) is not None:
+        return profile  # already extended
+
+    hibi_wrapper = Stereotype(
+        HIBI_WRAPPER,
+        metaclasses=(),
+        description="HIBI v2 wrapper connecting an agent to a HIBI segment",
+        specializes=base_wrapper,
+    )
+    hibi_wrapper.define_tag(
+        "TxBufferSize",
+        TagType.INT,
+        "Transmit buffer depth (words)",
+        default=8,
+    )
+    hibi_wrapper.define_tag(
+        "RxBufferSize",
+        TagType.INT,
+        "Receive buffer depth (words)",
+        default=8,
+    )
+    hibi_wrapper.define_tag(
+        "PriorityClass",
+        TagType.INT,
+        "HIBI arbitration priority class of this wrapper",
+        default=0,
+    )
+    profile.add_stereotype(hibi_wrapper)
+
+    hibi_segment = Stereotype(
+        HIBI_SEGMENT,
+        metaclasses=(),
+        description="HIBI v2 bus segment",
+        specializes=base_segment,
+    )
+    hibi_segment.define_tag(
+        "IsBridge",
+        TagType.BOOL,
+        "True when this segment bridges two other segments",
+        default=False,
+    )
+    hibi_segment.define_tag(
+        "BurstLength",
+        TagType.INT,
+        "Maximum burst length in words",
+        default=8,
+    )
+    profile.add_stereotype(hibi_segment)
+    return profile

@@ -1,0 +1,67 @@
+"""RTOS extension of TUT-Profile (the paper's announced future work).
+
+Paper Section 5: "In addition, real-time operating system will be used in
+system processors, which will also be accounted in the TUT-Profile."
+
+«PlatformRtos» annotates a «PlatformComponentInstance» with the operating
+system configuration of that processor:
+
+* ``Scheduling`` — the ready-queue policy: ``priority`` (the default
+  non-preemptive priority scheduling), ``fifo`` (arrival order), or
+  ``round-robin`` (fair rotation over the mapped processes);
+* ``DispatchOverhead`` — cycles the RTOS dispatcher adds to every
+  run-to-completion step;
+* ``TickPeriod`` — the RTOS tick in microseconds (bounds timer
+  resolution: timers round up to the next tick).
+
+The simulator honours all three (see
+:class:`repro.simulation.system.SystemSimulation`).
+"""
+
+from __future__ import annotations
+
+from repro.uml.profile import Profile, Stereotype, TagType
+
+PLATFORM_RTOS = "PlatformRtos"
+
+
+class SchedulingPolicy:
+    """Ready-queue policies of «PlatformRtos»."""
+
+    PRIORITY = "priority"
+    FIFO = "fifo"
+    ROUND_ROBIN = "round-robin"
+
+    ALL = (PRIORITY, FIFO, ROUND_ROBIN)
+
+
+def extend_with_rtos(profile: Profile) -> Profile:
+    """Add the «PlatformRtos» stereotype to a TUT-Profile instance."""
+    if profile.stereotype(PLATFORM_RTOS) is not None:
+        return profile
+    rtos = Stereotype(
+        PLATFORM_RTOS,
+        metaclasses=("Property", "InstanceSpecification"),
+        description="RTOS configuration of a platform component instance",
+    )
+    rtos.define_tag(
+        "Scheduling",
+        TagType.ENUM,
+        "Ready-queue scheduling policy",
+        enum_values=SchedulingPolicy.ALL,
+        default=SchedulingPolicy.PRIORITY,
+    )
+    rtos.define_tag(
+        "DispatchOverhead",
+        TagType.INT,
+        "Cycles the RTOS dispatcher adds per step",
+        default=0,
+    )
+    rtos.define_tag(
+        "TickPeriod",
+        TagType.INT,
+        "RTOS tick period in microseconds (0 = tickless)",
+        default=0,
+    )
+    profile.add_stereotype(rtos)
+    return profile

@@ -1,0 +1,368 @@
+"""TUT-Profile design rules.
+
+The paper: "TUT-Profile classifies different application and platform
+components by defining various stereotypes and strict rules how to use
+them. The objective is to enhance the support of external tools for
+automatic analyzing, profiling, and modifying the UML 2.0 model."
+
+This module is that rule book, executed: :func:`check_design_rules` runs
+every rule over a model and returns a :class:`ValidationReport`.  The rules
+encode Section 3 of the paper:
+
+R1  «Application» marks exactly one top-level application class.
+R2  «ApplicationComponent» is applied only to active classes with behaviour.
+R3  Structural (passive) components carry no TUT-Profile stereotype.
+R4  «ApplicationProcess» parts are typed by «ApplicationComponent» classes.
+R5  Every «ApplicationProcess» belongs to exactly one process group, via a
+    «ProcessGrouping» dependency targeting a «ProcessGroup».
+R6  A fixed «ProcessGroup» is not the target of non-fixed groupings.
+R7  «Platform» marks exactly one top-level platform class.
+R8  «PlatformComponentInstance» parts are typed by «PlatformComponent»
+    classes, and their ``ID`` tags are unique.
+R9  «PlatformMapping» dependencies run from a «ProcessGroup» to a
+    «PlatformComponentInstance».
+R10 Every process group is mapped to exactly one component instance (when a
+    mapping model is present).
+R11 A group's ProcessType must be executable by its target component's Type.
+R12 A group containing processes of mixed ProcessType gets a warning, and
+    its declared ProcessType must match its members'.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.uml.classifier import Class
+from repro.uml.dependency import Dependency
+from repro.uml.element import Element
+from repro.uml.structure import Property
+from repro.uml.validation import ValidationReport
+from repro.uml.visitor import iter_instances, iter_tree
+from repro.tutprofile import stereotypes as st
+from repro.tutprofile.tags import process_runs_on
+
+
+def check_design_rules(root: Element) -> ValidationReport:
+    """Run all TUT-Profile design rules over the tree rooted at ``root``."""
+    report = ValidationReport()
+    context = _Context(root)
+    _rule_application_top(context, report)
+    _rule_application_components(context, report)
+    _rule_structural_unstereotyped(context, report)
+    _rule_process_typing(context, report)
+    _rule_groupings(context, report)
+    _rule_platform_top(context, report)
+    _rule_component_instances(context, report)
+    _rule_mappings(context, report)
+    return report
+
+
+class _Context:
+    """Pre-collected stereotyped elements, shared across rules."""
+
+    def __init__(self, root: Element) -> None:
+        self.root = root
+        self.applications: List[Class] = []
+        self.app_components: List[Class] = []
+        self.processes: List[Element] = []
+        self.groups: List[Element] = []
+        self.groupings: List[Dependency] = []
+        self.platforms: List[Class] = []
+        self.platform_components: List[Class] = []
+        self.instances: List[Element] = []
+        self.mappings: List[Dependency] = []
+        for element in iter_tree(root):
+            if element.has_stereotype(st.APPLICATION):
+                self.applications.append(element)
+            if element.has_stereotype(st.APPLICATION_COMPONENT):
+                self.app_components.append(element)
+            if element.has_stereotype(st.APPLICATION_PROCESS):
+                self.processes.append(element)
+            if element.has_stereotype(st.PROCESS_GROUP):
+                self.groups.append(element)
+            if element.has_stereotype(st.PROCESS_GROUPING):
+                self.groupings.append(element)
+            if element.has_stereotype(st.PLATFORM):
+                self.platforms.append(element)
+            if element.has_stereotype(st.PLATFORM_COMPONENT):
+                self.platform_components.append(element)
+            if element.has_stereotype(st.PLATFORM_COMPONENT_INSTANCE):
+                self.instances.append(element)
+            if element.has_stereotype(st.PLATFORM_MAPPING):
+                self.mappings.append(element)
+
+    def group_of(self, process: Element) -> List[Element]:
+        """Process groups that ``process`` is assigned to via groupings."""
+        return [
+            grouping.supplier
+            for grouping in self.groupings
+            if process in grouping.clients
+        ]
+
+
+def _describe(element: Element) -> str:
+    name = getattr(element, "qualified_name", None) or getattr(element, "name", "")
+    return name or repr(element)
+
+
+def _rule_application_top(context: _Context, report: ValidationReport) -> None:
+    if context.app_components and not context.applications:
+        report.error(
+            "R1-application-top",
+            "model has «ApplicationComponent» classes but no «Application» "
+            "top-level class",
+        )
+    if len(context.applications) > 1:
+        names = ", ".join(_describe(a) for a in context.applications)
+        report.error(
+            "R1-application-top",
+            f"more than one «Application» top-level class: {names}",
+        )
+
+
+def _rule_application_components(context: _Context, report: ValidationReport) -> None:
+    for component in context.app_components:
+        if not isinstance(component, Class):
+            continue
+        if not component.is_active:
+            report.error(
+                "R2-functional-active",
+                f"«ApplicationComponent» {_describe(component)} must be an "
+                "active class",
+                component,
+            )
+        elif component.classifier_behavior is None:
+            report.error(
+                "R2-functional-behavior",
+                f"«ApplicationComponent» {_describe(component)} has no behaviour",
+                component,
+            )
+
+
+def _rule_structural_unstereotyped(context: _Context, report: ValidationReport) -> None:
+    application_classes = set(context.applications)
+    for application in context.applications:
+        if not isinstance(application, Class):
+            continue
+        for part in application.parts:
+            part_type = part.type
+            if not isinstance(part_type, Class):
+                continue
+            if part_type.is_structural and part.has_stereotype(st.APPLICATION_PROCESS):
+                report.error(
+                    "R3-structural-process",
+                    f"part {_describe(part)} is typed by the structural "
+                    f"component {part_type.name!r} and must not be an "
+                    "«ApplicationProcess»",
+                    part,
+                )
+    for component in context.app_components:
+        if isinstance(component, Class) and component in application_classes:
+            report.error(
+                "R3-exclusive-stereotypes",
+                f"{_describe(component)} is both «Application» and "
+                "«ApplicationComponent»",
+                component,
+            )
+
+
+def _rule_process_typing(context: _Context, report: ValidationReport) -> None:
+    component_set = set(context.app_components)
+    for process in context.processes:
+        if not isinstance(process, Property):
+            continue
+        process_type = process.type
+        if process_type is None:
+            report.error(
+                "R4-process-typed",
+                f"«ApplicationProcess» {_describe(process)} is untyped",
+                process,
+            )
+            continue
+        if process_type not in component_set:
+            report.error(
+                "R4-process-component",
+                f"«ApplicationProcess» {_describe(process)} is typed by "
+                f"{process_type.name!r}, which is not an «ApplicationComponent»",
+                process,
+            )
+
+
+def _rule_groupings(context: _Context, report: ValidationReport) -> None:
+    group_set = set(context.groups)
+    assignments: Dict[int, List[Element]] = {}
+    for grouping in context.groupings:
+        if len(grouping.clients) != 1 or len(grouping.suppliers) != 1:
+            report.error(
+                "R5-grouping-binary",
+                f"«ProcessGrouping» {_describe(grouping)} must be binary",
+                grouping,
+            )
+            continue
+        process = grouping.client
+        group = grouping.supplier
+        if not process.has_stereotype(st.APPLICATION_PROCESS):
+            report.error(
+                "R5-grouping-client",
+                f"«ProcessGrouping» client {_describe(process)} is not an "
+                "«ApplicationProcess»",
+                grouping,
+            )
+        if not group.has_stereotype(st.PROCESS_GROUP):
+            report.error(
+                "R5-grouping-supplier",
+                f"«ProcessGrouping» supplier {_describe(group)} is not a "
+                "«ProcessGroup»",
+                grouping,
+            )
+        assignments.setdefault(id(process), []).append(group)
+        if group.tag(st.PROCESS_GROUP, "Fixed", False) and not grouping.tag(
+            st.PROCESS_GROUPING, "Fixed", False
+        ):
+            report.error(
+                "R6-fixed-group",
+                f"group {_describe(group)} is fixed but grouping "
+                f"{_describe(grouping)} is not",
+                grouping,
+            )
+        group_type = group.tag(st.PROCESS_GROUP, "ProcessType")
+        process_type = process.tag(st.APPLICATION_PROCESS, "ProcessType")
+        if group_type and process_type and group_type != process_type:
+            report.warning(
+                "R12-group-process-type",
+                f"process {_describe(process)} ({process_type}) grouped into "
+                f"{_describe(group)} ({group_type})",
+                grouping,
+            )
+    for process in context.processes:
+        groups = assignments.get(id(process), [])
+        if not groups:
+            report.warning(
+                "R5-ungrouped-process",
+                f"«ApplicationProcess» {_describe(process)} belongs to no "
+                "process group",
+                process,
+            )
+        elif len(groups) > 1:
+            names = ", ".join(_describe(g) for g in groups)
+            report.error(
+                "R5-multiple-groups",
+                f"«ApplicationProcess» {_describe(process)} belongs to "
+                f"{len(groups)} groups: {names}",
+                process,
+            )
+
+
+def _rule_platform_top(context: _Context, report: ValidationReport) -> None:
+    if context.platform_components and not context.platforms:
+        report.error(
+            "R7-platform-top",
+            "model has «PlatformComponent» classes but no «Platform» top-level "
+            "class",
+        )
+    if len(context.platforms) > 1:
+        names = ", ".join(_describe(p) for p in context.platforms)
+        report.error(
+            "R7-platform-top", f"more than one «Platform» top-level class: {names}"
+        )
+
+
+def _rule_component_instances(context: _Context, report: ValidationReport) -> None:
+    component_set = set(context.platform_components)
+    seen_ids: Dict[int, Element] = {}
+    for instance in context.instances:
+        if isinstance(instance, Property):
+            instance_type = instance.type
+            if instance_type is None or instance_type not in component_set:
+                type_name = getattr(instance_type, "name", "<untyped>")
+                report.error(
+                    "R8-instance-component",
+                    f"«PlatformComponentInstance» {_describe(instance)} is typed "
+                    f"by {type_name!r}, which is not a «PlatformComponent»",
+                    instance,
+                )
+        identifier = instance.tag(st.PLATFORM_COMPONENT_INSTANCE, "ID")
+        if identifier is None:
+            report.error(
+                "R8-instance-id",
+                f"«PlatformComponentInstance» {_describe(instance)} has no ID tag",
+                instance,
+            )
+        elif identifier in seen_ids:
+            report.error(
+                "R8-instance-id-unique",
+                f"duplicate component instance ID {identifier} on "
+                f"{_describe(instance)} and {_describe(seen_ids[identifier])}",
+                instance,
+            )
+        else:
+            seen_ids[identifier] = instance
+
+
+def _rule_mappings(context: _Context, report: ValidationReport) -> None:
+    mapped: Dict[int, List[Element]] = {}
+    for mapping in context.mappings:
+        if len(mapping.clients) != 1 or len(mapping.suppliers) != 1:
+            report.error(
+                "R9-mapping-binary",
+                f"«PlatformMapping» {_describe(mapping)} must be binary",
+                mapping,
+            )
+            continue
+        group = mapping.client
+        target = mapping.supplier
+        if not group.has_stereotype(st.PROCESS_GROUP):
+            report.error(
+                "R9-mapping-client",
+                f"«PlatformMapping» client {_describe(group)} is not a "
+                "«ProcessGroup»",
+                mapping,
+            )
+        # stereotype identity, not tree membership: the platform may live in
+        # a different model than the mapping view (multi-model setups)
+        if not target.has_stereotype(st.PLATFORM_COMPONENT_INSTANCE):
+            report.error(
+                "R9-mapping-supplier",
+                f"«PlatformMapping» supplier {_describe(target)} is not a "
+                "«PlatformComponentInstance»",
+                mapping,
+            )
+            continue
+        mapped.setdefault(id(group), []).append(target)
+        group_type = group.tag(st.PROCESS_GROUP, "ProcessType")
+        target_type = _component_type_of(target)
+        if group_type and target_type and not process_runs_on(group_type, target_type):
+            report.error(
+                "R11-type-compatibility",
+                f"group {_describe(group)} ({group_type}) cannot run on "
+                f"{_describe(target)} ({target_type})",
+                mapping,
+            )
+    if context.mappings:
+        for group in context.groups:
+            targets = mapped.get(id(group), [])
+            if not targets:
+                report.error(
+                    "R10-unmapped-group",
+                    f"«ProcessGroup» {_describe(group)} is not mapped to any "
+                    "component instance",
+                    group,
+                )
+            elif len(targets) > 1:
+                names = ", ".join(_describe(t) for t in targets)
+                report.error(
+                    "R10-multiply-mapped-group",
+                    f"«ProcessGroup» {_describe(group)} is mapped to "
+                    f"{len(targets)} instances: {names}",
+                    group,
+                )
+
+
+def _component_type_of(instance: Element) -> Optional[str]:
+    """The platform component Type tag of an instance's classifier."""
+    classifier = getattr(instance, "type", None) or getattr(
+        instance, "classifier", None
+    )
+    if classifier is None:
+        return None
+    return classifier.tag(st.PLATFORM_COMPONENT, "Type")

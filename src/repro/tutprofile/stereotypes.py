@@ -1,0 +1,291 @@
+"""The TUT-Profile stereotype definitions (paper Tables 1, 2 and 3).
+
+``build_tut_profile()`` constructs a fresh :class:`~repro.uml.Profile`
+containing the eleven stereotypes of Table 1, each with the tagged values of
+Tables 2/3.  The module-level :data:`TUT_PROFILE` is the shared default
+instance used throughout the library.
+
+Metaclass choices: the paper applies «Application», «ApplicationComponent»,
+«ProcessGroup», «Platform», «PlatformComponent» and
+«PlatformCommunicationSegment» to classes; «ApplicationProcess» and
+«PlatformComponentInstance» to parts (class instances in composite
+structures, metaclass Property); «ProcessGrouping», «PlatformMapping» and
+«PlatformCommunicationWrapper» to dependencies.  Stereotypes applicable to
+Property are also accepted on InstanceSpecification so library entries can
+be annotated directly.
+"""
+
+from __future__ import annotations
+
+from repro.uml.profile import Profile, Stereotype, TagType
+from repro.tutprofile.tags import Arbitration, ComponentType, ProcessType, RealTimeType
+
+PROFILE_NAME = "TUTProfile"
+
+# Stereotype names (Table 1)
+APPLICATION = "Application"
+APPLICATION_COMPONENT = "ApplicationComponent"
+APPLICATION_PROCESS = "ApplicationProcess"
+PROCESS_GROUP = "ProcessGroup"
+PROCESS_GROUPING = "ProcessGrouping"
+PLATFORM = "Platform"
+PLATFORM_COMPONENT = "PlatformComponent"
+PLATFORM_COMPONENT_INSTANCE = "PlatformComponentInstance"
+PLATFORM_COMMUNICATION_WRAPPER = "PlatformCommunicationWrapper"
+PLATFORM_COMMUNICATION_SEGMENT = "PlatformCommunicationSegment"
+PLATFORM_MAPPING = "PlatformMapping"
+
+APPLICATION_STEREOTYPES = (
+    APPLICATION,
+    APPLICATION_COMPONENT,
+    APPLICATION_PROCESS,
+    PROCESS_GROUP,
+    PROCESS_GROUPING,
+)
+
+PLATFORM_STEREOTYPES = (
+    PLATFORM,
+    PLATFORM_COMPONENT,
+    PLATFORM_COMPONENT_INSTANCE,
+    PLATFORM_COMMUNICATION_WRAPPER,
+    PLATFORM_COMMUNICATION_SEGMENT,
+)
+
+MAPPING_STEREOTYPES = (PLATFORM_MAPPING,)
+
+ALL_STEREOTYPES = APPLICATION_STEREOTYPES + PLATFORM_STEREOTYPES + MAPPING_STEREOTYPES
+
+
+def build_tut_profile() -> Profile:
+    """Create a fresh TUT-Profile instance (Tables 1-3)."""
+    profile = Profile(PROFILE_NAME)
+
+    # -- application stereotypes (Table 2) -----------------------------------
+
+    application = Stereotype(
+        APPLICATION,
+        metaclasses=("Class",),
+        description="Top-level application class",
+    )
+    application.define_tag(
+        "Priority", TagType.INT, "Execution priority of an application", default=0
+    )
+    application.define_tag(
+        "CodeMemory", TagType.INT, "Required memory for application code", default=0
+    )
+    application.define_tag(
+        "DataMemory", TagType.INT, "Required memory for application data", default=0
+    )
+    application.define_tag(
+        "RealTimeType",
+        TagType.ENUM,
+        "Type of real-time requirements (hard/soft/none)",
+        enum_values=RealTimeType.ALL,
+        default=RealTimeType.NONE,
+    )
+    profile.add_stereotype(application)
+
+    component = Stereotype(
+        APPLICATION_COMPONENT,
+        metaclasses=("Class",),
+        description="Functional application component (active class, has behavior)",
+    )
+    component.define_tag(
+        "CodeMemory",
+        TagType.INT,
+        "Required memory for application component code",
+        default=0,
+    )
+    component.define_tag(
+        "DataMemory",
+        TagType.INT,
+        "Required memory for application component data",
+        default=0,
+    )
+    component.define_tag(
+        "RealTimeType",
+        TagType.ENUM,
+        "Type of real-time requirements (hard/soft/none)",
+        enum_values=RealTimeType.ALL,
+        default=RealTimeType.NONE,
+    )
+    profile.add_stereotype(component)
+
+    process = Stereotype(
+        APPLICATION_PROCESS,
+        metaclasses=("Property", "InstanceSpecification"),
+        description="Instance of a functional application component",
+    )
+    process.define_tag(
+        "Priority", TagType.INT, "Execution priority of application process", default=0
+    )
+    process.define_tag(
+        "CodeMemory",
+        TagType.INT,
+        "Required memory for application process code",
+        default=0,
+    )
+    process.define_tag(
+        "DataMemory",
+        TagType.INT,
+        "Required memory for application process data",
+        default=0,
+    )
+    process.define_tag(
+        "RealTimeType",
+        TagType.ENUM,
+        "Type of real-time requirements (hard/soft/none)",
+        enum_values=RealTimeType.ALL,
+        default=RealTimeType.NONE,
+    )
+    process.define_tag(
+        "ProcessType",
+        TagType.ENUM,
+        "Type of process (general/dsp/hardware)",
+        enum_values=ProcessType.ALL,
+        default=ProcessType.GENERAL,
+    )
+    profile.add_stereotype(process)
+
+    group = Stereotype(
+        PROCESS_GROUP,
+        metaclasses=("Class", "Property", "InstanceSpecification"),
+        description="Group of application processes",
+    )
+    group.define_tag(
+        "Fixed",
+        TagType.BOOL,
+        "Defines if the group is fixed (true/false)",
+        default=False,
+    )
+    group.define_tag(
+        "ProcessType",
+        TagType.ENUM,
+        "Type of processes in a group (general/dsp/hardware)",
+        enum_values=ProcessType.ALL,
+        default=ProcessType.GENERAL,
+    )
+    profile.add_stereotype(group)
+
+    grouping = Stereotype(
+        PROCESS_GROUPING,
+        metaclasses=("Dependency",),
+        description="Dependency between an application process and a process group",
+    )
+    grouping.define_tag(
+        "Fixed",
+        TagType.BOOL,
+        "Defines if the grouping is fixed (true/false)",
+        default=False,
+    )
+    profile.add_stereotype(grouping)
+
+    # -- platform stereotypes (Table 3) ---------------------------------------
+
+    platform = Stereotype(
+        PLATFORM,
+        metaclasses=("Class",),
+        description="Top-level platform class",
+    )
+    profile.add_stereotype(platform)
+
+    platform_component = Stereotype(
+        PLATFORM_COMPONENT,
+        metaclasses=("Class",),
+        description="Defines features of a platform component",
+    )
+    platform_component.define_tag(
+        "Type",
+        TagType.ENUM,
+        "Type of a component (general/dsp/hw accelerator)",
+        enum_values=ComponentType.ALL,
+        default=ComponentType.GENERAL,
+    )
+    platform_component.define_tag(
+        "Area", TagType.REAL, "Area of a component", default=0.0
+    )
+    platform_component.define_tag(
+        "Power", TagType.REAL, "Power consumption of a component", default=0.0
+    )
+    profile.add_stereotype(platform_component)
+
+    instance = Stereotype(
+        PLATFORM_COMPONENT_INSTANCE,
+        metaclasses=("Property", "InstanceSpecification"),
+        description="Instantiated platform component",
+    )
+    instance.define_tag(
+        "Priority",
+        TagType.INT,
+        "Execution priority of a component instance",
+        default=0,
+    )
+    instance.define_tag(
+        "ID", TagType.INT, "Unique ID of a component instance", required=True
+    )
+    instance.define_tag(
+        "IntMemory", TagType.INT, "Amount of internal memory", default=0
+    )
+    profile.add_stereotype(instance)
+
+    wrapper = Stereotype(
+        PLATFORM_COMMUNICATION_WRAPPER,
+        metaclasses=("Dependency", "Connector"),
+        description="Defines wrapper parameters of a communication agent",
+    )
+    wrapper.define_tag("Address", TagType.INT, "Address of a wrapper", required=True)
+    wrapper.define_tag(
+        "BufferSize", TagType.INT, "Buffer size of a wrapper", default=8
+    )
+    wrapper.define_tag(
+        "MaxTime",
+        TagType.INT,
+        "Maximum time a wrapper can reserve the segment",
+        default=0,
+    )
+    profile.add_stereotype(wrapper)
+
+    segment = Stereotype(
+        PLATFORM_COMMUNICATION_SEGMENT,
+        metaclasses=("Class", "Property", "InstanceSpecification"),
+        description="Interconnection structure of communicating agents",
+    )
+    segment.define_tag(
+        "DataWidth",
+        TagType.INT,
+        "Data width (in bits) of a communication segment",
+        default=32,
+    )
+    segment.define_tag(
+        "Frequency",
+        TagType.INT,
+        "Clock frequency of a communication segment",
+        default=50_000_000,
+    )
+    segment.define_tag(
+        "Arbitration",
+        TagType.ENUM,
+        "Arbitration scheme (e.g. priority or round-robin)",
+        enum_values=Arbitration.ALL,
+        default=Arbitration.PRIORITY,
+    )
+    profile.add_stereotype(segment)
+
+    # -- mapping stereotype (Section 3.3) --------------------------------------
+
+    mapping = Stereotype(
+        PLATFORM_MAPPING,
+        metaclasses=("Dependency",),
+        description=(
+            "Dependency between a process group and a platform component instance"
+        ),
+    )
+    mapping.define_tag(
+        "Fixed",
+        TagType.BOOL,
+        "Defines if the mapping is fixed (true/false)",
+        default=False,
+    )
+    profile.add_stereotype(mapping)
+
+    return profile

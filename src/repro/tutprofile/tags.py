@@ -1,0 +1,57 @@
+"""Enumerated tag value domains used by TUT-Profile (Tables 2 and 3)."""
+
+from __future__ import annotations
+
+
+class RealTimeType:
+    """Type of real-time requirements (Table 2)."""
+
+    HARD = "hard"
+    SOFT = "soft"
+    NONE = "none"
+
+    ALL = (HARD, SOFT, NONE)
+
+
+class ProcessType:
+    """Type of an application process (Table 2)."""
+
+    GENERAL = "general"
+    DSP = "dsp"
+    HARDWARE = "hardware"
+
+    ALL = (GENERAL, DSP, HARDWARE)
+
+
+class ComponentType:
+    """Type of a platform component (Table 3)."""
+
+    GENERAL = "general"
+    DSP = "dsp"
+    HW_ACCELERATOR = "hw accelerator"
+
+    ALL = (GENERAL, DSP, HW_ACCELERATOR)
+
+
+class Arbitration:
+    """Arbitration scheme of a communication segment (Table 3)."""
+
+    PRIORITY = "priority"
+    ROUND_ROBIN = "round-robin"
+
+    ALL = (PRIORITY, ROUND_ROBIN)
+
+
+#: Which process types a component type can execute natively.  A general
+#: purpose CPU runs anything (hardware processes fall back to software);
+#: a DSP prefers dsp processes; an accelerator only hosts hardware processes.
+COMPATIBLE_PROCESS_TYPES = {
+    ComponentType.GENERAL: (ProcessType.GENERAL, ProcessType.DSP, ProcessType.HARDWARE),
+    ComponentType.DSP: (ProcessType.GENERAL, ProcessType.DSP),
+    ComponentType.HW_ACCELERATOR: (ProcessType.HARDWARE,),
+}
+
+
+def process_runs_on(process_type: str, component_type: str) -> bool:
+    """True if a process of ``process_type`` may be mapped onto ``component_type``."""
+    return process_type in COMPATIBLE_PROCESS_TYPES.get(component_type, ())

@@ -1,0 +1,159 @@
+"""Semantic model fingerprinting (id-independent equality).
+
+XMI ids depend on element creation order, so byte-identical round-trips are
+not guaranteed; semantic equality is.  :func:`model_fingerprint` renders a
+model to a canonical text that ignores ids and ordering artefacts — two
+models with the same fingerprint are the same design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uml.classifier import (
+    Class,
+    Enumeration,
+    Interface,
+    PrimitiveType,
+    Signal,
+)
+from repro.uml.dependency import Dependency
+from repro.uml.element import NamedElement
+from repro.uml.instance import InstanceSpecification
+from repro.uml.packages import Package
+from repro.uml.statemachine import SignalTrigger, StateMachine, TimerTrigger
+from repro.uml.actions import unparse_block
+
+
+def model_fingerprint(root: Package) -> str:
+    """A canonical, id-free text rendering of a model."""
+    lines: List[str] = []
+    _package(root, lines, "")
+    return "\n".join(lines)
+
+
+def _stereotypes(element) -> str:
+    parts = []
+    for application in element.stereotype_applications:
+        values = ",".join(
+            f"{k}={application.values[k]!r}" for k in sorted(application.values)
+        )
+        parts.append(f"«{application.stereotype.name}»({values})")
+    return " ".join(sorted(parts))
+
+
+def _package(package: Package, lines: List[str], pad: str) -> None:
+    lines.append(f"{pad}package {package.name} {_stereotypes(package)}".rstrip())
+    for element in sorted(
+        package.packaged_elements, key=lambda e: (type(e).__name__, e.name)
+    ):
+        _element(element, lines, pad + "  ")
+
+
+def _element(element: NamedElement, lines: List[str], pad: str) -> None:
+    if isinstance(element, Package):
+        _package(element, lines, pad)
+    elif isinstance(element, Signal):
+        params = ",".join(
+            f"{a.name}:{a.type.name if a.type else '?'}" for a in element.attributes
+        )
+        lines.append(
+            f"{pad}signal {element.name}({params}) payload={element.payload_bits} "
+            f"{_stereotypes(element)}".rstrip()
+        )
+    elif isinstance(element, PrimitiveType):
+        lines.append(f"{pad}primitive {element.name}:{element.bits}")
+    elif isinstance(element, Enumeration):
+        lines.append(f"{pad}enum {element.name}[{','.join(element.literals)}]")
+    elif isinstance(element, Interface):
+        lines.append(
+            f"{pad}interface {element.name}[{','.join(element.signal_names)}]"
+        )
+    elif isinstance(element, Class):
+        _class(element, lines, pad)
+    elif isinstance(element, Dependency):
+        clients = ",".join(sorted(c.name for c in element.clients))
+        suppliers = ",".join(sorted(s.name for s in element.suppliers))
+        lines.append(
+            f"{pad}dependency {element.name} {clients}->{suppliers} "
+            f"{_stereotypes(element)}".rstrip()
+        )
+    elif isinstance(element, InstanceSpecification):
+        classifier = element.classifier.name if element.classifier else "?"
+        slots = ",".join(
+            f"{k}={element.slots[k].value!r}" for k in sorted(element.slots)
+        )
+        lines.append(
+            f"{pad}instance {element.name}:{classifier}({slots}) "
+            f"{_stereotypes(element)}".rstrip()
+        )
+    else:
+        lines.append(f"{pad}{type(element).__name__} {element.name}")
+
+
+def _class(klass: Class, lines: List[str], pad: str) -> None:
+    kind = "active" if klass.is_active else "passive"
+    generals = ",".join(sorted(g.name for g in klass.generals))
+    lines.append(
+        f"{pad}class {klass.name} [{kind}] generals=({generals}) "
+        f"{_stereotypes(klass)}".rstrip()
+    )
+    inner = pad + "  "
+    for attribute in sorted(klass.attributes, key=lambda a: a.name):
+        type_name = attribute.type.name if attribute.type else "?"
+        lines.append(f"{inner}attr {attribute.name}:{type_name}")
+    for part in sorted(klass.parts, key=lambda p: p.name):
+        type_name = part.type.name if part.type else "?"
+        lines.append(
+            f"{inner}part {part.name}:{type_name} {_stereotypes(part)}".rstrip()
+        )
+    for port in sorted(klass.ports, key=lambda p: p.name):
+        lines.append(
+            f"{inner}port {port.name} provided=({','.join(sorted(port.provided))}) "
+            f"required=({','.join(sorted(port.required))})"
+        )
+    connector_keys = sorted(
+        tuple(sorted(end.describe() for end in c.ends)) for c in klass.connectors
+    )
+    for key in connector_keys:
+        lines.append(f"{inner}connector {' -- '.join(key)}")
+    for nested in sorted(klass.nested_classifiers, key=lambda n: n.name):
+        _element(nested, lines, inner)
+    if isinstance(klass.classifier_behavior, StateMachine):
+        _machine(klass.classifier_behavior, lines, inner)
+
+
+def _machine(machine: StateMachine, lines: List[str], pad: str) -> None:
+    lines.append(f"{pad}machine {machine.name}")
+    inner = pad + "  "
+    for name in sorted(machine.variables):
+        lines.append(f"{inner}var {name}={machine.variables[name]}")
+    for state in machine.states:
+        marker = "*" if state is machine.initial_state else ""
+        final = "!" if state.is_final else ""
+        nesting = ""
+        if state.parent is not None:
+            initial_sub = (
+                "*" if state.parent.initial_substate is state else ""
+            )
+            nesting = f" in {state.parent.name}{initial_sub}"
+        lines.append(f"{inner}state {marker}{state.name}{final}{nesting}")
+        if state.entry:
+            lines.append(f"{inner}  entry: {unparse_block(state.entry)!r}")
+        if state.exit:
+            lines.append(f"{inner}  exit: {unparse_block(state.exit)!r}")
+    for transition in machine.transitions:
+        trigger = transition.trigger
+        if isinstance(trigger, SignalTrigger):
+            trigger_text = f"sig:{trigger.signal_name}({','.join(trigger.parameter_names)})"
+        elif isinstance(trigger, TimerTrigger):
+            trigger_text = f"timer:{trigger.timer_name}"
+        else:
+            trigger_text = "completion"
+        guard = transition.guard.unparse() if transition.guard else ""
+        internal = " internal" if transition.internal else ""
+        lines.append(
+            f"{inner}transition {transition.source.name}->{transition.target.name} "
+            f"on {trigger_text} [{guard}] p{transition.priority}{internal} "
+            f"effect={unparse_block(transition.effect)!r}"
+        )

@@ -1,0 +1,1 @@
+"""Shared utilities: CRC-32, deterministic PRNG, table rendering."""

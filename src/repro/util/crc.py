@@ -1,0 +1,69 @@
+"""CRC-32 (IEEE 802.3 polynomial) — the algorithm the TUTWLAN accelerator runs.
+
+The platform library of the paper "contains implementations of some time
+critical algorithms, such as Cyclic Redundancy Check (CRC), that can be used
+for hardware acceleration of protocol functions" (Section 4).  This is a
+from-scratch, table-driven CRC-32 over bytes, plus helpers for the action
+language (which manipulates integers, not byte strings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+CRC32_POLYNOMIAL = 0xEDB88320  # reflected IEEE 802.3 polynomial
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        register = byte
+        for _ in range(8):
+            if register & 1:
+                register = (register >> 1) ^ CRC32_POLYNOMIAL
+            else:
+                register >>= 1
+        table.append(register)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: Iterable[int], seed: int = 0) -> int:
+    """CRC-32 of a byte iterable, continuing from ``seed`` (a previous CRC)."""
+    register = (seed ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in data:
+        if not 0 <= byte <= 255:
+            raise ValueError(f"byte out of range: {byte}")
+        register = (register >> 8) ^ _TABLE[(register ^ byte) & 0xFF]
+    return register ^ 0xFFFFFFFF
+
+
+def crc32_bytes(data: bytes, seed: int = 0) -> int:
+    """CRC-32 of a ``bytes`` value."""
+    return crc32(data, seed)
+
+
+def crc32_of_int(value: int, seed: int = 0) -> int:
+    """CRC-32 of an integer's 4-byte little-endian encoding.
+
+    This is the form exposed to the action language's ``crc32()`` builtin:
+    frame payloads are synthetic, so protocol models checksum identifying
+    integers (sequence numbers, lengths) instead of real buffers.
+    """
+    encoded = (value & 0xFFFFFFFF).to_bytes(4, "little")
+    return crc32(encoded, seed)
+
+
+def crc32_bitwise(data: Iterable[int], seed: int = 0) -> int:
+    """Bit-serial reference implementation (used to cross-check the table)."""
+    register = (seed ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in data:
+        register ^= byte
+        for _ in range(8):
+            if register & 1:
+                register = (register >> 1) ^ CRC32_POLYNOMIAL
+            else:
+                register >>= 1
+    return register ^ 0xFFFFFFFF

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (right-align numbers, left-align text)."""
+    columns = len(headers)
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    numeric = [True] * columns
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        rendered = []
+        for index, cell in enumerate(row):
+            text = _format_cell(cell)
+            rendered.append(text)
+            if not isinstance(cell, (int, float)):
+                numeric[index] = False
+        cells.append(rendered)
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "+".join("-" * (w + 2) for w in widths)
+    lines.append(separator)
+    for row_index, row in enumerate(cells):
+        parts = []
+        for i, text in enumerate(row):
+            if row_index > 0 and numeric[i]:
+                parts.append(f" {text.rjust(widths[i])} ")
+            else:
+                parts.append(f" {text.ljust(widths[i])} ")
+        lines.append("|".join(parts).rstrip())
+        if row_index == 0:
+            lines.append(separator)
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_percentage(value: float) -> str:
+    """Render a ratio (0..1) as a percentage with one decimal, paper style."""
+    return f"{100.0 * value:.1f} %"

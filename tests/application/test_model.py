@@ -1,0 +1,180 @@
+"""ApplicationModel construction: components, processes, groups."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.application import ApplicationModel, ENVIRONMENT_GROUP
+from repro.uml import Port
+
+
+@pytest.fixture
+def app():
+    return ApplicationModel("App")
+
+
+def add_component(app, name="C"):
+    component = app.component(name)
+    machine = app.behavior(component)
+    machine.state("s", initial=True)
+    return component
+
+
+class TestSignals:
+    def test_declare_and_find(self, app):
+        signal = app.signal("ping", [("n", "Int32")], payload_bits=128)
+        assert app.find_signal("ping") is signal
+        assert signal.size_bits() > 128
+
+    def test_duplicate_rejected(self, app):
+        app.signal("ping")
+        with pytest.raises(ModelError):
+            app.signal("ping")
+
+    def test_unknown_rejected(self, app):
+        with pytest.raises(ModelError):
+            app.find_signal("ghost")
+
+
+class TestComponents:
+    def test_component_is_stereotyped_active_class(self, app):
+        component = app.component("C", code_memory=100, data_memory=200)
+        assert component.is_active
+        assert component.has_stereotype("ApplicationComponent")
+        assert component.tag("ApplicationComponent", "CodeMemory") == 100
+
+    def test_structural_is_plain_passive_class(self, app):
+        structural = app.structural("S")
+        assert structural.is_structural
+        assert not structural.applied_stereotypes
+
+    def test_name_collision_rejected(self, app):
+        app.component("X")
+        with pytest.raises(ModelError):
+            app.structural("X")
+
+    def test_top_is_application(self, app):
+        assert app.top.has_stereotype("Application")
+
+
+class TestProcesses:
+    def test_process_part_stereotyped(self, app):
+        component = add_component(app)
+        process = app.process(app.top, "p1", component, priority=3)
+        assert process.part.has_stereotype("ApplicationProcess")
+        assert process.priority() == 3
+        assert process.process_type() == "general"
+
+    def test_duplicate_process_rejected(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        with pytest.raises(ModelError):
+            app.process(app.top, "p1", component)
+
+    def test_process_requires_functional_component(self, app):
+        structural = app.structural("S")
+        with pytest.raises(ModelError):
+            app.process(app.top, "p1", structural)
+
+    def test_environment_process_unstereotyped(self, app):
+        component = add_component(app)
+        process = app.environment_process("env1", component)
+        assert process.is_environment
+        assert not process.part.applied_stereotypes
+        assert process in app.environment_processes()
+        assert process not in app.functional_processes()
+
+    def test_behavior_accessor(self, app):
+        component = add_component(app)
+        process = app.process(app.top, "p1", component)
+        assert process.behavior is component.classifier_behavior
+
+
+class TestGrouping:
+    def test_assign_and_query(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        app.group("g1")
+        app.assign("p1", "g1")
+        assert app.group_of("p1") == "g1"
+        assert [m.name for m in app.processes_in("g1")] == ["p1"]
+
+    def test_double_assignment_rejected(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        app.group("g1")
+        app.group("g2")
+        app.assign("p1", "g1")
+        with pytest.raises(ModelError):
+            app.assign("p1", "g2")
+
+    def test_unassign_then_reassign(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        app.group("g1")
+        app.group("g2")
+        app.assign("p1", "g1")
+        app.unassign("p1")
+        assert app.group_of("p1") is None
+        app.assign("p1", "g2")
+        assert app.group_of("p1") == "g2"
+
+    def test_fixed_grouping_cannot_be_unassigned(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        app.group("g1")
+        app.assign("p1", "g1", fixed=True)
+        with pytest.raises(ModelError):
+            app.unassign("p1")
+
+    def test_group_assignment_maps_environment(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        app.environment_process("env1", add_component(app, "E"))
+        app.group("g1")
+        app.assign("p1", "g1")
+        assignment = app.group_assignment()
+        assert assignment["p1"] == "g1"
+        assert assignment["env1"] == ENVIRONMENT_GROUP
+
+    def test_unknown_group_rejected(self, app):
+        component = add_component(app)
+        app.process(app.top, "p1", component)
+        with pytest.raises(ModelError):
+            app.assign("p1", "ghost")
+
+    def test_duplicate_group_rejected(self, app):
+        app.group("g1")
+        with pytest.raises(ModelError):
+            app.group("g1")
+
+
+class TestConnect:
+    def test_connect_validates_names(self, app):
+        component = add_component(app)
+        component.add_port(Port("p"))
+        app.process(app.top, "p1", component)
+        with pytest.raises(ModelError):
+            app.connect(app.top, ("p1", "nope"), ("p1", "p"))
+        with pytest.raises(ModelError):
+            app.connect(app.top, ("ghost", "p"), ("p1", "p"))
+        with pytest.raises(ModelError):
+            app.connect(app.top, (None, "noSuchBoundary"), ("p1", "p"))
+
+    def test_bind_boundary_validations(self, app):
+        component = add_component(app)
+        component.add_port(Port("out"))
+        app.top.add_port(Port("pB"))
+        env = app.environment_process("env1", component)
+        app.bind_boundary("pB", "env1", "out")
+        with pytest.raises(ModelError):  # already bound
+            app.bind_boundary("pB", "env1", "out")
+        with pytest.raises(ModelError):  # not a boundary port
+            app.bind_boundary("ghost", "env1", "out")
+
+    def test_bind_boundary_requires_environment_process(self, app):
+        component = add_component(app)
+        component.add_port(Port("out"))
+        app.top.add_port(Port("pB"))
+        app.process(app.top, "p1", component)
+        with pytest.raises(ModelError):
+            app.bind_boundary("pB", "p1", "out")

@@ -1,0 +1,228 @@
+"""Composite-structure routing: delegation, boundaries, signal filtering."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.application import ApplicationModel
+from repro.uml import Port
+
+
+def simple_component(app, name, ports):
+    component = app.component(name)
+    for port in ports:
+        component.add_port(port)
+    machine = app.behavior(component)
+    machine.state("s", initial=True)
+    return component
+
+
+class TestDirectRouting:
+    def test_part_to_part(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        sender = simple_component(app, "S", [Port("out", required=["m"])])
+        receiver = simple_component(app, "R", [Port("inp", provided=["m"])])
+        app.process(app.top, "s1", sender)
+        app.process(app.top, "r1", receiver)
+        app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+        assert app.route("s1", "m", "out") == ("r1", "inp")
+        assert app.route("s1", "m") == ("r1", "inp")
+
+    def test_no_route_raises(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        sender = simple_component(app, "S", [Port("out", required=["m"])])
+        app.process(app.top, "s1", sender)
+        with pytest.raises(ModelError):
+            app.route("s1", "m")
+
+    def test_ambiguous_route_raises(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        sender = simple_component(app, "S", [Port("out", required=["m"])])
+        receiver = simple_component(app, "R", [Port("inp", provided=["m"])])
+        app.process(app.top, "s1", sender)
+        app.process(app.top, "r1", receiver)
+        app.process(app.top, "r2", receiver)
+        app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+        app.connect(app.top, ("s1", "out"), ("r2", "inp"))
+        with pytest.raises(ModelError):
+            app.route("s1", "m", "out")
+
+    def test_port_must_emit_signal(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        app.signal("other")
+        sender = simple_component(app, "S", [Port("out", required=["m"])])
+        receiver = simple_component(app, "R", [Port("inp", provided=["other"])])
+        app.process(app.top, "s1", sender)
+        app.process(app.top, "r1", receiver)
+        app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+        with pytest.raises(ModelError):
+            app.route("s1", "other")  # sender port does not emit it
+
+
+class TestSignalFiltering:
+    def test_shared_port_disambiguated_by_provided_signals(self):
+        app = ApplicationModel("A")
+        app.signal("a")
+        app.signal("b")
+        receiver_a = simple_component(app, "RA", [Port("p", provided=["a"])])
+        receiver_b = simple_component(app, "RB", [Port("p", provided=["b"])])
+        box = app.structural("Box")
+        box.add_port(Port("bp"))
+        app.process(box, "ra", receiver_a)
+        app.process(box, "rb", receiver_b)
+        app.connect(box, (None, "bp"), ("ra", "p"))
+        app.connect(box, (None, "bp"), ("rb", "p"))
+        sender = simple_component(app, "S", [Port("out", required=["a", "b"])])
+        app.process(app.top, "s1", sender)
+        app.part(app.top, "box1", box)
+        app.connect(app.top, ("s1", "out"), ("box1", "bp"))
+        assert app.route("s1", "a") == ("ra", "p")
+        assert app.route("s1", "b") == ("rb", "p")
+
+    def test_reply_path_through_shared_port(self):
+        app = ApplicationModel("A")
+        app.signal("req")
+        app.signal("rsp")
+        server = simple_component(
+            app, "Server", [Port("p", provided=["req"], required=["rsp"])]
+        )
+        client_a = simple_component(
+            app, "ClientA", [Port("c", required=["req"], provided=["rsp"])]
+        )
+        app.process(app.top, "server1", server)
+        app.process(app.top, "client1", client_a)
+        app.connect(app.top, ("server1", "p"), ("client1", "c"))
+        assert app.route("client1", "req") == ("server1", "p")
+        assert app.route("server1", "rsp") == ("client1", "c")
+
+
+class TestDelegationChains:
+    def build_nested(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        leaf = simple_component(app, "Leaf", [Port("lp", provided=["m"])])
+        inner = app.structural("Inner")
+        inner.add_port(Port("ip"))
+        app.process(inner, "leaf1", leaf)
+        app.connect(inner, (None, "ip"), ("leaf1", "lp"))
+        outer = app.structural("Outer")
+        outer.add_port(Port("op"))
+        app.part(outer, "inner1", inner)
+        app.connect(outer, (None, "op"), ("inner1", "ip"))
+        sender = simple_component(app, "S", [Port("out", required=["m"])])
+        app.process(app.top, "s1", sender)
+        app.part(app.top, "outer1", outer)
+        app.connect(app.top, ("s1", "out"), ("outer1", "op"))
+        return app
+
+    def test_two_level_descent(self):
+        app = self.build_nested()
+        assert app.route("s1", "m") == ("leaf1", "lp")
+
+    def test_routing_table_lists_constrained_routes(self):
+        app = self.build_nested()
+        table = app.routing_table()
+        assert table[("s1", "out", "m")] == ("leaf1", "lp")
+
+    def test_outward_route_from_nested_leaf(self):
+        app = ApplicationModel("A")
+        app.signal("up")
+        leaf = simple_component(app, "Leaf", [Port("lp", required=["up"])])
+        inner = app.structural("Inner")
+        inner.add_port(Port("ip"))
+        app.process(inner, "leaf1", leaf)
+        app.connect(inner, (None, "ip"), ("leaf1", "lp"))
+        receiver = simple_component(app, "R", [Port("rp", provided=["up"])])
+        app.process(app.top, "r1", receiver)
+        app.part(app.top, "inner1", inner)
+        app.connect(app.top, ("inner1", "ip"), ("r1", "rp"))
+        assert app.route("leaf1", "up") == ("r1", "rp")
+
+
+class TestEnvironmentBoundary:
+    def test_round_trip_through_boundary(self):
+        app = ApplicationModel("A")
+        app.signal("req")
+        app.signal("rsp")
+        inner = simple_component(
+            app, "I", [Port("io", provided=["req"], required=["rsp"])]
+        )
+        app.process(app.top, "i1", inner)
+        app.top.add_port(Port("pEnv"))
+        app.connect(app.top, (None, "pEnv"), ("i1", "io"))
+        tester = simple_component(
+            app, "T", [Port("out", required=["req"], provided=["rsp"])]
+        )
+        app.environment_process("t1", tester)
+        app.bind_boundary("pEnv", "t1", "out")
+        assert app.route("t1", "req") == ("i1", "io")
+        assert app.route("i1", "rsp") == ("t1", "out")
+
+    def test_unbound_boundary_has_no_route(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        inner = simple_component(app, "I", [Port("io", required=["m"])])
+        app.process(app.top, "i1", inner)
+        app.top.add_port(Port("pEnv"))
+        app.connect(app.top, (None, "pEnv"), ("i1", "io"))
+        with pytest.raises(ModelError):
+            app.route("i1", "m")
+
+    def test_shared_boundary_port_filters_by_env_port(self):
+        # two env processes cannot bind one boundary port, but one env
+        # process reached through a boundary still filters by signal
+        app = ApplicationModel("A")
+        app.signal("x")
+        app.signal("y")
+        inner = simple_component(app, "I", [Port("io", required=["x", "y"])])
+        app.process(app.top, "i1", inner)
+        app.top.add_port(Port("pEnv"))
+        app.connect(app.top, (None, "pEnv"), ("i1", "io"))
+        env = simple_component(app, "E", [Port("e", provided=["x"])])
+        app.environment_process("e1", env)
+        app.bind_boundary("pEnv", "e1", "e")
+        assert app.route("i1", "x") == ("e1", "e")
+        with pytest.raises(ModelError):
+            app.route("i1", "y")  # env port does not accept y
+
+
+class TestSingleInstantiation:
+    def test_double_instantiation_rejected(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        leaf = simple_component(app, "Leaf", [Port("lp", provided=["m"])])
+        box = app.structural("Box")
+        box.add_port(Port("bp"))
+        app.process(box, "leaf1", leaf)
+        app.part(app.top, "b1", box)
+        app.part(app.top, "b2", box)
+        with pytest.raises(ModelError):
+            app.routing_table()
+
+
+class TestTutmacRouting:
+    ROUTES = [
+        ("user", "msdu_req", ("msduRec", "pUser")),
+        ("msduRec", "sdu_tx", ("frag", "pUi")),
+        ("frag", "pdu_tx", ("rca", "DataPort")),
+        ("frag", "frag_crc_req", ("crc", "pReq")),
+        ("crc", "frag_crc_cnf", ("frag", "pCrc")),
+        ("crc", "defrag_crc_cnf", ("defrag", "pCrc")),
+        ("rca", "phy_tx", ("phy", "pMac")),
+        ("phy", "phy_rx", ("rca", "PhyPort")),
+        ("rca", "pdu_rx", ("defrag", "pRca")),
+        ("defrag", "sdu_rx", ("msduDel", "pDp")),
+        ("msduDel", "msdu_ind", ("user", "pMac")),
+        ("mng", "beacon_req", ("rca", "MngPort")),
+        ("rmng", "meas_req", ("phy", "pMac")),
+        ("phy", "meas_ind", ("rmng", "PhyPort")),
+        ("mngUser", "mng_cmd", ("mng", "MngUserPort")),
+        ("rca", "ch_load", ("rmng", "RChPort")),
+    ]
+
+    @pytest.mark.parametrize("sender,signal,expected", ROUTES)
+    def test_paper_figure5_routes(self, tutmac_app, sender, signal, expected):
+        assert tutmac_app.route(sender, signal) == expected

@@ -1,0 +1,131 @@
+"""TUTMAC model structure: Figures 4, 5 and 6 as machine-checkable facts."""
+
+import pytest
+
+from repro.tutprofile import check_design_rules
+from repro.uml import validate_model
+from repro.cases.tutmac import PAPER_GROUPING, build_tutmac
+
+
+class TestFigure4ClassHierarchy:
+    def test_top_level_class(self, tutmac_app):
+        assert tutmac_app.top.name == "Tutmac_Protocol"
+        assert tutmac_app.top.has_stereotype("Application")
+
+    def test_five_top_level_parts(self, tutmac_app):
+        assert [p.name for p in tutmac_app.top.parts] == [
+            "ui", "dp", "mng", "rmng", "rca"
+        ]
+
+    def test_functional_components_stereotyped(self, tutmac_app):
+        for name in ("Management", "RadioManagement", "RadioChannelAccess"):
+            component = tutmac_app.components[name]
+            assert component.has_stereotype("ApplicationComponent")
+            assert component.is_functional
+
+    def test_structural_components_unstereotyped(self, tutmac_app):
+        for name in ("UserInterface", "DataProcessing"):
+            structural = tutmac_app.structurals[name]
+            assert structural.is_structural
+            assert not structural.applied_stereotypes
+
+    def test_structural_parts_not_processes(self, tutmac_app):
+        ui = tutmac_app.top.part("ui")
+        dp = tutmac_app.top.part("dp")
+        assert not ui.has_stereotype("ApplicationProcess")
+        assert not dp.has_stereotype("ApplicationProcess")
+
+    def test_functional_parts_are_processes(self, tutmac_app):
+        for name in ("mng", "rmng", "rca"):
+            assert tutmac_app.top.part(name).has_stereotype("ApplicationProcess")
+
+
+class TestFigure5CompositeStructure:
+    def test_boundary_ports(self, tutmac_app):
+        assert [p.name for p in tutmac_app.top.ports] == ["pUser", "pPhy", "pMngUser"]
+
+    def test_connector_count(self, tutmac_app):
+        # Figure 5 wires: pUser-ui, ui-dp, ui-mng, dp-mng, dp-rca, mng-rca,
+        # mng-rmng, rca-rmng, pPhy-rca, pPhy-rmng, pMngUser-mng
+        assert len(tutmac_app.top.connectors) == 11
+
+    def test_paper_port_names(self, tutmac_app):
+        rca = tutmac_app.components["RadioChannelAccess"]
+        assert {p.name for p in rca.ports} == {
+            "DataPort", "MngPort", "RMngPort", "PhyPort"
+        }
+        mng = tutmac_app.components["Management"]
+        assert {p.name for p in mng.ports} == {
+            "UIPort", "DPPort", "RChPort", "RMngPort", "MngUserPort"
+        }
+
+    def test_inner_processes(self, tutmac_app):
+        ui = tutmac_app.structurals["UserInterface"]
+        assert {p.name for p in ui.parts} == {"msduRec", "msduDel"}
+        dp = tutmac_app.structurals["DataProcessing"]
+        assert {p.name for p in dp.parts} == {"frag", "defrag", "crc"}
+
+    def test_process_inventory(self, tutmac_app):
+        functional = {p.name for p in tutmac_app.functional_processes()}
+        assert functional == {
+            "msduRec", "msduDel", "frag", "defrag", "crc", "mng", "rmng", "rca"
+        }
+        environment = {p.name for p in tutmac_app.environment_processes()}
+        assert environment == {"user", "phy", "mngUser"}
+
+    def test_well_formed(self, tutmac_app):
+        report = validate_model(tutmac_app.model)
+        assert report.ok, report.render()
+        assert not report.warnings, report.render()
+
+
+class TestFigure6Grouping:
+    def test_paper_grouping(self, tutmac_app):
+        for process, group in PAPER_GROUPING.items():
+            assert tutmac_app.group_of(process) == group
+
+    def test_group1_contents(self, tutmac_app):
+        assert {p.name for p in tutmac_app.processes_in("group1")} == {
+            "rca", "mng", "rmng"
+        }
+
+    def test_group2_contents(self, tutmac_app):
+        assert {p.name for p in tutmac_app.processes_in("group2")} == {
+            "msduRec", "msduDel", "frag"
+        }
+
+    def test_group4_is_hardware(self, tutmac_app):
+        group = tutmac_app.groups["group4"]
+        assert group.tag("ProcessGroup", "ProcessType") == "hardware"
+        assert tutmac_app.find_process("crc").process_type() == "hardware"
+
+    def test_custom_grouping_override(self):
+        custom = dict(PAPER_GROUPING)
+        custom["defrag"] = "group2"
+        app = build_tutmac(grouping=custom)
+        assert app.group_of("defrag") == "group2"
+        assert "group3" not in {
+            g for g in app.groups if app.processes_in(g)
+        }
+
+    def test_design_rules_clean(self, tutmac_app):
+        report = check_design_rules(tutmac_app.model)
+        assert report.ok, report.render()
+
+
+class TestBehaviorSanity:
+    def test_every_functional_component_has_behavior(self, tutmac_app):
+        for process in tutmac_app.functional_processes():
+            machine = process.behavior
+            assert machine.initial_state is not None
+
+    def test_rca_is_timer_driven(self, tutmac_app):
+        rca = tutmac_app.find_process("rca")
+        assert "slot_t" in rca.behavior.timer_names()
+
+    def test_signal_alphabets_closed(self, tutmac_app):
+        """Every signal a machine sends is declared in the application."""
+        declared = set(tutmac_app.signals)
+        for process in tutmac_app.processes.values():
+            for name in process.behavior.sent_signal_names():
+                assert name in declared, f"{process.name} sends {name}"

@@ -1,0 +1,151 @@
+"""TUTMAC protocol-level behaviour: the MAC actually moves data."""
+
+import pytest
+
+from repro.cases.tutmac import DEFAULT_PARAMETERS, TutmacParameters, build_tutmac
+from repro.simulation import SystemSimulation, run_reference_simulation
+from repro.simulation.reference import build_reference_mapping, build_reference_platform
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    application = build_tutmac()
+    platform = build_reference_platform(profile=application.profile)
+    mapping = build_reference_mapping(application, platform)
+    system = SystemSimulation(application, platform, mapping)
+    result = system.run(200_000)
+    return application, system, result
+
+
+def var(system, process, name):
+    return system.executors[process].variables[name]
+
+
+class TestUplink:
+    def test_user_msdus_reach_fragmenter(self, simulation):
+        _, system, _ = simulation
+        sent = var(system, "user", "seq")
+        fragmented = var(system, "frag", "sdus")
+        assert sent > 0
+        # the final MSDU may still be in flight at the horizon
+        assert sent - 1 <= fragmented <= sent
+
+    def test_fragment_count_matches_formula(self, simulation):
+        _, system, result = simulation
+        sdus = var(system, "frag", "sdus")
+        pdu_tx = sum(
+            1 for r in result.log.signal_records if r.signal == "pdu_tx"
+        )
+        assert pdu_tx == sdus * DEFAULT_PARAMETERS.uplink_fragments
+
+    def test_rca_transmits_queued_fragments(self, simulation):
+        _, system, _ = simulation
+        queued = var(system, "rca", "txq")
+        sent = var(system, "rca", "sent")
+        # nearly everything queued got a slot; a residue may be in flight
+        assert sent > 0
+        assert queued <= DEFAULT_PARAMETERS.uplink_fragments  # bounded backlog
+
+    def test_radio_receives_transmissions(self, simulation):
+        _, system, _ = simulation
+        assert var(system, "phy", "received") >= var(system, "rca", "sent") - 1
+
+
+class TestDownlink:
+    def test_sdus_delivered_to_user(self, simulation):
+        _, system, _ = simulation
+        generated = var(system, "phy", "dl_seq")
+        delivered = var(system, "user", "delivered")
+        assert generated > 0
+        # the last SDU may be mid-reassembly at the horizon
+        assert generated - 1 <= delivered <= generated
+
+    def test_defrag_sees_all_fragments(self, simulation):
+        _, system, result = simulation
+        pdu_rx = sum(
+            1 for r in result.log.signal_records if r.signal == "pdu_rx"
+        )
+        generated = var(system, "phy", "dl_seq")
+        assert pdu_rx >= (generated - 1) * DEFAULT_PARAMETERS.downlink_fragments
+
+    def test_crc_serves_both_directions(self, simulation):
+        _, system, _ = simulation
+        computed = var(system, "crc", "computed")
+        uplink_sdus = var(system, "frag", "sdus")
+        downlink_sdus = var(system, "user", "delivered")
+        assert computed >= uplink_sdus + downlink_sdus
+
+
+class TestManagementPlane:
+    def test_beacons_flow(self, simulation):
+        _, system, result = simulation
+        beacons = var(system, "mng", "beacons")
+        expected = 200_000 // DEFAULT_PARAMETERS.beacon_period_us
+        assert expected - 1 <= beacons <= expected + 1
+        confirmations = sum(
+            1 for r in result.log.signal_records if r.signal == "beacon_cnf"
+        )
+        assert confirmations >= beacons - 1
+
+    def test_measurements_flow(self, simulation):
+        _, system, _ = simulation
+        measurements = var(system, "rmng", "measurements")
+        expected = 200_000 // DEFAULT_PARAMETERS.measurement_period_us
+        assert expected - 1 <= measurements <= expected + 1
+
+    def test_management_commands_answered(self, simulation):
+        _, system, _ = simulation
+        issued = var(system, "mngUser", "code")
+        acknowledged = var(system, "mngUser", "acks")
+        assert issued > 0
+        assert acknowledged >= issued - 1
+
+
+class TestParameterSensitivity:
+    def test_double_traffic_doubles_group2_work(self):
+        base = run_reference_simulation(build_tutmac(), duration_us=100_000)
+        busy_params = TutmacParameters(msdu_period_us=1000)  # 2x MSDU rate
+        busy = run_reference_simulation(
+            build_tutmac(params=busy_params), duration_us=100_000
+        )
+        from repro.profiling import profile_run
+
+        base_data = profile_run(base, build_tutmac())
+        busy_data = profile_run(
+            busy, build_tutmac(params=busy_params)
+        )
+        ratio = (
+            busy_data.group_cycles["group2"] / base_data.group_cycles["group2"]
+        )
+        assert 1.7 <= ratio <= 2.3
+
+    def test_smaller_fragments_mean_more_pdus(self):
+        small = TutmacParameters(fragment_bytes=128)
+        assert small.uplink_fragments > DEFAULT_PARAMETERS.uplink_fragments
+        result = run_reference_simulation(
+            build_tutmac(params=small), duration_us=50_000
+        )
+        pdu_count = sum(
+            1 for r in result.log.signal_records if r.signal == "pdu_tx"
+        )
+        base_result = run_reference_simulation(
+            build_tutmac(), duration_us=50_000
+        )
+        base_count = sum(
+            1 for r in base_result.log.signal_records if r.signal == "pdu_tx"
+        )
+        assert pdu_count > base_count
+
+    def test_slot_time_scales_group1_share(self):
+        slow_slots = TutmacParameters(slot_time_us=1000)  # 4x fewer slots
+        result = run_reference_simulation(
+            build_tutmac(params=slow_slots), duration_us=100_000
+        )
+        from repro.profiling import profile_run
+
+        data = profile_run(result, build_tutmac(params=slow_slots))
+        base = profile_run(
+            run_reference_simulation(build_tutmac(), duration_us=100_000),
+            build_tutmac(),
+        )
+        assert data.group_share("group1") < base.group_share("group1")

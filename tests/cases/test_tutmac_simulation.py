@@ -1,0 +1,96 @@
+"""TUTMAC reference simulation: the Table 4 shape (paper §4.4)."""
+
+import pytest
+
+from repro.profiling import profile_run
+
+#: Paper Table 4(a) proportions and the tolerance bands we accept.
+PAPER_SHARES = {
+    "group1": (92.1, 85.0, 96.0),
+    "group2": (5.2, 2.0, 10.0),
+    "group3": (2.5, 1.0, 6.0),
+    "group4": (0.2, 0.05, 1.5),
+}
+
+
+@pytest.fixture(scope="module")
+def profiling(tutmac_app, tutmac_reference_result):
+    return profile_run(tutmac_reference_result, tutmac_app)
+
+
+class TestTable4aShape:
+    @pytest.mark.parametrize("group", sorted(PAPER_SHARES))
+    def test_share_within_band(self, profiling, group):
+        paper, low, high = PAPER_SHARES[group]
+        measured = 100.0 * profiling.group_share(group)
+        assert low <= measured <= high, (
+            f"{group}: measured {measured:.1f} %, paper {paper} %, "
+            f"band [{low}, {high}]"
+        )
+
+    def test_strict_ordering(self, profiling):
+        cycles = profiling.group_cycles
+        assert cycles["group1"] > cycles["group2"] > cycles["group3"] > cycles["group4"] > 0
+
+    def test_group1_dominates_by_an_order_of_magnitude(self, profiling):
+        assert profiling.group_cycles["group1"] > 10 * profiling.group_cycles["group2"]
+
+    def test_environment_zero_cycles(self, profiling):
+        assert profiling.group_cycles["Environment"] == 0
+        assert profiling.group_share("Environment") == 0.0
+
+
+class TestTable4bShape:
+    def test_pipeline_flows_nonzero(self, profiling):
+        expected_flows = [
+            ("Environment", "group2"),  # user -> msduRec
+            ("group2", "group1"),       # frag -> rca (pdu_tx)
+            ("group2", "group4"),       # frag -> crc
+            ("group4", "group2"),       # crc -> frag
+            ("group1", "Environment"),  # rca -> phy
+            ("Environment", "group1"),  # phy -> rca
+            ("group1", "group3"),       # rca -> defrag
+            ("group3", "group4"),       # defrag -> crc
+            ("group4", "group3"),       # crc -> defrag
+            ("group3", "group2"),       # defrag -> msduDel
+            ("group2", "Environment"),  # msduDel -> user
+            ("group1", "group1"),       # management plane internal
+        ]
+        for sender, receiver in expected_flows:
+            assert profiling.signals_between(sender, receiver) > 0, (
+                sender, receiver
+            )
+
+    def test_forbidden_flows_zero(self, profiling):
+        for sender, receiver in [
+            ("group3", "group1"),
+            ("group4", "group1"),
+            ("group4", "Environment"),
+            ("Environment", "group3"),
+            ("Environment", "group4"),
+            ("Environment", "Environment"),
+        ]:
+            assert profiling.signals_between(sender, receiver) == 0
+
+    def test_uplink_rate_matches_workload(self, profiling, tutmac_app):
+        """500 MSDUs/s * 5 fragments => ~2500 pdu_tx/s from group2 to group1."""
+        params = tutmac_app.params
+        duration_s = profiling.end_time_ps / 1e12
+        msdus = duration_s * 1e6 / params.msdu_period_us
+        expected = msdus * params.uplink_fragments
+        measured = profiling.signals_between("group2", "group1")
+        assert expected * 0.8 <= measured <= expected * 1.05
+
+    def test_no_dropped_signals(self, profiling):
+        assert profiling.dropped_signals == 0
+
+
+class TestDeterminism:
+    def test_repeat_run_identical(self, tutmac_app, tutmac_reference_result):
+        from repro.cases.tutmac import build_tutmac
+        from repro.simulation import run_reference_simulation
+
+        repeat = run_reference_simulation(build_tutmac(), duration_us=100_000)
+        assert (
+            repeat.writer.render() == tutmac_reference_result.writer.render()
+        )

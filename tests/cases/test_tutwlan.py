@@ -1,0 +1,104 @@
+"""TUTWLAN platform and paper mapping: Figures 7 and 8."""
+
+import pytest
+
+from repro.cases.tutwlan import (
+    PAPER_MAPPING,
+    build_paper_mapping,
+    build_tutwlan_platform,
+    build_tutwlan_system,
+)
+
+
+class TestFigure7Platform:
+    def test_four_processing_elements(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        assert len(platform.processing_elements) == 4
+        assert platform.pe("accelerator1").spec.component_type == "hw accelerator"
+        for name in ("processor1", "processor2", "processor3"):
+            assert platform.pe(name).spec.component_type == "general"
+
+    def test_hierarchical_bus(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        assert set(platform.agents_on("hibisegment1")) == {"processor1", "processor2"}
+        assert set(platform.agents_on("hibisegment2")) == {
+            "processor3",
+            "accelerator1",
+        }
+        assert set(platform.agents_on("bridge")) == {"hibisegment1", "hibisegment2"}
+
+    def test_instance_ids_unique(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        ids = [pe.identifier for pe in platform.processing_elements.values()]
+        assert len(set(ids)) == 4
+
+    def test_stereotypes_applied(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        pe = platform.pe("processor1")
+        assert pe.part.has_stereotype("PlatformComponentInstance")
+        segment = platform.segments["hibisegment1"]
+        assert segment.part.has_stereotype("HIBISegment")
+        for wrapper in platform.wrappers:
+            assert wrapper.dependency.has_stereotype("HIBIWrapper")
+
+
+class TestFigure8Mapping:
+    def test_paper_assignment(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        assert mapping.assignment() == PAPER_MAPPING
+
+    def test_groups_1_and_3_share_processor1(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        assert mapping.groups_on("processor1") == ["group1", "group3"]
+
+    def test_processor3_left_free(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        assert mapping.groups_on("processor3") == []
+
+    def test_group4_on_accelerator(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        assert mapping.pe_of_group("group4") == "accelerator1"
+
+    def test_mapping_complete(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        mapping.check_complete()
+
+    def test_mapping_overrides(self):
+        application, platform, mapping = build_tutwlan_system(
+            mapping_overrides={"group3": "processor3"}
+        )
+        assert mapping.pe_of_group("group3") == "processor3"
+
+    def test_shared_model_single_xmi(self, tutwlan_system):
+        application, platform, _ = tutwlan_system
+        assert application.model is platform.model
+        from repro.uml import model_to_xml
+
+        xml = model_to_xml(application.model)
+        assert "ext:" not in xml  # every reference resolves in one document
+
+
+class TestSystemSimulation:
+    def test_runs_on_real_platform(self, tutwlan_system):
+        from repro.simulation import SystemSimulation
+
+        application, platform, mapping = build_tutwlan_system()
+        result = SystemSimulation(application, platform, mapping).run(20_000)
+        assert result.dispatched_events > 0
+        # crc work lands on the accelerator
+        crc_execs = [
+            r for r in result.log.exec_records
+            if r.process == "crc" and r.cycles > 0
+        ]
+        assert crc_execs
+        assert all(r.pe == "accelerator1" for r in crc_execs)
+
+    def test_bus_segments_carry_traffic(self):
+        from repro.simulation import SystemSimulation
+
+        application, platform, mapping = build_tutwlan_system()
+        result = SystemSimulation(application, platform, mapping).run(20_000)
+        # group2 (processor2) talks to group1 (processor1) over hibisegment1
+        assert result.bus_stats["hibisegment1"].transfers > 0
+        # group2 -> group4 (accelerator) crosses the bridge
+        assert result.bus_stats["bridge"].transfers > 0

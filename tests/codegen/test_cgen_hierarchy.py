@@ -1,0 +1,143 @@
+"""C generation of hierarchical state machines (static flattening)."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.codegen import CGenerator
+from repro.uml import Class, StateMachine
+from repro.uml.structure import Port
+
+SIGNAL_IDS = {"power": 0, "work": 1, "rest": 2, "power_off": 3}
+
+
+def hierarchical_component():
+    component = Class("Hier", is_active=True)
+    component.add_port(Port("io", provided=list(SIGNAL_IDS)))
+    machine = StateMachine("beh")
+    component.set_behavior(machine)
+    machine.variable("trace", 0)
+    machine.state("off", initial=True, entry="trace = trace * 10 + 7;")
+    machine.state("on", entry="trace = trace * 10 + 1;",
+                  exit="trace = trace * 10 + 6;")
+    machine.state("idle", parent="on", initial=True,
+                  entry="trace = trace * 10 + 2;",
+                  exit="trace = trace * 10 + 4;")
+    machine.state("busy", parent="on",
+                  entry="trace = trace * 10 + 3;",
+                  exit="trace = trace * 10 + 5;")
+    machine.on_signal("off", "on", "power")
+    machine.on_signal("idle", "busy", "work")
+    machine.on_signal("busy", "idle", "rest")
+    machine.on_signal("on", "off", "power_off")
+    return component
+
+
+class TestFlattening:
+    def test_composite_enter_descends(self):
+        generator = CGenerator(hierarchical_component(), SIGNAL_IDS)
+        source = generator.source()
+        on_body = source.split("Hier_enter_on(Hier_ctx_t *ctx)")[2]
+        assert "Hier_enter_idle(ctx);" in on_body.split("\n}\n")[0]
+
+    def test_leaf_cases_inherit_composite_transitions(self):
+        generator = CGenerator(hierarchical_component(), SIGNAL_IDS)
+        source = generator.source()
+        # the power_off transition (declared on the composite) must appear
+        # in both leaf cases, with the correct exit chains
+        idle_case = source.split("case HIER_STATE_IDLE:")[1].split("case HIER_STATE_BUSY:")[0]
+        busy_case = source.split("case HIER_STATE_BUSY:")[1].split("case HIER_STATE_OFF:")[0]
+        assert "SIG_POWER_OFF" in idle_case
+        assert "SIG_POWER_OFF" in busy_case
+
+    def test_no_case_for_composite_states(self):
+        generator = CGenerator(hierarchical_component(), SIGNAL_IDS)
+        source = generator.source()
+        handler = source.split("void Hier_handle_signal")[1]
+        assert "case HIER_STATE_ON:" not in handler
+
+    def test_composite_without_initial_rejected(self):
+        component = Class("Bad", is_active=True)
+        machine = StateMachine("beh")
+        component.set_behavior(machine)
+        machine.state("a", initial=True)
+        machine.state("comp")
+        machine.state("sub", parent="comp")
+        machine.on_signal("a", "comp", "power")
+        with pytest.raises(CodegenError):
+            CGenerator(component, SIGNAL_IDS).source()
+
+
+@pytest.mark.skipif(shutil.which("cc") is None, reason="no C compiler")
+class TestNativeEquivalence:
+    def test_trace_matches_interpreter(self, tmp_path):
+        """Drive the same signal sequence through the compiled C and the
+        Python interpreter; the entry/exit trace digits must agree."""
+        from repro.codegen.runtime import RUNTIME_HEADER
+        from repro.simulation import ProcessExecutor
+
+        component = hierarchical_component()
+        generator = CGenerator(component, SIGNAL_IDS, instrument=False)
+        (tmp_path / "Hier.h").write_text(generator.header())
+        (tmp_path / "Hier.c").write_text(generator.source())
+        (tmp_path / "tut_runtime.h").write_text(RUNTIME_HEADER)
+        (tmp_path / "tut_app.h").write_text(
+            "#ifndef TUT_APP_H\n#define TUT_APP_H\n"
+            '#include "tut_runtime.h"\n'
+            + "".join(
+                f"#define SIG_{name.upper()} {sid}\n"
+                for name, sid in SIGNAL_IDS.items()
+            )
+            + "#endif\n"
+        )
+        (tmp_path / "main.c").write_text(
+            '#include "Hier.h"\n#include "tut_app.h"\n#include <stdio.h>\n'
+            "void tut_send(void *c, int s, const int32_t *a, int n, const char *p)"
+            "{(void)c;(void)s;(void)a;(void)n;(void)p;}\n"
+            "void tut_set_timer(void *c, int t, int32_t d){(void)c;(void)t;(void)d;}\n"
+            "void tut_reset_timer(void *c, int t){(void)c;(void)t;}\n"
+            "uint32_t tut_crc32(uint32_t v, uint32_t s){(void)s;return v;}\n"
+            "int32_t tut_rand16(uint16_t *s){(void)s;return 0;}\n"
+            "const char *tut_signal_name(int id){(void)id;return \"?\";}\n"
+            "static void shoot(Hier_ctx_t *ctx, int id) {\n"
+            "    tut_signal_t sig = {0};\n"
+            "    sig.id = id;\n"
+            "    Hier_handle_signal(ctx, &sig);\n"
+            "    printf(\"%d %d\\n\", ctx->v_trace, ctx->base.state);\n"
+            "    ctx->v_trace = 0;\n"
+            "}\n"
+            "int main(void) {\n"
+            "    Hier_ctx_t ctx;\n"
+            "    Hier_init(&ctx);\n"
+            "    Hier_start(&ctx);\n"
+            "    ctx.v_trace = 0;\n"
+            "    shoot(&ctx, SIG_POWER);\n"
+            "    shoot(&ctx, SIG_WORK);\n"
+            "    shoot(&ctx, SIG_POWER_OFF);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        build = subprocess.run(
+            ["cc", "-std=c99", "-o", str(tmp_path / "h"),
+             str(tmp_path / "Hier.c"), str(tmp_path / "main.c")],
+            capture_output=True, text=True,
+        )
+        assert build.returncode == 0, build.stderr
+        run = subprocess.run(
+            [str(tmp_path / "h")], capture_output=True, text=True, timeout=20
+        )
+        native_traces = [
+            int(line.split()[0]) for line in run.stdout.strip().splitlines()
+        ]
+
+        executor = ProcessExecutor("p", component.classifier_behavior)
+        executor.start()
+        python_traces = []
+        for signal in ("power", "work", "power_off"):
+            executor.variables["trace"] = 0
+            executor.consume_signal(signal, [])
+            python_traces.append(executor.variables["trace"])
+
+        assert native_traces == python_traces == [12, 43, 567]

@@ -1,0 +1,100 @@
+"""Shared fixtures: small reference applications and the TUTMAC system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import ApplicationModel
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.uml import Port
+
+
+def build_pingpong() -> ApplicationModel:
+    """A two-process timer-driven ping-pong application."""
+    app = ApplicationModel("PingPong")
+    app.signal("tick", [("n", "Int32")])
+    app.signal("tock", [("n", "Int32")])
+    ping = app.component("Ping")
+    ping.add_port(Port("out", required=["tick"], provided=["tock"]))
+    machine = app.behavior(ping)
+    machine.variable("count", 0)
+    machine.state("idle", initial=True, entry="set_timer(t, 100);")
+    machine.state("wait")
+    machine.on_timer(
+        "idle", "wait", "t", effect="count = count + 1; send tick(count) via out;"
+    )
+    machine.on_signal(
+        "wait", "idle", "tock", params=["n"], effect="set_timer(t, 100);"
+    )
+    pong = app.component("Pong")
+    pong.add_port(Port("io", provided=["tick"], required=["tock"]))
+    machine2 = app.behavior(pong)
+    machine2.variable("echoed", 0)
+    machine2.state("ready", initial=True)
+    machine2.on_signal(
+        "ready",
+        "ready",
+        "tick",
+        params=["n"],
+        effect="echoed = echoed + 1; send tock(n) via io;",
+        internal=True,
+    )
+    app.process(app.top, "ping1", ping)
+    app.process(app.top, "pong1", pong)
+    app.connect(app.top, ("ping1", "out"), ("pong1", "io"))
+    app.group("g1")
+    app.group("g2")
+    app.assign("ping1", "g1")
+    app.assign("pong1", "g2")
+    return app
+
+
+def build_two_cpu_platform() -> PlatformModel:
+    """Two NiosCPUs on one HIBI segment."""
+    platform = PlatformModel("TwoCpu", standard_library())
+    platform.instantiate("cpu1", "NiosCPU")
+    platform.instantiate("cpu2", "NiosCPU")
+    platform.segment("seg1", "HIBISegment")
+    platform.attach("cpu1", "seg1", address=0x100)
+    platform.attach("cpu2", "seg1", address=0x200)
+    return platform
+
+
+@pytest.fixture
+def pingpong():
+    return build_pingpong()
+
+
+@pytest.fixture
+def two_cpu_platform():
+    return build_two_cpu_platform()
+
+
+@pytest.fixture
+def pingpong_system(pingpong, two_cpu_platform):
+    mapping = MappingModel(pingpong, two_cpu_platform)
+    mapping.map("g1", "cpu1")
+    mapping.map("g2", "cpu2")
+    return pingpong, two_cpu_platform, mapping
+
+
+@pytest.fixture(scope="session")
+def tutmac_app():
+    from repro.cases.tutmac import build_tutmac
+
+    return build_tutmac()
+
+
+@pytest.fixture(scope="session")
+def tutmac_reference_result(tutmac_app):
+    from repro.simulation import run_reference_simulation
+
+    return run_reference_simulation(tutmac_app, duration_us=100_000)
+
+
+@pytest.fixture(scope="session")
+def tutwlan_system():
+    from repro.cases.tutwlan import build_tutwlan_system
+
+    return build_tutwlan_system()

@@ -1,0 +1,137 @@
+"""Diagram renderings of Figures 3-8 (DOT and text)."""
+
+from repro.diagrams import (
+    DotGraph,
+    class_diagram_dot,
+    class_diagram_text,
+    composite_structure_dot,
+    composite_structure_text,
+    grouping_diagram_text,
+    mapping_diagram_dot,
+    mapping_diagram_text,
+    platform_diagram_dot,
+    platform_diagram_text,
+    profile_hierarchy_dot,
+)
+
+
+class TestDotBuilder:
+    def test_simple_graph(self):
+        graph = DotGraph("G")
+        graph.node("a", "Label A")
+        graph.node("b")
+        graph.edge("a", "b", label="link")
+        text = graph.render()
+        assert text.startswith("digraph G {")
+        assert '"Label A"' in text
+        assert '"link"' in text
+        assert text.strip().endswith("}")
+
+    def test_quoting(self):
+        graph = DotGraph("G")
+        graph.node("x", 'say "hi"\nline2')
+        text = graph.render()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+    def test_subgraph_cluster(self):
+        graph = DotGraph("G")
+        cluster = graph.subgraph("inner", label="Inner")
+        cluster.node("a")
+        text = graph.render()
+        assert "subgraph cluster_inner" in text
+
+    def test_undirected(self):
+        graph = DotGraph("G", directed=False)
+        graph.edge("a", "b")
+        text = graph.render()
+        assert "graph G {" in text
+        assert "--" in text
+
+    def test_node_ids_stable(self):
+        graph = DotGraph("G")
+        first = graph.node("same")
+        graph.edge("same", "same")
+        assert text_contains_once(graph.render(), f"{first} -> {first}")
+
+
+def text_contains_once(text, needle):
+    return text.count(needle) == 1
+
+
+class TestFigure3:
+    def test_hierarchy_dot(self):
+        text = profile_hierarchy_dot()
+        for stereotype in ("Application", "ProcessGroup", "PlatformComponentInstance"):
+            assert stereotype in text
+        assert "instantiate" in text
+        assert "mapping" in text
+
+
+class TestFigure4:
+    def test_class_diagram_contains_stereotyped_classes(self, tutmac_app):
+        text = class_diagram_dot(tutmac_app)
+        assert "«Application»" in text
+        assert "«ApplicationComponent»" in text
+        assert "Tutmac_Protocol" in text
+        assert "RadioChannelAccess" in text
+
+    def test_text_rendering_marks_kinds(self, tutmac_app):
+        text = class_diagram_text(tutmac_app)
+        assert "ui : UserInterface (structural)" in text
+        assert "rca : «ApplicationComponent» RadioChannelAccess (functional)" in text
+        assert "msduRec : MsduReceiver" in text
+
+
+class TestFigure5:
+    def test_composite_dot_has_parts_and_connectors(self, tutmac_app):
+        text = composite_structure_dot(tutmac_app)
+        for part in ("ui", "dp", "mng", "rmng", "rca"):
+            assert part in text
+
+    def test_composite_text_lists_boundary_ports(self, tutmac_app):
+        text = composite_structure_text(tutmac_app)
+        for port in ("pUser", "pPhy", "pMngUser"):
+            assert f"boundary port {port}" in text
+        assert "mng.RChPort -- rca.MngPort" in text
+
+
+class TestFigure6:
+    def test_grouping_text(self, tutmac_app):
+        text = grouping_diagram_text(tutmac_app)
+        assert "«ProcessGroup» group1" in text
+        assert "Tutmac_Protocol::rca" in text
+        assert "UserInterface::msduRec" in text
+        assert "DataProcessing::frag" in text
+
+
+class TestFigure7:
+    def test_platform_dot(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        text = platform_diagram_dot(platform)
+        for name in ("processor1", "processor2", "processor3", "accelerator1",
+                     "hibisegment1", "hibisegment2", "bridge"):
+            assert name in text
+
+    def test_platform_text_lists_wrappers(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        text = platform_diagram_text(platform)
+        assert "«PlatformComponentInstance» processor1 : NiosCPU" in text
+        assert "«HIBIWrapper» processor1 @ hibisegment1" in text
+        assert "bridge (bridge segment)" in text
+
+
+class TestFigure8:
+    def test_mapping_text(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        text = mapping_diagram_text(mapping)
+        assert "«PlatformMapping» group1 --> processor1" in text
+        assert "«PlatformMapping» group3 --> processor1" in text
+        assert "«PlatformMapping» group2 --> processor2" in text
+        assert "«PlatformMapping» group4 --> accelerator1" in text
+
+    def test_mapping_dot(self, tutwlan_system):
+        _, _, mapping = tutwlan_system
+        text = mapping_diagram_dot(mapping)
+        assert "«PlatformMapping»" in text
+        assert "folder" in text  # group nodes

@@ -1,0 +1,117 @@
+"""The Figure 2 end-to-end design and profiling flow."""
+
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.flow import FLOW_INVENTORY, FLOW_STEPS, run_design_flow
+from repro.mapping import MappingModel
+from repro.simulation import read_log
+
+from tests.conftest import build_pingpong, build_two_cpu_platform
+
+
+@pytest.fixture
+def flow_result(tmp_path):
+    app = build_pingpong()
+    platform = build_two_cpu_platform()
+    mapping = MappingModel(app, platform)
+    mapping.map("g1", "cpu1")
+    mapping.map("g2", "cpu2")
+    return run_design_flow(
+        app, platform, mapping, str(tmp_path), duration_us=5_000
+    )
+
+
+class TestArtifacts:
+    def test_all_artifacts_written(self, flow_result):
+        assert os.path.exists(flow_result.xmi_path)
+        assert os.path.exists(flow_result.log_path)
+        assert os.path.exists(flow_result.report_path)
+        assert os.path.isdir(flow_result.code_directory)
+        assert os.path.exists(
+            os.path.join(flow_result.code_directory, "tut_runtime.c")
+        )
+
+    def test_log_file_parses(self, flow_result):
+        log = read_log(flow_result.log_path)
+        assert log.exec_records
+        assert log.signal_records
+
+    def test_report_contains_tables(self, flow_result):
+        text = open(flow_result.report_path).read()
+        assert "Process group execution times" in text
+        assert "Number of signals between groups" in text
+
+    def test_xmi_reparses_into_group_info(self, flow_result):
+        from repro.profiling import group_info_from_xmi
+
+        xml = open(flow_result.xmi_path).read()
+        info = group_info_from_xmi(xml)
+        assert info.group_of("ping1") == "g1"
+
+    def test_profiling_object_populated(self, flow_result):
+        assert flow_result.profiling.group_cycles["g1"] > 0
+        assert flow_result.profiling.signals_between("g1", "g2") > 0
+
+    def test_steps_enumerated(self, flow_result):
+        assert flow_result.steps_run == FLOW_STEPS
+
+
+class TestValidationGate:
+    def test_rule_violation_blocks_flow(self, tmp_path):
+        app = build_pingpong()
+        # break the model: second «Application» class violates R1
+        from repro.uml import Class
+
+        rogue = Class("Rogue")
+        app.package.add(rogue)
+        app.profile.apply(rogue, "Application")
+        platform = build_two_cpu_platform()
+        mapping = MappingModel(app, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        with pytest.raises(ValidationError):
+            run_design_flow(app, platform, mapping, str(tmp_path))
+
+    def test_non_strict_mode_continues(self, tmp_path):
+        app = build_pingpong()
+        from repro.uml import Class
+
+        rogue = Class("Rogue")
+        app.package.add(rogue)
+        app.profile.apply(rogue, "Application")
+        platform = build_two_cpu_platform()
+        mapping = MappingModel(app, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000,
+            strict=False,
+        )
+        assert os.path.exists(result.report_path)
+
+
+class TestInventory:
+    def test_figure1_inventory_covers_tool_boxes(self):
+        # Figure 1 boxes: the profile, the UML tool, the profiling tool,
+        # and the FPGA target all have stand-ins
+        assert "TUT-Profile" in FLOW_INVENTORY
+        assert "Telelogic TAU G2" in FLOW_INVENTORY
+        assert "UML Profiling tool" in FLOW_INVENTORY
+        assert any("FPGA" in key for key in FLOW_INVENTORY)
+
+    def test_skip_codegen_option(self, tmp_path):
+        app = build_pingpong()
+        platform = build_two_cpu_platform()
+        mapping = MappingModel(app, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000,
+            generate_c=False,
+        )
+        assert not os.path.exists(
+            os.path.join(result.code_directory, "tut_runtime.c")
+        )

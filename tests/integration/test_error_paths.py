@@ -1,0 +1,110 @@
+"""Error handling across subsystem boundaries."""
+
+import pytest
+
+from repro.errors import MappingError, ModelError, SimulationError
+from repro.application import ApplicationModel
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.simulation import SystemSimulation
+from repro.uml import Model, Package, Port
+
+
+class TestFromModelErrors:
+    def test_application_requires_view_package(self):
+        with pytest.raises(ModelError):
+            ApplicationModel.from_model(Model("Empty"))
+
+    def test_application_requires_single_top(self):
+        app = ApplicationModel("A")
+        # remove the «Application» stereotype to break discovery
+        app.profile.unapply(app.top, "Application")
+        with pytest.raises(ModelError):
+            ApplicationModel.from_model(app.model, profile=app.profile)
+
+    def test_platform_requires_view_package(self):
+        with pytest.raises(ModelError):
+            PlatformModel.from_model(Model("Empty"), standard_library())
+
+    def test_platform_requires_known_component(self):
+        platform = PlatformModel("P", standard_library())
+        platform.instantiate("cpu1", "NiosCPU")
+        # a library lacking NiosCPU cannot rebind the spec
+        from repro.platform import PlatformLibrary
+
+        with pytest.raises(ModelError):
+            PlatformModel.from_model(platform.model, PlatformLibrary("empty"))
+
+    def test_mapping_requires_view_package(self, pingpong, two_cpu_platform):
+        with pytest.raises(MappingError):
+            MappingModel.from_model(
+                pingpong, two_cpu_platform, view_name="NoSuchView"
+            )
+
+
+class TestSimulationRuntimeErrors:
+    def build_app_sending(self, signal_declared):
+        app = ApplicationModel("Bad")
+        app.signal("ok")
+        if signal_declared:
+            app.signal("mystery")
+        talker = app.component("Talker")
+        talker.add_port(Port("out"))
+        machine = app.behavior(talker)
+        machine.state("s", initial=True, entry="send mystery() via out;")
+        listener = app.component("Listener")
+        listener.add_port(Port("inp"))
+        machine2 = app.behavior(listener)
+        machine2.state("s", initial=True)
+        app.process(app.top, "t1", talker)
+        app.process(app.top, "l1", listener)
+        app.connect(app.top, ("t1", "out"), ("l1", "inp"))
+        app.group("g")
+        app.assign("t1", "g")
+        app.assign("l1", "g")
+        return app
+
+    def _system(self, app):
+        platform = PlatformModel("OneCpu", standard_library())
+        platform.instantiate("cpu1", "NiosCPU")
+        mapping = MappingModel(app, platform)
+        mapping.map("g", "cpu1")
+        return SystemSimulation(app, platform, mapping)
+
+    def test_undeclared_signal_send_raises(self):
+        app = self.build_app_sending(signal_declared=False)
+        simulation = self._system(app)
+        with pytest.raises(ModelError):
+            simulation.run(1_000)
+
+    def test_declared_signal_send_works(self):
+        app = self.build_app_sending(signal_declared=True)
+        result = self._system(app).run(1_000)
+        assert any(r.signal == "mystery" for r in result.log.signal_records)
+
+    def test_disconnected_pes_raise_during_transfer(self, pingpong):
+        platform = PlatformModel("Islands", standard_library())
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("cpu2", "NiosCPU")  # no segment attaches them
+        mapping = MappingModel(pingpong, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        simulation = SystemSimulation(pingpong, platform, mapping)
+        with pytest.raises(MappingError):
+            simulation.run(5_000)
+
+
+class TestFlowErrorSurface:
+    def test_flow_propagates_simulation_errors(self, tmp_path, pingpong):
+        from repro.flow import run_design_flow
+
+        platform = PlatformModel("Islands", standard_library())
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("cpu2", "NiosCPU")
+        mapping = MappingModel(pingpong, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        with pytest.raises(MappingError):
+            run_design_flow(
+                pingpong, platform, mapping, str(tmp_path), duration_us=5_000
+            )

@@ -1,0 +1,56 @@
+"""Every shipped example runs to completion and prints what it promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+
+def run_example(name, timeout=300):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=os.path.dirname(path),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Process group execution times" in out
+        assert "acquisition" in out
+        assert "bus transfers" in out
+
+    def test_tutmac_wlan(self):
+        out = run_example("tutmac_wlan.py")
+        assert "«Application» Tutmac_Protocol" in out
+        assert "Process group execution times" in out
+        assert "group1" in out
+        assert "artefacts written" in out
+        assert "diagrams exported" in out
+
+    def test_architecture_exploration(self):
+        out = run_example("architecture_exploration.py")
+        assert "Grouping strategies" in out
+        assert "evaluated 108 assignments" in out
+        assert "bus traffic reduced" in out
+
+    def test_custom_profile_and_codegen(self):
+        out = run_example("custom_profile_and_codegen.py")
+        assert "XMI round-trip: ok" in out
+        assert "generated C project" in out
+
+    def test_dsp_pipeline(self):
+        out = run_example("dsp_pipeline.py")
+        assert "NiosDSP (matched)" in out
+        assert "cheaper" in out

@@ -1,0 +1,118 @@
+"""Scalability smoke: many processes, many PEs, long horizons."""
+
+import pytest
+
+from repro.application import ApplicationModel
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.simulation import SystemSimulation
+from repro.uml import Port
+
+
+def build_wide_system(worker_count=24, pe_count=6):
+    """A star: one dispatcher fanning work out to many workers."""
+    app = ApplicationModel("Wide")
+    app.signal("work", [("n", "Int32")])
+    app.signal("done", [("n", "Int32")])
+
+    worker = app.component("Worker")
+    worker.add_port(Port("io", provided=["work"], required=["done"]))
+    machine = app.behavior(worker)
+    machine.variable("count", 0)
+    machine.state("s", initial=True)
+    machine.on_signal(
+        "s", "s", "work", params=["n"], internal=True,
+        effect="count = count + 1; send done(n) via io;",
+    )
+
+    dispatcher = app.component("Dispatcher")
+    ports = []
+    for index in range(worker_count):
+        port = f"out{index}"
+        dispatcher.add_port(Port(port, required=["work"], provided=["done"]))
+        ports.append(port)
+    machine = app.behavior(dispatcher)
+    machine.variable("round_no", 0)
+    machine.variable("acks", 0)
+    sends = "".join(f"send work(round_no) via {p};" for p in ports)
+    machine.state("s", initial=True, entry="set_timer(t, 500);")
+    machine.on_timer(
+        "s", "s", "t", internal=True,
+        effect=f"round_no = round_no + 1; {sends} set_timer(t, 500);",
+    )
+    machine.on_signal(
+        "s", "s", "done", params=["n"], internal=True,
+        effect="acks = acks + 1;", priority=1,
+    )
+
+    app.process(app.top, "dispatcher", dispatcher, priority=5)
+    worker_names = []
+    for index in range(worker_count):
+        name = f"worker{index:02d}"
+        app.process(app.top, name, worker)
+        app.connect(app.top, ("dispatcher", f"out{index}"), (name, "io"))
+        worker_names.append(name)
+
+    platform = PlatformModel("Farm", standard_library())
+    platform.segment("bus0", "HIBISegment")
+    for pe_index in range(pe_count):
+        platform.instantiate(f"cpu{pe_index}", "NiosCPU")
+        platform.attach(f"cpu{pe_index}", "bus0")
+
+    mapping = MappingModel(app, platform)
+    app.group("g_disp")
+    app.assign("dispatcher", "g_disp")
+    mapping.map("g_disp", "cpu0")
+    for index, name in enumerate(worker_names):
+        group = f"g{index}"
+        app.group(group)
+        app.assign(name, group)
+        mapping.map(group, f"cpu{index % pe_count}")
+    return app, platform, mapping
+
+
+class TestWideSystem:
+    def test_24_workers_on_6_pes(self):
+        app, platform, mapping = build_wide_system()
+        simulation = SystemSimulation(app, platform, mapping)
+        result = simulation.run(20_000)
+        # every round reaches every worker, and every ack returns
+        rounds = simulation.executors["dispatcher"].variables["round_no"]
+        assert rounds >= 30
+        total_worked = sum(
+            simulation.executors[f"worker{i:02d}"].variables["count"]
+            for i in range(24)
+        )
+        # the last round's fan-out may still be in flight
+        assert total_worked >= (rounds - 2) * 24
+        acks = simulation.executors["dispatcher"].variables["acks"]
+        assert acks >= total_worked - 24
+
+    def test_all_pes_loaded(self):
+        app, platform, mapping = build_wide_system()
+        result = SystemSimulation(app, platform, mapping).run(20_000)
+        utilization = result.pe_utilization()
+        assert all(utilization[f"cpu{i}"] > 0 for i in range(6))
+
+    def test_bus_contention_serialises(self):
+        app, platform, mapping = build_wide_system()
+        result = SystemSimulation(app, platform, mapping).run(20_000)
+        stats = result.bus_stats["bus0"]
+        assert stats.transfers > 500
+        assert stats.wait_ps > 0  # 24 simultaneous fan-out transfers contend
+
+
+class TestLongHorizon:
+    def test_one_second_tutmac_reference(self):
+        from repro.cases.tutmac import build_tutmac
+        from repro.simulation import run_reference_simulation
+
+        result = run_reference_simulation(
+            build_tutmac(), duration_us=1_000_000, max_events=2_000_000
+        )
+        # 4000 slots, 500 MSDUs, 100 beacons ... and stable proportions
+        from repro.profiling import profile_run
+
+        data = profile_run(result, build_tutmac())
+        assert 0.85 <= data.group_share("group1") <= 0.96
+        assert data.dropped_signals == 0

@@ -1,0 +1,86 @@
+"""Platform component specs: validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.platform import ProcessingElementSpec, SegmentSpec, WrapperSpec
+
+
+class TestProcessingElementSpec:
+    def test_defaults_support_all_types(self):
+        spec = ProcessingElementSpec(name="CPU")
+        for process_type in ("general", "dsp", "hardware"):
+            assert spec.supports(process_type)
+
+    def test_unknown_component_type(self):
+        with pytest.raises(ModelError):
+            ProcessingElementSpec(name="X", component_type="quantum")
+
+    def test_bad_frequency(self):
+        with pytest.raises(ModelError):
+            ProcessingElementSpec(name="X", frequency_hz=0)
+
+    def test_bad_statement_cost(self):
+        with pytest.raises(ModelError):
+            ProcessingElementSpec(
+                name="X", cycles_per_statement={"general": 0}
+            )
+
+    def test_unknown_process_type_in_costs(self):
+        with pytest.raises(ModelError):
+            ProcessingElementSpec(
+                name="X", cycles_per_statement={"fpga": 3}
+            )
+
+    def test_unsupported_type_raises_on_lookup(self):
+        spec = ProcessingElementSpec(
+            name="Accel",
+            component_type="hw accelerator",
+            cycles_per_statement={"hardware": 1},
+        )
+        assert spec.statement_cycles("hardware") == 1
+        assert not spec.supports("general")
+        with pytest.raises(ModelError):
+            spec.statement_cycles("general")
+
+
+class TestSegmentSpec:
+    def test_words_for_bytes(self):
+        spec = SegmentSpec(name="S", data_width_bits=32)
+        assert spec.words_for_bytes(1) == 1
+        assert spec.words_for_bytes(4) == 1
+        assert spec.words_for_bytes(5) == 2
+        assert spec.words_for_bytes(0) == 1  # at least one word
+
+    def test_transfer_cycles_includes_burst_overhead(self):
+        spec = SegmentSpec(name="S", data_width_bits=32, burst_words=8)
+        # 16 words = 2 bursts -> 16 + 2 cycles
+        assert spec.transfer_cycles(64) == 18
+        # 1 word = 1 burst -> 2 cycles
+        assert spec.transfer_cycles(4) == 2
+
+    def test_wider_bus_moves_more_per_cycle(self):
+        narrow = SegmentSpec(name="N", data_width_bits=16)
+        wide = SegmentSpec(name="W", data_width_bits=64)
+        assert wide.transfer_cycles(256) < narrow.transfer_cycles(256)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SegmentSpec(name="S", arbitration="coin-flip")
+        with pytest.raises(ModelError):
+            SegmentSpec(name="S", data_width_bits=12)
+        with pytest.raises(ModelError):
+            SegmentSpec(name="S", burst_words=0)
+
+
+class TestWrapperSpec:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WrapperSpec(address=-1)
+        with pytest.raises(ModelError):
+            WrapperSpec(address=0, tx_buffer_words=0)
+
+    def test_defaults(self):
+        spec = WrapperSpec(address=0x100)
+        assert spec.tx_buffer_words == 8
+        assert spec.max_reservation_cycles == 0

@@ -1,0 +1,75 @@
+"""The platform component library and its UML presentation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.platform import PlatformLibrary, ProcessingElementSpec, SegmentSpec, standard_library
+
+
+class TestStandardLibrary:
+    def test_catalogue_contents(self):
+        library = standard_library()
+        assert set(library.processing_elements) == {
+            "NiosCPU",
+            "NiosDSP",
+            "CRCAccelerator",
+        }
+        assert set(library.segments) == {"HIBISegment", "HIBIBridgeSegment"}
+
+    def test_component_classes_stereotyped(self):
+        library = standard_library()
+        cpu = library.component_class("NiosCPU")
+        assert cpu.has_stereotype("PlatformComponent")
+        assert cpu.tag("PlatformComponent", "Type") == "general"
+        accel = library.component_class("CRCAccelerator")
+        assert accel.tag("PlatformComponent", "Type") == "hw accelerator"
+
+    def test_segment_classes_hibi_stereotyped(self):
+        library = standard_library()
+        segment = library.component_class("HIBISegment")
+        assert segment.has_stereotype("HIBISegment")
+        assert segment.has_stereotype("PlatformCommunicationSegment")
+        bridge = library.component_class("HIBIBridgeSegment")
+        assert bridge.tag("HIBISegment", "IsBridge") is True
+
+    def test_accelerator_only_runs_hardware(self):
+        library = standard_library()
+        accel = library.processing_element("CRCAccelerator")
+        assert accel.supports("hardware")
+        assert not accel.supports("general")
+
+    def test_dsp_faster_for_dsp_processes(self):
+        library = standard_library()
+        dsp = library.processing_element("NiosDSP")
+        assert dsp.statement_cycles("dsp") < dsp.statement_cycles("general")
+
+
+class TestLibraryApi:
+    def test_duplicate_rejected(self):
+        library = PlatformLibrary("L")
+        library.add_processing_element(ProcessingElementSpec(name="X"))
+        with pytest.raises(ModelError):
+            library.add_processing_element(ProcessingElementSpec(name="X"))
+
+    def test_unknown_lookup(self):
+        library = PlatformLibrary("L")
+        with pytest.raises(ModelError):
+            library.processing_element("ghost")
+        with pytest.raises(ModelError):
+            library.segment("ghost")
+        with pytest.raises(ModelError):
+            library.component_class("ghost")
+        with pytest.raises(ModelError):
+            library.spec_of("ghost")
+
+    def test_spec_of_dispatches(self):
+        library = PlatformLibrary("L")
+        library.add_processing_element(ProcessingElementSpec(name="P"))
+        library.add_segment(SegmentSpec(name="S"))
+        assert isinstance(library.spec_of("P"), ProcessingElementSpec)
+        assert isinstance(library.spec_of("S"), SegmentSpec)
+
+    def test_component_names_sorted(self):
+        library = standard_library()
+        names = library.component_names()
+        assert names == sorted(names)

@@ -1,0 +1,152 @@
+"""PlatformModel: instantiation, attachment, topology queries."""
+
+import pytest
+
+from repro.errors import MappingError, ModelError
+from repro.platform import PlatformModel, standard_library
+
+
+@pytest.fixture
+def platform():
+    return PlatformModel("Plat", standard_library())
+
+
+class TestInstantiation:
+    def test_pe_part_stereotyped(self, platform):
+        pe = platform.instantiate("cpu1", "NiosCPU", priority=2)
+        assert pe.part.has_stereotype("PlatformComponentInstance")
+        assert pe.priority() == 2
+        assert pe.identifier == 1
+
+    def test_auto_ids_unique(self, platform):
+        first = platform.instantiate("cpu1", "NiosCPU")
+        second = platform.instantiate("cpu2", "NiosCPU")
+        assert first.identifier != second.identifier
+
+    def test_explicit_id(self, platform):
+        pe = platform.instantiate("cpu1", "NiosCPU", identifier=42)
+        assert pe.identifier == 42
+
+    def test_duplicate_name_rejected(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        with pytest.raises(ModelError):
+            platform.instantiate("cpu1", "NiosCPU")
+
+    def test_top_is_platform_stereotyped(self, platform):
+        assert platform.top.has_stereotype("Platform")
+
+    def test_segment_spec_overrides(self, platform):
+        segment = platform.segment(
+            "seg1", "HIBISegment", arbitration="round-robin", data_width_bits=64
+        )
+        assert segment.spec.arbitration == "round-robin"
+        assert segment.spec.data_width_bits == 64
+        assert segment.part.tag("HIBISegment", "Arbitration") == "round-robin"
+
+
+class TestAttachment:
+    def test_wrapper_dependency_stereotyped(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.segment("seg1", "HIBISegment")
+        wrapper = platform.attach("cpu1", "seg1", address=0x100)
+        assert wrapper.dependency.has_stereotype("HIBIWrapper")
+        assert wrapper.dependency.tag("PlatformCommunicationWrapper", "Address") == 0x100
+
+    def test_duplicate_address_rejected(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("cpu2", "NiosCPU")
+        platform.segment("seg1", "HIBISegment")
+        platform.attach("cpu1", "seg1", address=0x100)
+        with pytest.raises(ModelError):
+            platform.attach("cpu2", "seg1", address=0x100)
+
+    def test_double_attach_rejected(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.segment("seg1", "HIBISegment")
+        platform.attach("cpu1", "seg1")
+        with pytest.raises(ModelError):
+            platform.attach("cpu1", "seg1")
+
+    def test_auto_addresses_unique(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("cpu2", "NiosCPU")
+        platform.segment("seg1", "HIBISegment")
+        w1 = platform.attach("cpu1", "seg1")
+        w2 = platform.attach("cpu2", "seg1")
+        assert w1.spec.address != w2.spec.address
+
+    def test_unknown_agent_or_segment(self, platform):
+        platform.segment("seg1", "HIBISegment")
+        with pytest.raises(ModelError):
+            platform.attach("ghost", "seg1")
+        platform.instantiate("cpu1", "NiosCPU")
+        with pytest.raises(ModelError):
+            platform.attach("cpu1", "ghost")
+
+
+class TestTopology:
+    def build_bridged(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("cpu2", "NiosCPU")
+        platform.instantiate("cpu3", "NiosCPU")
+        platform.segment("segA", "HIBISegment")
+        platform.segment("segB", "HIBISegment")
+        platform.segment("bridge", "HIBIBridgeSegment")
+        platform.attach("cpu1", "segA", address=0x100)
+        platform.attach("cpu2", "segA", address=0x200)
+        platform.attach("cpu3", "segB", address=0x300)
+        platform.attach("segA", "bridge", address=0x400)
+        platform.attach("segB", "bridge", address=0x500)
+
+    def test_same_segment_path(self, platform):
+        self.build_bridged(platform)
+        assert platform.transfer_path("cpu1", "cpu2") == ["segA"]
+
+    def test_bridged_path(self, platform):
+        self.build_bridged(platform)
+        assert platform.transfer_path("cpu1", "cpu3") == ["segA", "bridge", "segB"]
+
+    def test_self_path_empty(self, platform):
+        self.build_bridged(platform)
+        assert platform.transfer_path("cpu1", "cpu1") == []
+
+    def test_disconnected_raises(self, platform):
+        platform.instantiate("cpu1", "NiosCPU")
+        platform.instantiate("lonely", "NiosCPU")
+        platform.segment("segA", "HIBISegment")
+        platform.attach("cpu1", "segA")
+        with pytest.raises(MappingError):
+            platform.transfer_path("cpu1", "lonely")
+
+    def test_segments_of_and_agents_on(self, platform):
+        self.build_bridged(platform)
+        assert platform.segments_of("cpu1") == ["segA"]
+        assert set(platform.agents_on("segA")) == {"cpu1", "cpu2"}
+        assert set(platform.agents_on("bridge")) == {"segA", "segB"}
+
+    def test_totals(self, platform):
+        self.build_bridged(platform)
+        assert platform.total_area() > 0
+        assert platform.total_power() > 0
+
+
+class TestTutwlanPlatform:
+    def test_figure7_structure(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        assert set(platform.processing_elements) == {
+            "processor1",
+            "processor2",
+            "processor3",
+            "accelerator1",
+        }
+        assert set(platform.segments) == {"hibisegment1", "hibisegment2", "bridge"}
+        assert platform.segments["bridge"].is_bridge
+
+    def test_figure7_paths(self, tutwlan_system):
+        _, platform, _ = tutwlan_system
+        assert platform.transfer_path("processor1", "processor2") == ["hibisegment1"]
+        assert platform.transfer_path("processor1", "accelerator1") == [
+            "hibisegment1",
+            "bridge",
+            "hibisegment2",
+        ]

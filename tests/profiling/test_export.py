@@ -1,0 +1,58 @@
+"""CSV export of profiling data."""
+
+import csv
+import io
+
+from repro.profiling import (
+    analyze,
+    group_times_csv,
+    latency_csv,
+    process_transfers_csv,
+    signal_matrix_csv,
+    write_all_csv,
+)
+from tests.profiling.test_analysis import make_info, make_log
+
+
+def make_data():
+    return analyze(make_log(), make_info())
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestCsvContents:
+    def test_group_times(self):
+        rows = parse(group_times_csv(make_data()))
+        assert rows[0] == ["group", "cycles", "share", "steps"]
+        by_group = {row[0]: row for row in rows[1:]}
+        assert by_group["gA"][1] == "150"
+        assert float(by_group["gA"][2]) > 0.8
+        assert by_group["Environment"][1] == "0"
+
+    def test_signal_matrix_square(self):
+        rows = parse(signal_matrix_csv(make_data()))
+        groups = rows[0][1:]
+        assert len(rows) - 1 == len(groups)
+        # gA -> gB is 5 in the synthetic log
+        gA_row = [r for r in rows[1:] if r[0] == "gA"][0]
+        assert gA_row[1 + groups.index("gB")] == "5"
+
+    def test_process_transfers(self):
+        rows = parse(process_transfers_csv(make_data()))
+        assert rows[0] == ["sender", "receiver", "signals"]
+        assert ["p1", "p3", "5"] in rows
+
+    def test_latency(self):
+        rows = parse(latency_csv(make_data()))
+        assert rows[0][0] == "signal"
+        assert len(rows) > 1
+
+    def test_write_all(self, tmp_path):
+        paths = write_all_csv(make_data(), str(tmp_path))
+        assert len(paths) == 4
+        import os
+
+        for path in paths:
+            assert os.path.getsize(path) > 0

@@ -1,0 +1,53 @@
+"""Profiling stage 1: group info from model and from XMI agree."""
+
+from repro.profiling import (
+    ENVIRONMENT_GROUP,
+    group_info_from_model,
+    group_info_from_xmi,
+)
+from repro.uml import model_to_xml
+
+
+class TestFromModel:
+    def test_pingpong_groups(self, pingpong):
+        info = group_info_from_model(pingpong.model)
+        assert info.group_of("ping1") == "g1"
+        assert info.group_of("pong1") == "g2"
+        assert info.group_names == ["g1", "g2"]
+
+    def test_unknown_process_is_environment(self, pingpong):
+        info = group_info_from_model(pingpong.model)
+        assert info.group_of("mystery") == ENVIRONMENT_GROUP
+
+    def test_members(self, pingpong):
+        info = group_info_from_model(pingpong.model)
+        assert info.members("g1") == ["ping1"]
+
+    def test_all_groups_appends_environment(self, pingpong):
+        info = group_info_from_model(pingpong.model)
+        assert info.all_groups() == ["g1", "g2", ENVIRONMENT_GROUP]
+        assert info.all_groups(include_environment=False) == ["g1", "g2"]
+
+
+class TestFromXmi:
+    def test_stage1_matches_in_memory_walk(self, pingpong):
+        xml = model_to_xml(pingpong.model)
+        from_xmi = group_info_from_xmi(xml, profiles=[pingpong.profile])
+        from_model = group_info_from_model(pingpong.model)
+        assert from_xmi.process_to_group == from_model.process_to_group
+        assert from_xmi.group_names == from_model.group_names
+
+    def test_tutmac_stage1(self, tutmac_app):
+        xml = model_to_xml(tutmac_app.model)
+        info = group_info_from_xmi(xml, profiles=[tutmac_app.profile])
+        assert info.group_of("rca") == "group1"
+        assert info.group_of("mng") == "group1"
+        assert info.group_of("rmng") == "group1"
+        assert info.group_of("msduRec") == "group2"
+        assert info.group_of("frag") == "group2"
+        assert info.group_of("defrag") == "group3"
+        assert info.group_of("crc") == "group4"
+        # environment processes are unstereotyped -> Environment
+        assert info.group_of("user") == ENVIRONMENT_GROUP
+        assert info.group_of("phy") == ENVIRONMENT_GROUP
+        assert info.process_count == 8

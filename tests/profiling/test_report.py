@@ -1,0 +1,81 @@
+"""Profiling report rendering in the paper's Table 4 layout."""
+
+from repro.profiling import (
+    profile_run,
+    render_process_detail,
+    render_report,
+    render_table4a,
+    render_table4b,
+)
+from tests.profiling.test_analysis import make_info, make_log
+from repro.profiling import analyze
+
+
+def make_data():
+    return analyze(make_log(), make_info())
+
+
+class TestTable4a:
+    def test_layout(self):
+        text = render_table4a(make_data())
+        assert "Process group" in text
+        assert "Total execution time" in text
+        assert "Proportion" in text
+        assert "cycles" in text
+
+    def test_rows_sorted_by_share_descending(self):
+        text = render_table4a(make_data())
+        lines = [l for l in text.splitlines() if "cycles" in l]
+        assert lines[0].startswith(" gA")
+        assert lines[-1].split("|")[0].strip() == "Environment"
+
+    def test_environment_row_zero(self):
+        text = render_table4a(make_data())
+        env_line = [l for l in text.splitlines() if l.strip().startswith("Environment")][0]
+        assert "0 cycles" in env_line
+        assert "0.0 %" in env_line
+
+    def test_percentage_format_matches_paper(self):
+        text = render_table4a(make_data())
+        assert "85.7 %" in text  # 150/175
+
+
+class TestTable4b:
+    def test_layout(self):
+        text = render_table4b(make_data())
+        assert "Sender/Receiver" in text
+        for group in ("gA", "gB", "Environment"):
+            assert group in text
+
+    def test_counts_present(self):
+        text = render_table4b(make_data())
+        rows = [l for l in text.splitlines() if l.strip().startswith("gA")]
+        assert "5" in rows[0]
+
+
+class TestFullReport:
+    def test_sections_present(self):
+        text = render_report(make_data(), title="Demo report")
+        assert "Demo report" in text
+        assert "Process group execution times" in text
+        assert "Number of signals between groups" in text
+        assert "Transfers between individual application processes" in text
+        assert "dropped signals: 1" in text
+
+    def test_process_detail(self):
+        text = render_process_detail(make_data())
+        assert "p1 -> p3" in text
+
+
+class TestProfileRun:
+    def test_profile_run_via_xmi(self, pingpong, two_cpu_platform):
+        from repro.mapping import MappingModel
+        from repro.simulation import SystemSimulation
+
+        mapping = MappingModel(pingpong, two_cpu_platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        result = SystemSimulation(pingpong, two_cpu_platform, mapping).run(5_000)
+        data = profile_run(result, pingpong)
+        assert data.group_cycles["g1"] > 0
+        assert data.signals_between("g1", "g2") > 0

@@ -1,0 +1,89 @@
+"""Property-based tests of the HIBI bus model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.platform import PlatformModel, standard_library
+from repro.simulation import HibiBus, Kernel
+
+
+def platform_with(arbitration="priority", width=32):
+    platform = PlatformModel("P", standard_library())
+    platform.instantiate("cpu1", "NiosCPU")
+    platform.instantiate("cpu2", "NiosCPU")
+    platform.segment(
+        "seg", "HIBISegment", arbitration=arbitration, data_width_bits=width
+    )
+    platform.attach("cpu1", "seg", address=0x100)
+    platform.attach("cpu2", "seg", address=0x200)
+    return platform
+
+
+def single_latency(platform, size):
+    kernel = Kernel()
+    bus = HibiBus(platform, kernel)
+    out = []
+    bus.transfer("cpu1", "cpu2", size, out.append)
+    kernel.run()
+    return out[0]
+
+
+@given(st.integers(min_value=1, max_value=4096), st.integers(min_value=1, max_value=4096))
+@settings(max_examples=40, deadline=None)
+def test_latency_monotone_in_size(size_a, size_b):
+    platform = platform_with()
+    latency_a = single_latency(platform, size_a)
+    latency_b = single_latency(platform_with(), size_b)
+    if size_a <= size_b:
+        assert latency_a <= latency_b
+    else:
+        assert latency_a >= latency_b
+
+
+@given(st.integers(min_value=1, max_value=2048))
+@settings(max_examples=30, deadline=None)
+def test_wider_bus_never_slower(size):
+    narrow = single_latency(platform_with(width=16), size)
+    wide = single_latency(platform_with(width=64), size)
+    assert wide <= narrow
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["cpu1", "cpu2"]), st.integers(1, 512)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.sampled_from(["priority", "round-robin"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_all_transfers_complete_exactly_once(requests, arbitration):
+    """Conservation: every requested transfer completes once, whatever the
+    arbitration policy and contention pattern."""
+    platform = platform_with(arbitration=arbitration)
+    kernel = Kernel()
+    bus = HibiBus(platform, kernel)
+    completions = []
+    for source, size in requests:
+        target = "cpu2" if source == "cpu1" else "cpu1"
+        bus.transfer(source, target, size, completions.append)
+    kernel.run()
+    assert len(completions) == len(requests)
+    assert all(latency > 0 for latency in completions)
+    stats = bus.stats()["seg"]
+    assert stats.transfers == len(requests)
+
+
+@given(st.integers(min_value=1, max_value=1024))
+@settings(max_examples=20, deadline=None)
+def test_serialised_pair_takes_sum_of_busy_times(size):
+    """Two same-size contending transfers: the second completes one
+    occupancy later than the first (no overlap, no gap)."""
+    platform = platform_with()
+    kernel = Kernel()
+    bus = HibiBus(platform, kernel)
+    done = []
+    bus.transfer("cpu1", "cpu2", size, lambda latency: done.append(kernel.now_ps))
+    bus.transfer("cpu1", "cpu2", size, lambda latency: done.append(kernel.now_ps))
+    kernel.run()
+    first, second = done
+    assert second == 2 * first

@@ -1,0 +1,100 @@
+"""System-level simulation invariants on real runs.
+
+These are the safety properties any scheduler/bus implementation must
+keep; they are checked over full TUTMAC runs, not toy fixtures.
+"""
+
+import pytest
+
+from repro.simulation import SystemSimulation
+from repro.cases.tutwlan import build_tutwlan_system
+
+
+@pytest.fixture(scope="module")
+def platform_run():
+    return SystemSimulation(*build_tutwlan_system()).run(50_000)
+
+
+class TestExecutionInvariants:
+    def test_pe_steps_never_overlap(self, platform_run):
+        """A PE executes one run-to-completion step at a time."""
+        by_pe = {}
+        for record in platform_run.log.exec_records:
+            if record.pe == "-":
+                continue  # environment pseudo-PE is concurrent by design
+            by_pe.setdefault(record.pe, []).append(record)
+        for pe, records in by_pe.items():
+            records.sort(key=lambda r: r.time_ps)
+            for earlier, later in zip(records, records[1:]):
+                assert earlier.time_ps + earlier.duration_ps <= later.time_ps, (
+                    pe, earlier, later
+                )
+
+    def test_busy_time_equals_step_durations(self, platform_run):
+        for pe, busy_ps in platform_run.pe_busy_ps.items():
+            total = sum(
+                r.duration_ps
+                for r in platform_run.log.exec_records
+                if r.pe == pe
+            )
+            assert total == busy_ps
+
+    def test_cycles_and_durations_nonnegative(self, platform_run):
+        for record in platform_run.log.exec_records:
+            assert record.cycles >= 0
+            assert record.duration_ps >= 0
+
+    def test_environment_costs_nothing(self, platform_run):
+        for record in platform_run.log.exec_records:
+            if record.pe == "-":
+                assert record.cycles == 0
+                assert record.duration_ps == 0
+
+
+class TestSignalInvariants:
+    def test_latencies_nonnegative_and_ordered(self, platform_run):
+        for record in platform_run.log.signal_records:
+            assert record.latency_ps >= 0
+            assert record.time_ps >= record.latency_ps  # sent at time - latency
+
+    def test_bus_signals_pay_wire_latency(self, platform_run):
+        bus_records = [
+            r for r in platform_run.log.signal_records if r.transport == "bus"
+        ]
+        local_records = [
+            r for r in platform_run.log.signal_records if r.transport == "local"
+        ]
+        assert bus_records and local_records
+        assert min(r.latency_ps for r in bus_records) > max(
+            r.latency_ps for r in local_records
+        ) * 0  # bus latency strictly positive
+        assert all(r.latency_ps > 0 for r in bus_records)
+
+    def test_transport_matches_mapping(self, platform_run):
+        """local ⇔ same PE, bus ⇔ different PEs, env ⇔ environment endpoint."""
+        application, platform, mapping = build_tutwlan_system()
+        pe_of = {
+            name: mapping.pe_of_process(name)
+            for name in application.processes
+        }
+        for record in platform_run.log.signal_records:
+            sender_pe = pe_of[record.sender]
+            receiver_pe = pe_of[record.receiver]
+            if sender_pe is None or receiver_pe is None:
+                assert record.transport == "env", record
+            elif sender_pe == receiver_pe:
+                assert record.transport == "local", record
+            else:
+                assert record.transport == "bus", record
+
+
+class TestBusInvariants:
+    def test_segment_busy_time_bounded_by_horizon(self, platform_run):
+        for name, stats in platform_run.bus_stats.items():
+            assert 0 <= stats.busy_ps <= platform_run.end_time_ps
+
+    def test_bridge_symmetry(self, platform_run):
+        """Everything crossing the bridge also crossed both end segments."""
+        stats = platform_run.bus_stats
+        assert stats["bridge"].transfers <= stats["hibisegment1"].transfers
+        assert stats["bridge"].transfers == stats["hibisegment2"].transfers

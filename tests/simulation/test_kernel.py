@@ -1,0 +1,116 @@
+"""Discrete-event kernel: ordering, cancellation, budget."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Kernel, cycles_to_ps
+from repro.simulation.kernel import PS_PER_US
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(300, lambda: fired.append("c"))
+        kernel.schedule(100, lambda: fired.append("a"))
+        kernel.schedule(200, lambda: fired.append("b"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        kernel = Kernel()
+        fired = []
+        for label in "abc":
+            kernel.schedule(50, lambda l=label: fired.append(l))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule(500, lambda: seen.append(kernel.now_ps))
+        kernel.run()
+        assert seen == [500]
+
+    def test_nested_scheduling(self):
+        kernel = Kernel()
+        fired = []
+        def first():
+            fired.append(("first", kernel.now_ps))
+            kernel.schedule(10, lambda: fired.append(("second", kernel.now_ps)))
+        kernel.schedule(100, first)
+        kernel.run()
+        assert fired == [("first", 100), ("second", 110)]
+
+    def test_negative_delay_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule_at(777, lambda: seen.append(kernel.now_ps))
+        kernel.run()
+        assert seen == [777]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = Kernel()
+        fired = []
+        event = kernel.schedule(100, lambda: fired.append("x"))
+        kernel.cancel(event)
+        kernel.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        kernel = Kernel()
+        kernel.schedule(10, lambda: None)
+        event = kernel.schedule(20, lambda: None)
+        kernel.cancel(event)
+        assert kernel.pending == 1
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(100, lambda: fired.append("early"))
+        kernel.schedule(10_000, lambda: fired.append("late"))
+        dispatched = kernel.run(until_ps=1000)
+        assert fired == ["early"]
+        assert dispatched == 1
+        assert kernel.now_ps == 1000  # clock advanced to the horizon
+
+    def test_resume_after_until(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(100, lambda: fired.append(1))
+        kernel.schedule(500, lambda: fired.append(2))
+        kernel.run(until_ps=200)
+        kernel.run()
+        assert fired == [1, 2]
+
+    def test_event_budget(self):
+        kernel = Kernel(max_events=10)
+        def loop():
+            kernel.schedule(1, loop)
+        kernel.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            kernel.run(until_ps=10_000)
+
+
+class TestCyclesToPs:
+    def test_50mhz_cycle_is_20ns(self):
+        assert cycles_to_ps(1, 50_000_000) == 20_000
+
+    def test_scales_linearly(self):
+        assert cycles_to_ps(100, 50_000_000) == 100 * 20_000
+
+    def test_microsecond_constant(self):
+        assert cycles_to_ps(50, 50_000_000) == PS_PER_US
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            cycles_to_ps(1, 0)

@@ -1,0 +1,44 @@
+"""Workstation reference simulation (paper §4.4 Table 4 setting)."""
+
+from repro.simulation import (
+    REFERENCE_PE,
+    build_reference_mapping,
+    build_reference_platform,
+    run_reference_simulation,
+)
+
+from tests.conftest import build_pingpong
+
+
+class TestReferencePlatform:
+    def test_single_workstation_pe(self):
+        platform = build_reference_platform()
+        assert list(platform.processing_elements) == [REFERENCE_PE]
+        assert not platform.segments
+
+    def test_reference_mapping_covers_all_groups(self):
+        app = build_pingpong()
+        mapping = build_reference_mapping(app)
+        assert mapping.assignment() == {
+            "g1": REFERENCE_PE,
+            "g2": REFERENCE_PE,
+        }
+
+
+class TestReferenceRun:
+    def test_all_signals_local(self):
+        app = build_pingpong()
+        result = run_reference_simulation(app, duration_us=5_000)
+        assert {r.transport for r in result.log.signal_records} == {"local"}
+        assert result.writer.meta["reference"] == "workstation"
+
+    def test_all_execution_on_workstation(self):
+        app = build_pingpong()
+        result = run_reference_simulation(app, duration_us=5_000)
+        pes = {r.pe for r in result.log.exec_records}
+        assert pes == {REFERENCE_PE}
+
+    def test_no_bus_traffic(self):
+        app = build_pingpong()
+        result = run_reference_simulation(app, duration_us=5_000)
+        assert result.bus_stats == {}

@@ -1,0 +1,76 @@
+"""Cost model arithmetic."""
+
+from repro.platform import ProcessingElementSpec
+from repro.simulation import CostModel, WORKSTATION_SPEC, timer_duration_ps
+from repro.simulation.kernel import PS_PER_US
+from repro.simulation.timing import GUARD_STATEMENTS, TRANSITION_BASE_STATEMENTS
+
+
+def spec(**overrides):
+    defaults = dict(
+        name="PE",
+        frequency_hz=100_000_000,
+        cycles_per_statement={"general": 10, "dsp": 20, "hardware": 5},
+        context_switch_cycles=50,
+        signal_dispatch_cycles=7,
+    )
+    defaults.update(overrides)
+    return ProcessingElementSpec(**defaults)
+
+
+class TestStepCost:
+    def test_statement_cost(self):
+        model = CostModel(spec())
+        cost = model.step_cost("general", statements=10, guards_evaluated=0,
+                               sends=0, context_switch=False)
+        assert cost.cycles == (TRANSITION_BASE_STATEMENTS + 10) * 10
+
+    def test_guards_charged(self):
+        model = CostModel(spec())
+        base = model.step_cost("general", 0, 0, 0, False).cycles
+        with_guards = model.step_cost("general", 0, 3, 0, False).cycles
+        assert with_guards - base == 3 * GUARD_STATEMENTS * 10
+
+    def test_sends_charged(self):
+        model = CostModel(spec())
+        base = model.step_cost("general", 0, 0, 0, False).cycles
+        with_sends = model.step_cost("general", 0, 0, 2, False).cycles
+        assert with_sends - base == 2 * 7
+
+    def test_context_switch_charged(self):
+        model = CostModel(spec())
+        base = model.step_cost("general", 0, 0, 0, False).cycles
+        switched = model.step_cost("general", 0, 0, 0, True).cycles
+        assert switched - base == 50
+
+    def test_process_type_selects_cost(self):
+        model = CostModel(spec())
+        general = model.step_cost("general", 10, 0, 0, False).cycles
+        dsp = model.step_cost("dsp", 10, 0, 0, False).cycles
+        hardware = model.step_cost("hardware", 10, 0, 0, False).cycles
+        assert dsp == 2 * general
+        assert hardware == general // 2
+
+    def test_duration_respects_frequency(self):
+        fast = CostModel(spec(frequency_hz=200_000_000))
+        slow = CostModel(spec(frequency_hz=50_000_000))
+        fast_cost = fast.step_cost("general", 10, 0, 0, False)
+        slow_cost = slow.step_cost("general", 10, 0, 0, False)
+        assert fast_cost.cycles == slow_cost.cycles
+        assert slow_cost.duration_ps == 4 * fast_cost.duration_ps
+
+
+class TestTimerDuration:
+    def test_microsecond_units(self):
+        assert timer_duration_ps(1) == PS_PER_US
+        assert timer_duration_ps(250) == 250 * PS_PER_US
+
+
+class TestWorkstationSpec:
+    def test_attribution_excludes_scheduler_overhead(self):
+        # the paper's profiling attributes application work only
+        assert WORKSTATION_SPEC.context_switch_cycles == 0
+
+    def test_uniform_statement_cost(self):
+        costs = set(WORKSTATION_SPEC.cycles_per_statement.values())
+        assert len(costs) == 1

@@ -1,0 +1,60 @@
+"""HIBI specialisations of the communication stereotypes (paper §4.2)."""
+
+import pytest
+
+from repro.uml import Class, Dependency, Property
+from repro.tutprofile import fresh_profile
+
+
+class TestSpecialization:
+    def test_hibi_wrapper_specialises_base(self):
+        profile = fresh_profile()
+        wrapper = profile.stereotype("HIBIWrapper")
+        assert wrapper.specializes.name == "PlatformCommunicationWrapper"
+        assert wrapper.is_kind_of("PlatformCommunicationWrapper")
+
+    def test_hibi_segment_specialises_base(self):
+        profile = fresh_profile()
+        segment = profile.stereotype("HIBISegment")
+        assert segment.is_kind_of("PlatformCommunicationSegment")
+
+    def test_inherited_tags_usable(self):
+        profile = fresh_profile()
+        dependency = Dependency("w")
+        application = profile.apply(
+            dependency,
+            "HIBIWrapper",
+            Address=0x100,          # inherited from the base stereotype
+            TxBufferSize=16,        # HIBI-specific
+        )
+        assert application.get("Address") == 0x100
+        assert application.get("TxBufferSize") == 16
+        assert application.get("RxBufferSize") == 8  # specialised default
+
+    def test_specialised_segment_tags(self):
+        profile = fresh_profile()
+        part = Property("seg")
+        profile.apply(part, "HIBISegment", DataWidth=32, IsBridge=True)
+        assert part.tag("HIBISegment", "IsBridge") is True
+        # query through the base name works too (specialisation matching)
+        assert part.tag("PlatformCommunicationSegment", "DataWidth") == 32
+
+    def test_extend_twice_is_idempotent(self):
+        from repro.tutprofile import extend_with_hibi
+
+        profile = fresh_profile()
+        count = len(profile.stereotypes)
+        extend_with_hibi(profile)
+        assert len(profile.stereotypes) == count
+
+    def test_extend_requires_base_profile(self):
+        from repro.uml import Profile
+        from repro.tutprofile import extend_with_hibi
+
+        with pytest.raises(ValueError):
+            extend_with_hibi(Profile("empty"))
+
+    def test_wrapper_metaclass_inherited(self):
+        profile = fresh_profile()
+        wrapper = profile.stereotype("HIBIWrapper")
+        assert "Dependency" in wrapper.effective_metaclasses()

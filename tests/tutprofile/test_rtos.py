@@ -1,0 +1,57 @@
+"""The «PlatformRtos» extension (paper §5 future work)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.tutprofile import PLATFORM_RTOS, SchedulingPolicy, extend_with_rtos, fresh_profile
+from repro.uml import Property
+
+
+class TestStereotype:
+    def test_present_in_default_profile(self):
+        profile = fresh_profile()
+        assert profile.stereotype(PLATFORM_RTOS) is not None
+
+    def test_opt_out(self):
+        profile = fresh_profile(with_rtos=False)
+        assert profile.stereotype(PLATFORM_RTOS) is None
+
+    def test_idempotent_extension(self):
+        profile = fresh_profile()
+        count = len(profile.stereotypes)
+        extend_with_rtos(profile)
+        assert len(profile.stereotypes) == count
+
+    def test_tags_and_defaults(self):
+        profile = fresh_profile()
+        part = Property("cpu1")
+        profile.apply(part, PLATFORM_RTOS)
+        assert part.tag(PLATFORM_RTOS, "Scheduling") == SchedulingPolicy.PRIORITY
+        assert part.tag(PLATFORM_RTOS, "DispatchOverhead") == 0
+        assert part.tag(PLATFORM_RTOS, "TickPeriod") == 0
+
+    def test_policy_domain(self):
+        profile = fresh_profile()
+        part = Property("cpu1")
+        with pytest.raises(ProfileError):
+            profile.apply(part, PLATFORM_RTOS, Scheduling="lottery")
+
+
+class TestPlatformApi:
+    def test_configure_rtos(self, two_cpu_platform):
+        pe = two_cpu_platform.configure_rtos(
+            "cpu1",
+            scheduling="round-robin",
+            dispatch_overhead_cycles=50,
+            tick_period_us=100,
+        )
+        assert pe.has_rtos()
+        assert pe.scheduling_policy() == "round-robin"
+        assert pe.dispatch_overhead_cycles() == 50
+        assert pe.tick_period_us() == 100
+
+    def test_unconfigured_pe_defaults(self, two_cpu_platform):
+        pe = two_cpu_platform.pe("cpu2")
+        assert not pe.has_rtos()
+        assert pe.scheduling_policy() == "priority"
+        assert pe.dispatch_overhead_cycles() == 0

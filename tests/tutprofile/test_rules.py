@@ -1,0 +1,236 @@
+"""The TUT-Profile design-rule checker (rules R1-R12)."""
+
+import pytest
+
+from repro.uml import (
+    Class,
+    Dependency,
+    InstanceSpecification,
+    Model,
+    Package,
+    Property,
+    StateMachine,
+)
+from repro.tutprofile import check_design_rules, fresh_profile
+
+
+@pytest.fixture
+def profile():
+    return fresh_profile()
+
+
+@pytest.fixture
+def model():
+    model = Model("M")
+    package = Package("P")
+    model.add(package)
+    return model
+
+
+def package_of(model):
+    return model.member("P")
+
+
+def functional_component(profile, model, name="Comp"):
+    component = Class(name, is_active=True)
+    package_of(model).add(component)
+    machine = StateMachine("m")
+    component.set_behavior(machine)
+    machine.state("s", initial=True)
+    profile.apply(component, "ApplicationComponent")
+    return component
+
+
+def rule_ids(report):
+    return {issue.rule for issue in report.issues}
+
+
+class TestApplicationRules:
+    def test_r1_missing_application_top(self, profile, model):
+        functional_component(profile, model)
+        assert "R1-application-top" in rule_ids(check_design_rules(model))
+
+    def test_r1_duplicate_application_top(self, profile, model):
+        for name in ("A", "B"):
+            top = Class(name)
+            package_of(model).add(top)
+            profile.apply(top, "Application")
+        assert "R1-application-top" in rule_ids(check_design_rules(model))
+
+    def test_r2_passive_component_rejected(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        passive = Class("P1", is_active=False)
+        package_of(model).add(passive)
+        profile.apply(passive, "ApplicationComponent")
+        assert "R2-functional-active" in rule_ids(check_design_rules(model))
+
+    def test_r2_behaviorless_component_rejected(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        empty = Class("P1", is_active=True)
+        package_of(model).add(empty)
+        profile.apply(empty, "ApplicationComponent")
+        report = check_design_rules(model)
+        assert "R2-functional-behavior" in rule_ids(report)
+
+    def test_r3_structural_part_must_not_be_process(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        structural = Class("S", is_active=False)
+        package_of(model).add(structural)
+        part = top.add_part(Property("s1", structural))
+        profile.apply(part, "ApplicationProcess")
+        assert "R3-structural-process" in rule_ids(check_design_rules(model))
+
+    def test_r4_process_typed_by_component(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        plain = Class("Plain", is_active=True)
+        machine = StateMachine("m")
+        plain.set_behavior(machine)
+        machine.state("s", initial=True)
+        package_of(model).add(plain)  # NOT stereotyped as component
+        part = top.add_part(Property("p1", plain))
+        profile.apply(part, "ApplicationProcess")
+        assert "R4-process-component" in rule_ids(check_design_rules(model))
+
+    def test_r5_ungrouped_process_warned(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        component = functional_component(profile, model)
+        part = top.add_part(Property("p1", component))
+        profile.apply(part, "ApplicationProcess")
+        report = check_design_rules(model)
+        assert "R5-ungrouped-process" in {i.rule for i in report.warnings}
+
+    def test_r5_double_grouping_rejected(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        component = functional_component(profile, model)
+        part = top.add_part(Property("p1", component))
+        profile.apply(part, "ApplicationProcess")
+        for group_name in ("g1", "g2"):
+            group = InstanceSpecification(group_name)
+            package_of(model).add(group)
+            profile.apply(group, "ProcessGroup")
+            grouping = Dependency(f"to_{group_name}", client=part, supplier=group)
+            package_of(model).add(grouping)
+            profile.apply(grouping, "ProcessGrouping")
+        assert "R5-multiple-groups" in rule_ids(check_design_rules(model))
+
+    def test_r6_fixed_group_needs_fixed_grouping(self, profile, model):
+        top = Class("Top")
+        package_of(model).add(top)
+        profile.apply(top, "Application")
+        component = functional_component(profile, model)
+        part = top.add_part(Property("p1", component))
+        profile.apply(part, "ApplicationProcess")
+        group = InstanceSpecification("g1")
+        package_of(model).add(group)
+        profile.apply(group, "ProcessGroup", Fixed=True)
+        grouping = Dependency("to_g1", client=part, supplier=group)
+        package_of(model).add(grouping)
+        profile.apply(grouping, "ProcessGrouping", Fixed=False)
+        assert "R6-fixed-group" in rule_ids(check_design_rules(model))
+
+
+class TestPlatformRules:
+    def _platform(self, profile, model):
+        top = Class("Plat")
+        package_of(model).add(top)
+        profile.apply(top, "Platform")
+        component = Class("CPU")
+        package_of(model).add(component)
+        profile.apply(component, "PlatformComponent", Type="general")
+        return top, component
+
+    def test_r7_missing_platform_top(self, profile, model):
+        component = Class("CPU")
+        package_of(model).add(component)
+        profile.apply(component, "PlatformComponent")
+        assert "R7-platform-top" in rule_ids(check_design_rules(model))
+
+    def test_r8_duplicate_instance_id(self, profile, model):
+        top, component = self._platform(profile, model)
+        for name in ("cpu1", "cpu2"):
+            part = top.add_part(Property(name, component))
+            profile.apply(part, "PlatformComponentInstance", ID=1)
+        assert "R8-instance-id-unique" in rule_ids(check_design_rules(model))
+
+    def test_r8_instance_needs_component_type(self, profile, model):
+        top, component = self._platform(profile, model)
+        plain = Class("Plain")
+        package_of(model).add(plain)
+        part = top.add_part(Property("x", plain))
+        profile.apply(part, "PlatformComponentInstance", ID=1)
+        assert "R8-instance-component" in rule_ids(check_design_rules(model))
+
+
+class TestMappingRules:
+    def _system(self, profile, model):
+        app_top = Class("Top")
+        package_of(model).add(app_top)
+        profile.apply(app_top, "Application")
+        component = functional_component(profile, model)
+        part = app_top.add_part(Property("p1", component))
+        profile.apply(part, "ApplicationProcess")
+        group = InstanceSpecification("g1")
+        package_of(model).add(group)
+        profile.apply(group, "ProcessGroup", ProcessType="general")
+        grouping = Dependency("to_g1", client=part, supplier=group)
+        package_of(model).add(grouping)
+        profile.apply(grouping, "ProcessGrouping")
+        plat_top = Class("Plat")
+        package_of(model).add(plat_top)
+        profile.apply(plat_top, "Platform")
+        pe_class = Class("Accel")
+        package_of(model).add(pe_class)
+        profile.apply(pe_class, "PlatformComponent", Type="hw accelerator")
+        pe = plat_top.add_part(Property("acc1", pe_class))
+        profile.apply(pe, "PlatformComponentInstance", ID=1)
+        return group, pe
+
+    def test_r11_type_incompatible_mapping(self, profile, model):
+        group, pe = self._system(profile, model)
+        mapping = Dependency("map1", client=group, supplier=pe)
+        package_of(model).add(mapping)
+        profile.apply(mapping, "PlatformMapping")
+        assert "R11-type-compatibility" in rule_ids(check_design_rules(model))
+
+    def test_r10_unmapped_group_when_mappings_exist(self, profile, model):
+        group, pe = self._system(profile, model)
+        other = InstanceSpecification("g2")
+        package_of(model).add(other)
+        profile.apply(other, "ProcessGroup")
+        mapping = Dependency("map2", client=other, supplier=pe)
+        package_of(model).add(mapping)
+        profile.apply(mapping, "PlatformMapping")
+        assert "R10-unmapped-group" in rule_ids(check_design_rules(model))
+
+    def test_r9_mapping_client_must_be_group(self, profile, model):
+        group, pe = self._system(profile, model)
+        rogue = InstanceSpecification("rogue")
+        package_of(model).add(rogue)
+        mapping = Dependency("bad", client=rogue, supplier=pe)
+        package_of(model).add(mapping)
+        profile.apply(mapping, "PlatformMapping")
+        assert "R9-mapping-client" in rule_ids(check_design_rules(model))
+
+
+class TestCleanModels:
+    def test_tutmac_passes_all_rules(self, tutmac_app):
+        report = check_design_rules(tutmac_app.model)
+        assert report.ok, report.render()
+        assert not report.warnings, report.render()
+
+    def test_tutwlan_system_passes_all_rules(self, tutwlan_system):
+        application, platform, mapping = tutwlan_system
+        report = check_design_rules(application.model)
+        assert report.ok, report.render()

@@ -1,0 +1,121 @@
+"""TUT-Profile content: the stereotypes and tags of Tables 1-3."""
+
+import pytest
+
+from repro.tutprofile import (
+    ALL_STEREOTYPES,
+    APPLICATION_STEREOTYPES,
+    PLATFORM_STEREOTYPES,
+    TUT_PROFILE,
+    fresh_profile,
+)
+
+
+class TestTable1Inventory:
+    def test_eleven_stereotypes(self):
+        # Table 1 lists exactly eleven stereotypes
+        assert len(ALL_STEREOTYPES) == 11
+
+    def test_all_present_in_profile(self):
+        for name in ALL_STEREOTYPES:
+            assert TUT_PROFILE.stereotype(name) is not None, name
+
+    def test_every_stereotype_has_description(self):
+        for name in ALL_STEREOTYPES:
+            assert TUT_PROFILE.stereotype(name).description
+
+    def test_metaclass_assignments(self):
+        expectations = {
+            "Application": ("Class",),
+            "ApplicationComponent": ("Class",),
+            "ProcessGrouping": ("Dependency",),
+            "Platform": ("Class",),
+            "PlatformComponent": ("Class",),
+            "PlatformMapping": ("Dependency",),
+        }
+        for name, metaclasses in expectations.items():
+            assert TUT_PROFILE.stereotype(name).effective_metaclasses() == metaclasses
+
+    def test_part_level_stereotypes_extend_property(self):
+        for name in ("ApplicationProcess", "PlatformComponentInstance"):
+            assert "Property" in TUT_PROFILE.stereotype(name).effective_metaclasses()
+
+
+class TestTable2ApplicationTags:
+    @pytest.mark.parametrize(
+        "stereotype,expected",
+        [
+            ("Application", ["Priority", "CodeMemory", "DataMemory", "RealTimeType"]),
+            ("ApplicationComponent", ["CodeMemory", "DataMemory", "RealTimeType"]),
+            (
+                "ApplicationProcess",
+                ["Priority", "CodeMemory", "DataMemory", "RealTimeType", "ProcessType"],
+            ),
+            ("ProcessGroup", ["Fixed", "ProcessType"]),
+            ("ProcessGrouping", ["Fixed"]),
+        ],
+    )
+    def test_tag_names(self, stereotype, expected):
+        tags = [d.name for d in TUT_PROFILE.stereotype(stereotype).tag_definitions]
+        assert tags == expected
+
+    def test_real_time_type_domain(self):
+        tag = TUT_PROFILE.stereotype("ApplicationProcess").find_tag("RealTimeType")
+        assert sorted(tag.enum_values) == ["hard", "none", "soft"]
+
+    def test_process_type_domain(self):
+        tag = TUT_PROFILE.stereotype("ApplicationProcess").find_tag("ProcessType")
+        assert sorted(tag.enum_values) == ["dsp", "general", "hardware"]
+
+
+class TestTable3PlatformTags:
+    @pytest.mark.parametrize(
+        "stereotype,expected",
+        [
+            ("PlatformComponent", ["Type", "Area", "Power"]),
+            ("PlatformComponentInstance", ["Priority", "ID", "IntMemory"]),
+            ("PlatformCommunicationWrapper", ["Address", "BufferSize", "MaxTime"]),
+            (
+                "PlatformCommunicationSegment",
+                ["DataWidth", "Frequency", "Arbitration"],
+            ),
+            ("PlatformMapping", ["Fixed"]),
+        ],
+    )
+    def test_tag_names(self, stereotype, expected):
+        tags = [d.name for d in TUT_PROFILE.stereotype(stereotype).tag_definitions]
+        assert tags == expected
+
+    def test_component_type_domain(self):
+        tag = TUT_PROFILE.stereotype("PlatformComponent").find_tag("Type")
+        assert sorted(tag.enum_values) == ["dsp", "general", "hw accelerator"]
+
+    def test_arbitration_domain(self):
+        tag = TUT_PROFILE.stereotype("PlatformCommunicationSegment").find_tag(
+            "Arbitration"
+        )
+        assert sorted(tag.enum_values) == ["priority", "round-robin"]
+
+    def test_instance_id_required(self):
+        tag = TUT_PROFILE.stereotype("PlatformComponentInstance").find_tag("ID")
+        assert tag.required
+
+    def test_wrapper_address_required(self):
+        tag = TUT_PROFILE.stereotype("PlatformCommunicationWrapper").find_tag(
+            "Address"
+        )
+        assert tag.required
+
+
+class TestProfileInstances:
+    def test_fresh_profile_is_isolated(self):
+        first = fresh_profile()
+        second = fresh_profile()
+        assert first is not second
+        first.stereotype("Application").define_tag("Custom", "int")
+        assert second.stereotype("Application").find_tag("Custom") is None
+
+    def test_fresh_profile_without_hibi(self):
+        profile = fresh_profile(with_hibi=False)
+        assert profile.stereotype("HIBISegment") is None
+        assert TUT_PROFILE.stereotype("HIBISegment") is not None

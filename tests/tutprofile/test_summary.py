@@ -1,0 +1,63 @@
+"""Table 1-3 renderers derived from the live profile."""
+
+from repro.tutprofile import (
+    TUT_PROFILE,
+    describe_stereotype,
+    profile_hierarchy_edges,
+    render_table1,
+    render_table2,
+    render_table3,
+    stereotype_summary_rows,
+    tagged_value_rows,
+)
+
+
+class TestTable1:
+    def test_rows_cover_all_eleven(self):
+        rows = stereotype_summary_rows(TUT_PROFILE)
+        assert len(rows) == 11
+
+    def test_render_contains_paper_content(self):
+        text = render_table1(TUT_PROFILE)
+        assert "Application (Class)" in text
+        assert "ProcessGrouping (Dependency)" in text
+        assert "Top-level application class" in text
+        assert "Group of application processes" in text
+
+    def test_hibi_specialisations_excluded_from_table1(self):
+        text = render_table1(TUT_PROFILE)
+        assert "HIBIWrapper" not in text
+
+
+class TestTable2And3:
+    def test_table2_contains_application_tags(self):
+        text = render_table2(TUT_PROFILE)
+        for expected in ("Priority", "CodeMemory", "RealTimeType", "ProcessType", "Fixed"):
+            assert expected in text
+
+    def test_table3_contains_platform_tags(self):
+        text = render_table3(TUT_PROFILE)
+        for expected in ("Area", "Power", "IntMemory", "BufferSize", "MaxTime",
+                         "DataWidth", "Frequency", "Arbitration"):
+            assert expected in text
+
+    def test_tagged_value_rows_ordering(self):
+        rows = tagged_value_rows(TUT_PROFILE, ("Application",))
+        assert [r[1] for r in rows] == [
+            "Priority", "CodeMemory", "DataMemory", "RealTimeType"
+        ]
+
+
+class TestHierarchy:
+    def test_figure3_edges(self):
+        edges = profile_hierarchy_edges()
+        relations = {(s, t) for s, _, t in edges}
+        assert ("Application", "ApplicationComponent") in relations
+        assert ("ApplicationComponent", "ApplicationProcess") in relations
+        assert ("ProcessGroup", "PlatformComponentInstance") in relations
+        assert ("Platform", "PlatformComponent") in relations
+
+    def test_describe_stereotype(self):
+        text = describe_stereotype(TUT_PROFILE.stereotype("PlatformComponentInstance"))
+        assert "ID" in text
+        assert "required" in text

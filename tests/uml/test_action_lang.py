@@ -1,0 +1,141 @@
+"""Action-language parsing: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import ActionSyntaxError
+from repro.uml import parse_actions, parse_expression, unparse_block
+from repro.uml.actions import (
+    Assign,
+    BinaryOp,
+    Call,
+    Conditional,
+    If,
+    IntLiteral,
+    Name,
+    Send,
+    SetTimer,
+    While,
+)
+from repro.uml.action_lang import tokenize
+
+
+class TestTokenizer:
+    def test_hex_literals(self):
+        tokens = tokenize("x = 0xFF;")
+        assert tokens[2].text == "0xFF"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x = 1; // trailing comment\ny = 2;")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert "comment" not in texts
+        assert "y" in texts
+
+    def test_unexpected_character(self):
+        with pytest.raises(ActionSyntaxError) as excinfo:
+            tokenize("x = $;")
+        assert excinfo.value.line == 1
+
+    def test_line_tracking(self):
+        tokens = tokenize("a = 1;\nb = 2;")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_logical_lowest(self):
+        expr = parse_expression("a < b && c < d || e")
+        assert expr.op == "||"
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c")
+        assert isinstance(expr, Conditional)
+
+    def test_call_with_args(self):
+        expr = parse_expression("min(a, b + 1)")
+        assert isinstance(expr, Call)
+        assert expr.function == "min"
+        assert len(expr.args) == 2
+
+    def test_unary_chain(self):
+        expr = parse_expression("!!x")
+        assert expr.unparse() == "((!(!x)))"[1:-1]  # nested unary
+
+    def test_parenthesised(self):
+        assert parse_expression("(((42)))") == IntLiteral(42)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ActionSyntaxError):
+            parse_expression("1 + 2 extra")
+
+
+class TestStatements:
+    def test_assign(self):
+        (stmt,) = parse_actions("x = y + 1;")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+
+    def test_send_forms(self):
+        stmts = parse_actions("send a(); send b(1, 2) via p;")
+        assert isinstance(stmts[0], Send) and stmts[0].via is None
+        assert stmts[1].via == "p"
+        assert len(stmts[1].args) == 2
+
+    def test_if_else_if_chain(self):
+        (stmt,) = parse_actions(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        )
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_while(self):
+        (stmt,) = parse_actions("while (i < 3) { i = i + 1; }")
+        assert isinstance(stmt, While)
+
+    def test_timers(self):
+        stmts = parse_actions("set_timer(t, 5 * 2); reset_timer(t);")
+        assert isinstance(stmts[0], SetTimer)
+        assert stmts[0].timer == "t"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ActionSyntaxError):
+            parse_actions("x = 1")
+
+    def test_empty_block_ok(self):
+        assert parse_actions("") == []
+        assert parse_actions("   \n  // nothing\n") == []
+
+    def test_keyword_as_statement_rejected(self):
+        with pytest.raises(ActionSyntaxError):
+            parse_actions("via = 1;")
+
+
+class TestRoundTrip:
+    CASES = [
+        "x = ((1 + 2) * 3);",
+        "send pdu(1, (n + 1)) via out;",
+        "if ((a > b)) {\n    x = a;\n} else {\n    x = b;\n}",
+        "while ((i < 10)) {\n    i = (i + 1);\n}",
+        "set_timer(slot, 250);",
+        "reset_timer(slot);",
+        "y = (c ? 1 : 0);",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_unparse_then_parse_is_fixed_point(self, source):
+        block = parse_actions(source)
+        rendered = unparse_block(block)
+        assert parse_actions(rendered) == block
+
+    def test_error_carries_position(self):
+        with pytest.raises(ActionSyntaxError) as excinfo:
+            parse_actions("x = 1;\ny = (;")
+        assert excinfo.value.line == 2

@@ -1,0 +1,111 @@
+"""Property-based tests of the action language (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uml import ActionEnvironment, evaluate, parse_actions, parse_expression, unparse_block
+from repro.uml.actions import (
+    Assign,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Conditional,
+    If,
+    IntLiteral,
+    Name,
+    Send,
+    SetTimer,
+    UnaryOp,
+    While,
+)
+
+VARIABLE_NAMES = st.sampled_from(["a", "b", "c", "x", "y", "count"])
+
+# -- expression AST strategy ----------------------------------------------------
+
+SAFE_BINARY_OPS = ["+", "-", "*", "&", "|", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]
+
+
+def exprs(max_depth=4):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=1000).map(IntLiteral),
+        st.booleans().map(BoolLiteral),
+        VARIABLE_NAMES.map(Name),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(SAFE_BINARY_OPS), children, children).map(
+                lambda t: BinaryOp(*t)
+            ),
+            st.tuples(st.sampled_from(["-", "!", "~"]), children).map(
+                lambda t: UnaryOp(*t)
+            ),
+            st.tuples(children, children, children).map(lambda t: Conditional(*t)),
+            st.tuples(children, children).map(lambda t: Call("min", list(t))),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+@given(exprs())
+@settings(max_examples=150, deadline=None)
+def test_expression_unparse_parse_roundtrip(expr):
+    """unparse → parse reproduces the same AST."""
+    assert parse_expression(expr.unparse()) == expr
+
+
+@given(exprs())
+@settings(max_examples=150, deadline=None)
+def test_expression_evaluation_deterministic(expr):
+    env = ActionEnvironment({name: 3 for name in ["a", "b", "c", "x", "y", "count"]})
+    first = evaluate(expr, env)
+    second = evaluate(expr, ActionEnvironment(dict(env.variables)))
+    assert first == second
+
+
+# -- statement AST strategy ------------------------------------------------------
+
+
+def stmts(depth=2):
+    simple = st.one_of(
+        st.tuples(VARIABLE_NAMES, exprs(2)).map(lambda t: Assign(*t)),
+        st.tuples(
+            st.sampled_from(["ping", "pong", "data"]),
+            st.lists(exprs(2), max_size=2),
+            st.sampled_from([None, "out"]),
+        ).map(lambda t: Send(*t)),
+        st.tuples(st.sampled_from(["t1", "t2"]), exprs(2)).map(
+            lambda t: SetTimer(*t)
+        ),
+    )
+    if depth == 0:
+        return st.lists(simple, max_size=3)
+    inner = stmts(depth - 1)
+    compound = st.one_of(
+        st.tuples(exprs(2), inner, inner).map(lambda t: If(*t)),
+    )
+    return st.lists(st.one_of(simple, compound), max_size=3)
+
+
+@given(stmts())
+@settings(max_examples=100, deadline=None)
+def test_statement_unparse_parse_roundtrip(block):
+    rendered = unparse_block(block)
+    assert parse_actions(rendered) == list(block)
+
+
+@given(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=-10**6, max_value=10**6),
+)
+def test_division_matches_c_semantics(numerator, denominator):
+    """a == (a/b)*b + a%b and both truncate toward zero, as in C."""
+    if denominator == 0:
+        return
+    env = ActionEnvironment({"a": numerator, "b": denominator})
+    quotient = evaluate(parse_expression("a / b"), env)
+    remainder = evaluate(parse_expression("a % b"), env)
+    assert quotient * denominator + remainder == numerator
+    assert abs(remainder) < abs(denominator)
+    # truncation toward zero, not floor
+    assert quotient == int(numerator / denominator)

@@ -1,0 +1,158 @@
+"""Classifiers: generalisation, attributes, signals, active classes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import (
+    Class,
+    Enumeration,
+    Interface,
+    Model,
+    PrimitiveType,
+    Property,
+    Signal,
+    StateMachine,
+)
+
+
+class TestGeneralization:
+    def test_conforms_to_self(self):
+        klass = Class("A")
+        assert klass.conforms_to(klass)
+
+    def test_conforms_transitively(self):
+        a, b, c = Class("A"), Class("B"), Class("C")
+        b.add_generalization(a)
+        c.add_generalization(b)
+        assert c.conforms_to(a)
+        assert not a.conforms_to(c)
+
+    def test_cycle_rejected(self):
+        a, b = Class("A"), Class("B")
+        b.add_generalization(a)
+        with pytest.raises(ModelError):
+            a.add_generalization(b)
+
+    def test_self_generalization_rejected(self):
+        a = Class("A")
+        with pytest.raises(ModelError):
+            a.add_generalization(a)
+
+    def test_duplicate_generalization_ignored(self):
+        a, b = Class("A"), Class("B")
+        b.add_generalization(a)
+        b.add_generalization(a)
+        assert b.generals.count(a) == 1
+
+
+class TestAttributes:
+    def test_attribute_lookup_and_inheritance(self):
+        base = Class("Base")
+        base.add_attribute(Property("x"))
+        derived = Class("Derived")
+        derived.add_generalization(base)
+        derived.add_attribute(Property("y"))
+        assert derived.attribute("x") is not None
+        assert derived.attribute("y") is not None
+        assert base.attribute("y") is None
+
+    def test_own_attributes_shadow_inherited(self):
+        base = Class("Base")
+        base.add_attribute(Property("x", default=1))
+        derived = Class("Derived")
+        derived.add_generalization(base)
+        own = Property("x", default=2)
+        derived.add_attribute(own)
+        assert derived.attribute("x") is own
+
+
+class TestPrimitiveType:
+    def test_bits_must_be_positive(self):
+        with pytest.raises(ModelError):
+            PrimitiveType("Bad", 0)
+
+    def test_repr(self):
+        assert "32" in repr(PrimitiveType("Int32", 32))
+
+
+class TestEnumeration:
+    def test_add_literal(self):
+        enum = Enumeration("E", ["a"])
+        enum.add_literal("b")
+        assert enum.literals == ["a", "b"]
+
+    def test_duplicate_literal_rejected(self):
+        enum = Enumeration("E", ["a"])
+        with pytest.raises(ModelError):
+            enum.add_literal("a")
+
+
+class TestSignal:
+    def test_size_includes_header_and_params(self):
+        model = Model("M")
+        signal = Signal("s")
+        signal.add_attribute(Property("a", model.primitive("Int32")))
+        signal.add_attribute(Property("b", model.primitive("Int16")))
+        assert signal.size_bits() == Signal.HEADER_BITS + 32 + 16
+        assert signal.size_bytes() == (Signal.HEADER_BITS + 48 + 7) // 8
+
+    def test_payload_bits_counted(self):
+        signal = Signal("s", payload_bits=1000)
+        assert signal.size_bits() == Signal.HEADER_BITS + 1000
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ModelError):
+            Signal("s", payload_bits=-1)
+
+    def test_untyped_parameter_rejected_at_sizing(self):
+        signal = Signal("s")
+        signal.add_attribute(Property("a"))
+        with pytest.raises(ModelError):
+            signal.size_bits()
+
+    def test_parameter_names(self):
+        model = Model("M")
+        signal = Signal("s")
+        signal.add_attribute(Property("len", model.primitive("Int32")))
+        signal.add_attribute(Property("seq", model.primitive("Int32")))
+        assert signal.parameter_names() == ["len", "seq"]
+
+
+class TestActiveClass:
+    def test_passive_class_cannot_own_behavior(self):
+        klass = Class("C", is_active=False)
+        with pytest.raises(ModelError):
+            klass.set_behavior(StateMachine("m"))
+
+    def test_active_class_behavior(self):
+        klass = Class("C", is_active=True)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        assert klass.classifier_behavior is machine
+        assert machine.context is klass
+        assert klass.is_functional
+
+    def test_structural_flags(self):
+        passive = Class("P", is_active=False)
+        assert passive.is_structural
+        assert not passive.is_functional
+
+    def test_ports_inherited(self):
+        from repro.uml import Port
+
+        base = Class("Base", is_active=True)
+        base.add_port(Port("p"))
+        derived = Class("Derived", is_active=True)
+        derived.add_generalization(base)
+        assert derived.port("p") is not None
+
+    def test_part_lookup(self):
+        outer = Class("Outer")
+        inner = Class("Inner")
+        part = outer.add_part(Property("i", inner))
+        assert outer.part("i") is part
+        assert part.aggregation == "composite"
+
+    def test_interface_signals(self):
+        interface = Interface("I", ["a", "b"])
+        assert interface.signal_names == ["a", "b"]

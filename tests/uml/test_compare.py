@@ -1,0 +1,81 @@
+"""Model fingerprinting: what counts as the same design."""
+
+from repro.uml import Class, Model, Package, Port, Property, Signal, StateMachine
+from repro.uml.compare import model_fingerprint
+
+
+def base_model():
+    model = Model("M")
+    package = Package("P")
+    model.add(package)
+    klass = Class("C", is_active=True)
+    package.add(klass)
+    klass.add_port(Port("p", provided=["s"]))
+    machine = StateMachine("beh")
+    klass.set_behavior(machine)
+    machine.variable("x", 1)
+    machine.state("a", initial=True)
+    signal = Signal("s")
+    signal.add_attribute(Property("n", model.primitive("Int32")))
+    package.add(signal)
+    return model
+
+
+class TestInvariance:
+    def test_identical_construction_identical_fingerprint(self):
+        assert model_fingerprint(base_model()) == model_fingerprint(base_model())
+
+    def test_declaration_order_of_members_irrelevant(self):
+        first = Model("M")
+        package = Package("P")
+        first.add(package)
+        package.add(Class("A"))
+        package.add(Class("B"))
+        second = Model("M")
+        package2 = Package("P")
+        second.add(package2)
+        package2.add(Class("B"))
+        package2.add(Class("A"))
+        assert model_fingerprint(first) == model_fingerprint(second)
+
+
+class TestSensitivity:
+    def test_variable_initial_value_matters(self):
+        first = base_model()
+        second = base_model()
+        second.find("P::C").classifier_behavior.variables["x"] = 99
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_activity_flag_matters(self):
+        first = base_model()
+        second = base_model()
+        # demote the class to passive (bypassing behaviour checks)
+        klass = second.find("P::C")
+        klass.is_active = False
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_stereotype_application_matters(self):
+        from repro.tutprofile import fresh_profile
+
+        first = base_model()
+        second = base_model()
+        fresh_profile().apply(second.find("P::C"), "ApplicationComponent")
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_tag_value_matters(self):
+        from repro.tutprofile import fresh_profile
+
+        first = base_model()
+        second = base_model()
+        profile = fresh_profile()
+        profile.apply(first.find("P::C"), "ApplicationComponent", CodeMemory=1)
+        profile2 = fresh_profile()
+        profile2.apply(second.find("P::C"), "ApplicationComponent", CodeMemory=2)
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_transition_effect_matters(self):
+        first = base_model()
+        second = base_model()
+        machine = second.find("P::C").classifier_behavior
+        machine.on_signal("a", "a", "s", internal=True, effect="x = 2;")
+        assert model_fingerprint(first) != model_fingerprint(second)

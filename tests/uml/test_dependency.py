@@ -1,0 +1,42 @@
+"""Dependencies: clients, suppliers, binary accessors."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import Abstraction, Class, Dependency, Realization, Usage
+
+
+class TestDependency:
+    def test_constructor_shortcuts(self):
+        a, b = Class("A"), Class("B")
+        dependency = Dependency("d", client=a, supplier=b)
+        assert dependency.client is a
+        assert dependency.supplier is b
+
+    def test_binary_accessors_require_exactly_one(self):
+        dependency = Dependency("d")
+        with pytest.raises(ModelError):
+            dependency.client
+        with pytest.raises(ModelError):
+            dependency.supplier
+        dependency.add_client(Class("A"))
+        dependency.add_client(Class("B"))
+        with pytest.raises(ModelError):
+            dependency.client
+
+    def test_non_element_rejected(self):
+        dependency = Dependency("d")
+        with pytest.raises(ModelError):
+            dependency.add_client("not an element")
+        with pytest.raises(ModelError):
+            dependency.add_supplier(42)
+
+    def test_describe(self):
+        dependency = Dependency("d", client=Class("A"), supplier=Class("B"))
+        assert dependency.describe() == "A --> B"
+        assert Dependency("e").describe() == "<none> --> <none>"
+
+    def test_subtypes_are_dependencies(self):
+        assert issubclass(Usage, Dependency)
+        assert issubclass(Abstraction, Dependency)
+        assert issubclass(Realization, Abstraction)

@@ -1,0 +1,102 @@
+"""Element ownership, naming and stereotype access."""
+
+import pytest
+
+from repro.uml import Class, Comment, Model, NamedElement, Package
+from repro.uml.element import Element
+
+
+class TestOwnership:
+    def test_own_sets_owner(self):
+        parent = Element()
+        child = Element()
+        parent.own(child)
+        assert child.owner is parent
+        assert child in parent.owned_elements
+
+    def test_reown_moves_element(self):
+        first = Element()
+        second = Element()
+        child = Element()
+        first.own(child)
+        second.own(child)
+        assert child.owner is second
+        assert child not in first.owned_elements
+        assert child in second.owned_elements
+
+    def test_disown(self):
+        parent = Element()
+        child = parent.own(Element())
+        parent.disown(child)
+        assert child.owner is None
+        assert child not in parent.owned_elements
+
+    def test_all_owned_elements_depth_first(self):
+        root = Element()
+        a = root.own(Element())
+        b = root.own(Element())
+        a1 = a.own(Element())
+        assert list(root.all_owned_elements()) == [a, a1, b]
+
+    def test_root(self):
+        root = Element()
+        mid = root.own(Element())
+        leaf = mid.own(Element())
+        assert leaf.root() is root
+        assert root.root() is root
+
+    def test_owner_chain(self):
+        root = Element()
+        mid = root.own(Element())
+        leaf = mid.own(Element())
+        assert list(leaf.owner_chain()) == [mid, root]
+
+    def test_serials_are_monotonic(self):
+        first = Element()
+        second = Element()
+        assert second.serial > first.serial
+
+
+class TestNaming:
+    def test_qualified_name_walks_named_owners(self):
+        model = Model("M")
+        package = Package("P")
+        model.add(package)
+        klass = Class("C")
+        package.add(klass)
+        assert klass.qualified_name == "M::P::C"
+
+    def test_qualified_name_skips_unnamed_owners(self):
+        outer = NamedElement("outer")
+        anonymous = outer.own(NamedElement(""))
+        inner = anonymous.own(NamedElement("inner"))
+        assert inner.qualified_name == "outer::inner"
+
+    def test_repr_contains_name(self):
+        assert "Thing" in repr(NamedElement("Thing"))
+
+
+class TestComments:
+    def test_add_comment(self):
+        element = Element()
+        comment = element.add_comment("note")
+        assert isinstance(comment, Comment)
+        assert comment.body == "note"
+        assert comment in element.comments
+        assert comment.owner is element
+
+
+class TestStereotypeAccess:
+    def test_no_stereotypes_by_default(self):
+        element = Element()
+        assert element.applied_stereotypes == []
+        assert not element.has_stereotype("Anything")
+        assert element.stereotype_application("Anything") is None
+
+    def test_tag_returns_default_when_unapplied(self):
+        element = Element()
+        assert element.tag("S", "t", 42) == 42
+
+    def test_metaclass_name(self):
+        assert Class("X").metaclass_name() == "Class"
+        assert Package("P").metaclass_name() == "Package"

@@ -1,0 +1,56 @@
+"""Instance specifications and slots."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import Class, InstanceSpecification, Property
+
+
+def classifier_with_attributes():
+    klass = Class("CPU")
+    klass.add_attribute(Property("frequency", default=100))
+    klass.add_attribute(Property("cores"))
+    return klass
+
+
+class TestSlots:
+    def test_set_and_read(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        instance.set_slot("cores", 4)
+        assert instance.value("cores") == 4
+
+    def test_unknown_feature_rejected_when_typed(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        with pytest.raises(ModelError):
+            instance.set_slot("voltage", 5)
+
+    def test_untyped_instance_accepts_any_feature(self):
+        instance = InstanceSpecification("blob")
+        instance.set_slot("anything", "goes")
+        assert instance.value("anything") == "goes"
+
+    def test_default_from_classifier_attribute(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        assert instance.value("frequency") == 100
+
+    def test_explicit_slot_overrides_default(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        instance.set_slot("frequency", 200)
+        assert instance.value("frequency") == 200
+
+    def test_missing_value_returns_default_argument(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        assert instance.value("cores", default="unknown") == "unknown"
+
+    def test_describe(self):
+        instance = InstanceSpecification("cpu0", classifier_with_attributes())
+        assert instance.describe() == "cpu0 : CPU"
+        assert InstanceSpecification("x").describe() == "x : <untyped>"
+
+    def test_inherited_attribute_visible(self):
+        base = classifier_with_attributes()
+        derived = Class("FastCPU")
+        derived.add_generalization(base)
+        instance = InstanceSpecification("cpu0", derived)
+        instance.set_slot("cores", 8)  # inherited feature accepted
+        assert instance.value("cores") == 8

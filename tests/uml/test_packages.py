@@ -1,0 +1,93 @@
+"""Packages, models and qualified lookup."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import Class, Model, Package, PrimitiveType, Signal
+
+
+class TestPackage:
+    def test_add_and_member(self):
+        package = Package("P")
+        klass = Class("C")
+        package.add(klass)
+        assert package.member("C") is klass
+
+    def test_duplicate_name_same_type_rejected(self):
+        package = Package("P")
+        package.add(Class("C"))
+        with pytest.raises(ModelError):
+            package.add(Class("C"))
+
+    def test_same_name_different_metaclass_allowed(self):
+        package = Package("P")
+        package.add(Class("X"))
+        package.add(Signal("X"))  # a class and a signal may share a name
+        assert len(package.packaged_elements) == 2
+
+    def test_members_of_type(self):
+        package = Package("P")
+        package.add(Class("A"))
+        package.add(Signal("S"))
+        assert len(package.members_of_type(Class)) == 1
+        assert len(package.members_of_type(Signal)) == 1
+
+    def test_subpackages(self):
+        outer = Package("Outer")
+        inner = Package("Inner")
+        outer.add(inner)
+        assert outer.subpackages() == [inner]
+
+    def test_classifiers_recursive(self):
+        outer = Package("Outer")
+        inner = Package("Inner")
+        outer.add(inner)
+        outer.add(Class("A"))
+        inner.add(Class("B"))
+        assert len(list(outer.classifiers())) == 1
+        assert len(list(outer.classifiers(recursive=True))) == 2
+
+
+class TestFind:
+    def test_find_nested_path(self):
+        model = Model("M")
+        package = Package("App")
+        model.add(package)
+        klass = Class("C")
+        package.add(klass)
+        assert model.find("App::C") is klass
+
+    def test_find_into_classifier(self):
+        from repro.uml import Property
+
+        model = Model("M")
+        package = Package("App")
+        model.add(package)
+        outer = Class("Outer")
+        package.add(outer)
+        inner = Class("Inner")
+        part = outer.add_part(Property("p", inner))
+        assert model.find("App::Outer::p") is part
+
+    def test_find_missing_returns_none(self):
+        model = Model("M")
+        assert model.find("No::Such::Thing") is None
+
+
+class TestModelPrimitives:
+    def test_predefined_primitives_exist(self):
+        model = Model("M")
+        for name, bits in Model.PREDEFINED_PRIMITIVES:
+            primitive = model.primitive(name)
+            assert isinstance(primitive, PrimitiveType)
+            assert primitive.bits == bits
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(ModelError):
+            Model("M").primitive("Quaternion")
+
+    def test_primitives_live_in_types_package(self):
+        model = Model("M")
+        types_package = model.member("PrimitiveTypes")
+        assert types_package is not None
+        assert model.primitive("Int32").owner is types_package

@@ -1,0 +1,179 @@
+"""Profile mechanism: tag definitions, stereotypes, applications."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.uml import Class, Dependency, Profile, Property, Stereotype, TagType
+from repro.uml.profile import TagDefinition
+
+
+class TestTagDefinition:
+    def test_type_validation(self):
+        tag = TagDefinition("n", TagType.INT)
+        assert tag.validate(5) == 5
+        with pytest.raises(ProfileError):
+            tag.validate("five")
+        with pytest.raises(ProfileError):
+            tag.validate(True)  # bools are not ints here
+
+    def test_string(self):
+        tag = TagDefinition("s", TagType.STRING)
+        assert tag.validate("x") == "x"
+        with pytest.raises(ProfileError):
+            tag.validate(3)
+
+    def test_real_accepts_int_and_float(self):
+        tag = TagDefinition("r", TagType.REAL)
+        assert tag.validate(2) == 2.0
+        assert tag.validate(2.5) == 2.5
+
+    def test_bool(self):
+        tag = TagDefinition("b", TagType.BOOL)
+        assert tag.validate(True) is True
+        with pytest.raises(ProfileError):
+            tag.validate(1)
+
+    def test_enum(self):
+        tag = TagDefinition("e", TagType.ENUM, enum_values=["x", "y"])
+        assert tag.validate("x") == "x"
+        with pytest.raises(ProfileError):
+            tag.validate("z")
+
+    def test_enum_requires_values(self):
+        with pytest.raises(ProfileError):
+            TagDefinition("e", TagType.ENUM)
+
+    def test_non_enum_rejects_values(self):
+        with pytest.raises(ProfileError):
+            TagDefinition("n", TagType.INT, enum_values=["a"])
+
+    def test_default_is_validated(self):
+        with pytest.raises(ProfileError):
+            TagDefinition("n", TagType.INT, default="bad")
+
+    def test_unknown_type(self):
+        with pytest.raises(ProfileError):
+            TagDefinition("n", "complex")
+
+
+class TestStereotype:
+    def test_extends_checks_metaclass_mro(self):
+        stereotype = Stereotype("S", metaclasses=("Property",))
+        from repro.uml import Port
+
+        assert stereotype.extends(Property("p"))
+        assert stereotype.extends(Port("q"))  # Port subclasses Property
+        assert not stereotype.extends(Class("c"))
+
+    def test_specialization_inherits_metaclasses_and_tags(self):
+        base = Stereotype("Base", metaclasses=("Class",))
+        base.define_tag("Shared", TagType.INT, default=1)
+        special = Stereotype("Special", metaclasses=(), specializes=base)
+        special.define_tag("Own", TagType.INT, default=2)
+        assert special.effective_metaclasses() == ("Class",)
+        names = [d.name for d in special.all_tag_definitions()]
+        assert names == ["Own", "Shared"]
+        assert special.is_kind_of("Base")
+        assert special.is_kind_of("Special")
+        assert not base.is_kind_of("Special")
+
+    def test_own_tag_shadows_inherited(self):
+        base = Stereotype("Base", metaclasses=("Class",))
+        base.define_tag("T", TagType.INT, default=1)
+        special = Stereotype("Special", specializes=base)
+        special.define_tag("T", TagType.INT, default=99)
+        assert special.find_tag("T").default == 99
+
+    def test_duplicate_tag_rejected(self):
+        stereotype = Stereotype("S")
+        stereotype.define_tag("T", TagType.INT)
+        with pytest.raises(ProfileError):
+            stereotype.define_tag("T", TagType.INT)
+
+
+class TestProfileApplication:
+    def make_profile(self):
+        profile = Profile("P")
+        stereotype = Stereotype("Marker", metaclasses=("Class",))
+        stereotype.define_tag("Weight", TagType.INT, default=0)
+        stereotype.define_tag("Kind", TagType.ENUM, enum_values=["a", "b"], default="a")
+        stereotype.define_tag("Must", TagType.INT, required=True)
+        profile.add_stereotype(stereotype)
+        return profile
+
+    def test_apply_and_read_tags(self):
+        profile = self.make_profile()
+        klass = Class("C")
+        application = profile.apply(klass, "Marker", Weight=5, Must=1)
+        assert klass.has_stereotype("Marker")
+        assert klass.tag("Marker", "Weight") == 5
+        assert klass.tag("Marker", "Kind") == "a"  # default
+        assert application.missing_required_tags() == []
+
+    def test_missing_required_reported(self):
+        profile = self.make_profile()
+        klass = Class("C")
+        application = profile.apply(klass, "Marker")
+        assert application.missing_required_tags() == ["Must"]
+
+    def test_wrong_metaclass_rejected(self):
+        profile = self.make_profile()
+        with pytest.raises(ProfileError):
+            profile.apply(Property("p"), "Marker")
+
+    def test_double_application_rejected(self):
+        profile = self.make_profile()
+        klass = Class("C")
+        profile.apply(klass, "Marker", Must=1)
+        with pytest.raises(ProfileError):
+            profile.apply(klass, "Marker", Must=1)
+
+    def test_unknown_stereotype_rejected(self):
+        profile = self.make_profile()
+        with pytest.raises(ProfileError):
+            profile.apply(Class("C"), "Nope")
+
+    def test_unknown_tag_rejected(self):
+        profile = self.make_profile()
+        with pytest.raises(ProfileError):
+            profile.apply(Class("C"), "Marker", Bogus=1)
+
+    def test_bad_tag_value_rejected(self):
+        profile = self.make_profile()
+        with pytest.raises(ProfileError):
+            profile.apply(Class("C"), "Marker", Kind="z", Must=1)
+
+    def test_unapply(self):
+        profile = self.make_profile()
+        klass = Class("C")
+        profile.apply(klass, "Marker", Must=1)
+        profile.unapply(klass, "Marker")
+        assert not klass.has_stereotype("Marker")
+        with pytest.raises(ProfileError):
+            profile.unapply(klass, "Marker")
+
+    def test_abstract_stereotype_cannot_be_applied(self):
+        profile = Profile("P")
+        profile.add_stereotype(
+            Stereotype("Abstract", metaclasses=("Class",), is_abstract=True)
+        )
+        with pytest.raises(ProfileError):
+            profile.apply(Class("C"), "Abstract")
+
+    def test_duplicate_stereotype_name_rejected(self):
+        profile = Profile("P")
+        profile.add_stereotype(Stereotype("S"))
+        with pytest.raises(ProfileError):
+            profile.add_stereotype(Stereotype("S"))
+
+    def test_specialized_application_found_by_base_name(self):
+        profile = Profile("P")
+        base = Stereotype("Base", metaclasses=("Dependency",))
+        base.define_tag("T", TagType.INT, default=7)
+        profile.add_stereotype(base)
+        special = Stereotype("Special", specializes=base)
+        profile.add_stereotype(special)
+        dependency = Dependency("d")
+        profile.apply(dependency, "Special")
+        assert dependency.has_stereotype("Base")
+        assert dependency.tag("Base", "T") == 7

@@ -1,0 +1,111 @@
+"""State machine construction and queries."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import SignalTrigger, StateMachine, TimerTrigger
+
+
+def machine_with_states():
+    machine = StateMachine("m")
+    machine.state("a", initial=True)
+    machine.state("b")
+    return machine
+
+
+class TestConstruction:
+    def test_duplicate_state_rejected(self):
+        machine = machine_with_states()
+        with pytest.raises(ModelError):
+            machine.state("a")
+
+    def test_two_initial_states_rejected(self):
+        machine = machine_with_states()
+        with pytest.raises(ModelError):
+            machine.state("c", initial=True)
+
+    def test_duplicate_variable_rejected(self):
+        machine = StateMachine("m")
+        machine.variable("x")
+        with pytest.raises(ModelError):
+            machine.variable("x")
+
+    def test_transition_by_name_and_object(self):
+        machine = machine_with_states()
+        t1 = machine.transition("a", "b")
+        t2 = machine.transition(machine.find_state("b"), machine.find_state("a"))
+        assert t1.source.name == "a"
+        assert t2.source.name == "b"
+
+    def test_unknown_state_rejected(self):
+        machine = machine_with_states()
+        with pytest.raises(ModelError):
+            machine.transition("a", "nope")
+
+    def test_foreign_state_rejected(self):
+        machine = machine_with_states()
+        other = StateMachine("other")
+        foreign = other.state("x", initial=True)
+        with pytest.raises(ModelError):
+            machine.transition(foreign, "a")
+
+    def test_internal_requires_self_loop(self):
+        machine = machine_with_states()
+        with pytest.raises(ModelError):
+            machine.on_signal("a", "b", "s", internal=True)
+        transition = machine.on_signal("a", "a", "s", internal=True)
+        assert transition.internal
+
+    def test_bad_action_source_raises_at_build_time(self):
+        machine = machine_with_states()
+        with pytest.raises(Exception):
+            machine.on_signal("a", "b", "s", effect="x = ;")
+
+    def test_guard_parsed(self):
+        machine = machine_with_states()
+        transition = machine.on_signal("a", "b", "s", params=["n"], guard="n > 3")
+        assert transition.guard is not None
+        assert transition.guard.unparse() == "(n > 3)"
+
+
+class TestQueries:
+    def test_outgoing_priority_order(self):
+        machine = machine_with_states()
+        low = machine.on_signal("a", "b", "s", priority=2)
+        high = machine.on_signal("a", "a", "s", priority=0, internal=True)
+        mid = machine.on_signal("a", "b", "t", priority=1)
+        assert machine.outgoing(machine.find_state("a")) == [high, mid, low]
+
+    def test_received_signal_names(self):
+        machine = machine_with_states()
+        machine.on_signal("a", "b", "z")
+        machine.on_signal("b", "a", "y")
+        machine.on_timer("a", "a", "t", internal=True)
+        assert machine.received_signal_names() == ["y", "z"]
+
+    def test_timer_names(self):
+        machine = machine_with_states()
+        machine.on_timer("a", "a", "t2", internal=True)
+        machine.on_timer("b", "a", "t1")
+        assert machine.timer_names() == ["t1", "t2"]
+
+    def test_sent_signal_names_includes_entry_and_effects(self):
+        machine = StateMachine("m")
+        machine.state("a", initial=True, entry="send from_entry();")
+        machine.state("b", exit="send from_exit();")
+        machine.on_signal("a", "b", "go", effect="send from_effect();")
+        assert machine.sent_signal_names() == [
+            "from_effect",
+            "from_entry",
+            "from_exit",
+        ]
+
+    def test_final_state(self):
+        machine = machine_with_states()
+        final = machine.final_state()
+        assert final.is_final
+        machine.transition("b", final)
+
+    def test_trigger_descriptions(self):
+        assert SignalTrigger("s", ["a", "b"]).describe() == "s(a, b)"
+        assert TimerTrigger("t").describe() == "timer t"

@@ -1,0 +1,90 @@
+"""Properties, ports, connector ends and connectors."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import Class, Connector, ConnectorEnd, Port, Property
+
+
+class TestProperty:
+    def test_bad_aggregation_rejected(self):
+        with pytest.raises(ModelError):
+            Property("p", aggregation="weird")
+
+    def test_bad_multiplicity_rejected(self):
+        with pytest.raises(ModelError):
+            Property("p", lower=2, upper=1)
+        with pytest.raises(ModelError):
+            Property("p", lower=-1)
+
+    def test_star_multiplicity(self):
+        prop = Property("p", lower=0, upper=-1)
+        assert prop.multiplicity() == "[0..*]"
+
+    def test_is_part(self):
+        assert Property("p", aggregation="composite").is_part
+        assert not Property("p").is_part
+
+
+class TestPortSemantics:
+    def test_unconstrained_port_relays_everything(self):
+        port = Port("relay")
+        assert not port.is_constrained
+        assert port.accepts("anything")
+        assert port.emits("anything")
+
+    def test_constrained_port_accepts_only_provided(self):
+        port = Port("p", provided=["a"], required=["b"])
+        assert port.accepts("a")
+        assert not port.accepts("b")
+        assert port.emits("b")
+        assert not port.emits("a")
+
+    def test_required_only_port_accepts_nothing(self):
+        port = Port("p", required=["b"])
+        assert port.is_constrained
+        assert not port.accepts("b")
+        assert not port.accepts("a")
+
+
+class TestConnector:
+    def _ends(self):
+        inner = Class("Inner")
+        port_a = Port("pa")
+        port_b = Port("pb")
+        inner.add_port(port_a)
+        inner.add_port(port_b)
+        outer = Class("Outer")
+        part1 = outer.add_part(Property("x", inner))
+        part2 = outer.add_part(Property("y", inner))
+        return port_a, port_b, part1, part2
+
+    def test_end_requires_port(self):
+        with pytest.raises(ModelError):
+            ConnectorEnd("not a port")  # type: ignore[arg-type]
+
+    def test_assembly_and_delegation(self):
+        port_a, port_b, part1, part2 = self._ends()
+        assembly = Connector("c", ConnectorEnd(port_a, part1), ConnectorEnd(port_b, part2))
+        assert assembly.is_assembly
+        assert not assembly.is_delegation
+        delegation = Connector("d", ConnectorEnd(port_a, None), ConnectorEnd(port_b, part2))
+        assert delegation.is_delegation
+        assert not delegation.is_assembly
+
+    def test_other_end(self):
+        port_a, port_b, part1, part2 = self._ends()
+        end1 = ConnectorEnd(port_a, part1)
+        end2 = ConnectorEnd(port_b, part2)
+        connector = Connector("c", end1, end2)
+        assert connector.other_end(end1) is end2
+        assert connector.other_end(end2) is end1
+        with pytest.raises(ModelError):
+            connector.other_end(ConnectorEnd(port_a, part2))
+
+    def test_describe(self):
+        port_a, port_b, part1, part2 = self._ends()
+        connector = Connector(
+            "c", ConnectorEnd(port_a, part1), ConnectorEnd(port_b, None)
+        )
+        assert connector.describe() == "x.pa -- pb"

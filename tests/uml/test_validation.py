@@ -1,0 +1,256 @@
+"""Well-formedness validation rules."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.uml import (
+    Class,
+    Connector,
+    ConnectorEnd,
+    Model,
+    Package,
+    Port,
+    Property,
+    Signal,
+    StateMachine,
+    validate_model,
+)
+
+
+def make_model():
+    model = Model("M")
+    package = Package("P")
+    model.add(package)
+    return model, package
+
+
+class TestActiveClassRules:
+    def test_active_without_behavior_is_error(self):
+        model, package = make_model()
+        package.add(Class("A", is_active=True))
+        report = validate_model(model)
+        assert any(i.rule == "active-class-behavior" for i in report.errors)
+
+    def test_clean_active_class(self):
+        model, package = make_model()
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s", initial=True)
+        report = validate_model(model)
+        assert report.ok
+
+
+class TestConnectorRules:
+    def test_connector_port_not_on_part_type(self):
+        model, package = make_model()
+        inner = Class("Inner")
+        inner.add_port(Port("good"))
+        stranger = Class("Stranger")
+        stranger_port = Port("alien")
+        stranger.add_port(stranger_port)
+        outer = Class("Outer")
+        part = outer.add_part(Property("i", inner))
+        outer.add_connector(
+            Connector("c", ConnectorEnd(stranger_port, part), ConnectorEnd(stranger_port, part))
+        )
+        package.add(outer)
+        package.add(inner)
+        package.add(stranger)
+        report = validate_model(model)
+        assert any(i.rule == "connector-port" for i in report.errors)
+
+    def test_delegation_port_must_belong_to_class(self):
+        model, package = make_model()
+        outer = Class("Outer")
+        foreign_port = Port("foreign")
+        inner = Class("Inner")
+        inner.add_port(foreign_port)
+        part = outer.add_part(Property("i", inner))
+        outer.add_connector(
+            Connector(
+                "c", ConnectorEnd(foreign_port, None), ConnectorEnd(foreign_port, part)
+            )
+        )
+        package.add(outer)
+        package.add(inner)
+        report = validate_model(model)
+        assert any(i.rule == "connector-delegation-port" for i in report.errors)
+
+    def test_non_binary_connector(self):
+        model, package = make_model()
+        outer = Class("Outer")
+        outer.add_connector(Connector("bad"))
+        package.add(outer)
+        report = validate_model(model)
+        assert any(i.rule == "connector-binary" for i in report.errors)
+
+
+class TestStateMachineRules:
+    def test_missing_initial_state(self):
+        model, package = make_model()
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s")
+        report = validate_model(model)
+        assert any(i.rule == "machine-initial" for i in report.errors)
+
+    def test_undeclared_signal_is_warning(self):
+        model, package = make_model()
+        package.add(Signal("known"))
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s", initial=True)
+        machine.on_signal("s", "s", "unknown", internal=True)
+        report = validate_model(model)
+        assert any(i.rule == "trigger-signal-declared" for i in report.warnings)
+        assert report.ok  # warnings do not fail validation
+
+    def test_undeclared_sent_signal_warned(self):
+        model, package = make_model()
+        package.add(Signal("known"))
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s", initial=True, entry="send mystery();")
+        report = validate_model(model)
+        assert any(i.rule == "send-signal-declared" for i in report.warnings)
+
+    def test_unreachable_state_warned(self):
+        model, package = make_model()
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s", initial=True)
+        machine.state("island")
+        report = validate_model(model)
+        assert any(i.rule == "state-unreachable" for i in report.warnings)
+
+    def test_transition_from_final_rejected(self):
+        model, package = make_model()
+        klass = Class("A", is_active=True)
+        package.add(klass)
+        machine = StateMachine("m")
+        klass.set_behavior(machine)
+        machine.state("s", initial=True)
+        final = machine.final_state()
+        machine.transition("s", final)
+        machine.transitions.append(
+            type(machine.transitions[0])(final, machine.find_state("s"))
+        )
+        report = validate_model(model)
+        assert any(i.rule == "transition-from-final" for i in report.errors)
+
+
+class TestRequiredTags:
+    def test_missing_required_tag_reported(self):
+        from repro.uml import Profile, Stereotype, TagType
+
+        model, package = make_model()
+        profile = Profile("P")
+        stereotype = Stereotype("S", metaclasses=("Class",))
+        stereotype.define_tag("Must", TagType.INT, required=True)
+        profile.add_stereotype(stereotype)
+        klass = Class("C")
+        package.add(klass)
+        profile.apply(klass, "S")
+        report = validate_model(model)
+        assert any(i.rule == "required-tag" for i in report.errors)
+
+
+class TestReport:
+    def test_raise_on_errors(self):
+        model, package = make_model()
+        package.add(Class("A", is_active=True))
+        report = validate_model(model)
+        with pytest.raises(ValidationError) as excinfo:
+            report.raise_on_errors()
+        assert excinfo.value.issues
+
+    def test_render_mentions_rules(self):
+        model, package = make_model()
+        package.add(Class("A", is_active=True))
+        text = validate_model(model).render()
+        assert "active-class-behavior" in text
+
+    def test_clean_render(self):
+        model, _ = make_model()
+        assert "ok" in validate_model(model).render()
+
+
+class TestDeadConnectorRule:
+    def test_disjoint_signal_sets_warned(self):
+        model, package = make_model()
+        sender = Class("Sender")
+        sender_port = Port("out", required=["a"])
+        sender.add_port(sender_port)
+        receiver = Class("Receiver")
+        receiver_port = Port("inp", provided=["b"])  # cannot receive 'a'
+        receiver.add_port(receiver_port)
+        outer = Class("Outer")
+        part1 = outer.add_part(Property("s1", sender))
+        part2 = outer.add_part(Property("r1", receiver))
+        outer.add_connector(
+            Connector(
+                "dead",
+                ConnectorEnd(sender_port, part1),
+                ConnectorEnd(receiver_port, part2),
+            )
+        )
+        for element in (sender, receiver, outer):
+            package.add(element)
+        report = validate_model(model)
+        assert any(i.rule == "connector-dead" for i in report.warnings)
+
+    def test_compatible_connector_clean(self):
+        model, package = make_model()
+        sender = Class("Sender")
+        sender_port = Port("out", required=["a"])
+        sender.add_port(sender_port)
+        receiver = Class("Receiver")
+        receiver_port = Port("inp", provided=["a"])
+        receiver.add_port(receiver_port)
+        outer = Class("Outer")
+        part1 = outer.add_part(Property("s1", sender))
+        part2 = outer.add_part(Property("r1", receiver))
+        outer.add_connector(
+            Connector(
+                "live",
+                ConnectorEnd(sender_port, part1),
+                ConnectorEnd(receiver_port, part2),
+            )
+        )
+        for element in (sender, receiver, outer):
+            package.add(element)
+        report = validate_model(model)
+        assert not any(i.rule == "connector-dead" for i in report.warnings)
+
+    def test_relay_port_not_flagged(self):
+        model, package = make_model()
+        sender = Class("Sender")
+        sender_port = Port("out", required=["a"])
+        sender.add_port(sender_port)
+        relay = Class("Relay")
+        relay_port = Port("pass_through")  # unconstrained
+        relay.add_port(relay_port)
+        outer = Class("Outer")
+        part1 = outer.add_part(Property("s1", sender))
+        part2 = outer.add_part(Property("x1", relay))
+        outer.add_connector(
+            Connector(
+                "via",
+                ConnectorEnd(sender_port, part1),
+                ConnectorEnd(relay_port, part2),
+            )
+        )
+        for element in (sender, relay, outer):
+            package.add(element)
+        report = validate_model(model)
+        assert not any(i.rule == "connector-dead" for i in report.warnings)

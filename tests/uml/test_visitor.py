@@ -1,0 +1,77 @@
+"""Model traversal helpers."""
+
+from repro.uml import Class, Model, Package, Signal
+from repro.uml.visitor import (
+    count_elements,
+    find_all_by_name,
+    find_by_name,
+    find_stereotyped,
+    iter_instances,
+    iter_tree,
+    select,
+)
+
+
+def make_tree():
+    model = Model("M")
+    package = Package("P")
+    model.add(package)
+    package.add(Class("A"))
+    package.add(Class("B"))
+    package.add(Signal("A"))  # same name, different metaclass
+    return model
+
+
+class TestIteration:
+    def test_iter_tree_includes_root_by_default(self):
+        model = make_tree()
+        elements = list(iter_tree(model))
+        assert elements[0] is model
+
+    def test_iter_tree_can_exclude_root(self):
+        model = make_tree()
+        assert model not in list(iter_tree(model, include_root=False))
+
+    def test_iter_instances_filters_by_type(self):
+        model = make_tree()
+        classes = list(iter_instances(model, Class))
+        assert {c.name for c in classes} == {"A", "B"}
+
+    def test_count(self):
+        model = make_tree()
+        assert count_elements(model) == len(list(iter_tree(model)))
+
+
+class TestLookup:
+    def test_find_by_name_with_metatype(self):
+        model = make_tree()
+        assert isinstance(find_by_name(model, "A", Signal), Signal)
+        assert isinstance(find_by_name(model, "A", Class), Class)
+
+    def test_find_all_by_name(self):
+        model = make_tree()
+        assert len(find_all_by_name(model, "A")) == 2
+
+    def test_find_missing(self):
+        assert find_by_name(make_tree(), "nope") is None
+
+    def test_select_predicate(self):
+        model = make_tree()
+        named_a = select(model, lambda e: getattr(e, "name", "") == "A")
+        assert len(named_a) == 2
+
+
+class TestStereotypeSearch:
+    def test_find_stereotyped_matches_specialisations(self):
+        from repro.tutprofile import fresh_profile
+
+        profile = fresh_profile()
+        model = Model("M")
+        package = Package("P")
+        model.add(package)
+        segment = Class("Seg")
+        package.add(segment)
+        profile.apply(segment, "HIBISegment", DataWidth=32)
+        assert find_stereotyped(model, "HIBISegment") == [segment]
+        # matching by the base stereotype finds the specialised application
+        assert find_stereotyped(model, "PlatformCommunicationSegment") == [segment]

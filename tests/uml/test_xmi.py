@@ -1,0 +1,174 @@
+"""XMI serialisation: round-trips, stereotypes, error handling."""
+
+import pytest
+
+from repro.errors import XmiError
+from repro.uml import (
+    Class,
+    Dependency,
+    InstanceSpecification,
+    Model,
+    Package,
+    Port,
+    Profile,
+    Property,
+    Signal,
+    StateMachine,
+    Stereotype,
+    TagType,
+    model_to_xml,
+    xml_to_model,
+)
+from repro.uml.compare import model_fingerprint
+
+
+def rich_model():
+    model = Model("M")
+    package = Package("App")
+    model.add(package)
+    signal = Signal("go", payload_bits=64)
+    signal.add_attribute(Property("n", model.primitive("Int32")))
+    package.add(signal)
+    ack = Signal("ack")
+    ack.add_attribute(Property("v", model.primitive("Int16")))
+    package.add(ack)
+    component = Class("Comp", is_active=True)
+    package.add(component)
+    component.add_port(Port("p", provided=["go"], required=["ack"]))
+    machine = StateMachine("beh")
+    component.set_behavior(machine)
+    machine.variable("x", 7)
+    machine.state("idle", initial=True, entry="set_timer(t, 10);")
+    machine.state("run", exit="x = x - 1;")
+    machine.on_signal(
+        "idle", "run", "go", params=["n"], guard="n > 0",
+        effect="x = n * 2; send ack(x) via p;",
+    )
+    machine.on_timer("run", "idle", "t", effect="x = 0;")
+    machine.on_signal("run", "run", "go", params=["n"], internal=True)
+    holder = Class("Holder")
+    part = holder.add_part(Property("c1", component))
+    package.add(holder)
+    dependency = Dependency("d", client=part, supplier=component)
+    package.add(dependency)
+    instance = InstanceSpecification("inst", component)
+    package.add(instance)
+    return model
+
+
+class TestRoundTrip:
+    def test_fingerprint_stable_through_roundtrip(self):
+        model = rich_model()
+        text = model_to_xml(model)
+        recovered = xml_to_model(text)
+        assert model_fingerprint(recovered) == model_fingerprint(model)
+
+    def test_second_roundtrip_is_byte_identical(self):
+        model = rich_model()
+        first = model_to_xml(xml_to_model(model_to_xml(model)))
+        second = model_to_xml(xml_to_model(first))
+        assert first == second
+
+    def test_machine_details_survive(self):
+        model = rich_model()
+        recovered = xml_to_model(model_to_xml(model))
+        machine = recovered.find("App::Comp").classifier_behavior
+        assert machine.variables == {"x": 7}
+        assert machine.initial_state.name == "idle"
+        transitions = machine.transitions
+        assert transitions[0].guard.unparse() == "(n > 0)"
+        assert transitions[2].internal
+
+    def test_signal_sizes_survive(self):
+        model = rich_model()
+        recovered = xml_to_model(model_to_xml(model))
+        assert recovered.find("App::go").size_bits() == model.find("App::go").size_bits()
+
+    def test_dependency_refs_resolve(self):
+        model = rich_model()
+        recovered = xml_to_model(model_to_xml(model))
+        dependency = recovered.find("App::d")
+        assert dependency.client.name == "c1"
+        assert dependency.supplier.name == "Comp"
+
+    def test_write_and_read_file(self, tmp_path):
+        from repro.uml import read_model, write_model
+
+        model = rich_model()
+        path = tmp_path / "model.xmi"
+        write_model(model, path)
+        recovered = read_model(path)
+        assert model_fingerprint(recovered) == model_fingerprint(model)
+
+
+class TestStereotypes:
+    def make_profile(self):
+        profile = Profile("TestProfile")
+        stereotype = Stereotype("Marker", metaclasses=("Class",))
+        stereotype.define_tag("Weight", TagType.INT, default=0)
+        stereotype.define_tag("Label", TagType.STRING, default="")
+        stereotype.define_tag("On", TagType.BOOL, default=False)
+        stereotype.define_tag("Ratio", TagType.REAL, default=0.0)
+        profile.add_stereotype(stereotype)
+        return profile
+
+    def test_tagged_values_roundtrip_with_types(self):
+        profile = self.make_profile()
+        model = Model("M")
+        package = Package("P")
+        model.add(package)
+        klass = Class("C")
+        package.add(klass)
+        profile.apply(klass, "Marker", Weight=5, Label="hi", On=True, Ratio=2.5)
+        recovered = xml_to_model(model_to_xml(model), profiles=[profile])
+        recovered_class = recovered.find("P::C")
+        assert recovered_class.tag("Marker", "Weight") == 5
+        assert recovered_class.tag("Marker", "Label") == "hi"
+        assert recovered_class.tag("Marker", "On") is True
+        assert recovered_class.tag("Marker", "Ratio") == 2.5
+
+    def test_unknown_profile_raises(self):
+        profile = self.make_profile()
+        model = Model("M")
+        package = Package("P")
+        model.add(package)
+        klass = Class("C")
+        package.add(klass)
+        profile.apply(klass, "Marker")
+        with pytest.raises(XmiError):
+            xml_to_model(model_to_xml(model), profiles=[])
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(XmiError):
+            xml_to_model("<not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmiError):
+            xml_to_model("<something/>")
+
+    def test_missing_model_element(self):
+        with pytest.raises(XmiError):
+            xml_to_model("<XMI version='2.1'></XMI>")
+
+
+class TestExternalReferences:
+    def test_cross_model_dependency_serialises_symbolically(self):
+        model = Model("M")
+        package = Package("P")
+        model.add(package)
+        other_model = Model("Other")
+        foreign = Class("Foreign")
+        other_model.add(foreign)
+        local = Class("Local")
+        package.add(local)
+        dependency = Dependency("x", client=local, supplier=foreign)
+        package.add(dependency)
+        text = model_to_xml(model)
+        assert "ext:Other::Foreign" in text
+        # parses back: the external supplier is dropped, the local client kept
+        recovered = xml_to_model(text)
+        recovered_dependency = recovered.find("P::x")
+        assert [c.name for c in recovered_dependency.clients] == ["Local"]
+        assert recovered_dependency.suppliers == []

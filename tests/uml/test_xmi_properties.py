@@ -1,0 +1,85 @@
+"""Property-based XMI round-trip tests over randomly generated models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uml import (
+    Class,
+    Model,
+    Package,
+    Port,
+    Property,
+    Signal,
+    StateMachine,
+    model_to_xml,
+    xml_to_model,
+)
+from repro.uml.compare import model_fingerprint
+
+NAMES = st.sampled_from(
+    ["Alpha", "Beta", "Gamma", "Delta", "Widget", "Filter", "Codec", "Mux"]
+)
+PORT_NAMES = st.sampled_from(["p1", "p2", "io", "ctrl"])
+SIGNAL_NAMES = st.sampled_from(["s_a", "s_b", "s_c", "s_d"])
+STATE_NAMES = ["idle", "busy", "done"]
+
+
+@st.composite
+def models(draw):
+    model = Model("Rand")
+    package = Package("Pkg")
+    model.add(package)
+    # signals with varying parameter counts
+    for signal_name in sorted(draw(st.sets(SIGNAL_NAMES, min_size=1, max_size=4))):
+        signal = Signal(signal_name, payload_bits=draw(st.integers(0, 512)))
+        for index in range(draw(st.integers(0, 3))):
+            signal.add_attribute(
+                Property(f"f{index}", model.primitive("Int32"))
+            )
+        package.add(signal)
+    declared = [s.name for s in package.members_of_type(Signal)]
+    # classes
+    class_names = sorted(draw(st.sets(NAMES, min_size=1, max_size=4)))
+    for class_name in class_names:
+        active = draw(st.booleans())
+        klass = Class(class_name, is_active=active)
+        package.add(klass)
+        for port_name in sorted(draw(st.sets(PORT_NAMES, max_size=2))):
+            provided = sorted(draw(st.sets(st.sampled_from(declared), max_size=2)))
+            required = sorted(draw(st.sets(st.sampled_from(declared), max_size=2)))
+            klass.add_port(Port(port_name, provided, required))
+        if active:
+            machine = StateMachine(f"{class_name}Beh")
+            klass.set_behavior(machine)
+            state_count = draw(st.integers(1, 3))
+            for index in range(state_count):
+                machine.state(STATE_NAMES[index], initial=(index == 0))
+            for _ in range(draw(st.integers(0, 3))):
+                source = STATE_NAMES[draw(st.integers(0, state_count - 1))]
+                target = STATE_NAMES[draw(st.integers(0, state_count - 1))]
+                signal_name = draw(st.sampled_from(declared))
+                internal = source == target and draw(st.booleans())
+                machine.on_signal(
+                    source,
+                    target,
+                    signal_name,
+                    effect=draw(
+                        st.sampled_from(["", "x = 1;", f"send {declared[0]}();"])
+                    ),
+                    priority=draw(st.integers(0, 3)),
+                    internal=internal,
+                )
+    return model
+
+
+@given(models())
+@settings(max_examples=60, deadline=None)
+def test_random_model_roundtrips_semantically(model):
+    text = model_to_xml(model)
+    recovered = xml_to_model(text)
+    assert model_fingerprint(recovered) == model_fingerprint(model)
+
+
+@given(models())
+@settings(max_examples=30, deadline=None)
+def test_serialisation_is_deterministic(model):
+    assert model_to_xml(model) == model_to_xml(model)

@@ -1,0 +1,40 @@
+"""ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import render_percentage, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("Name", "Count"), [("alpha", 10), ("b", 2000)])
+        lines = text.splitlines()
+        assert "Name" in lines[1]
+        # numeric column right-aligned: both numbers end at same column
+        data_lines = [l for l in lines if "alpha" in l or " b " in l]
+        assert data_lines[0].rstrip().endswith("10")
+        assert data_lines[1].rstrip().endswith("2000")
+
+    def test_title(self):
+        text = render_table(("A",), [(1,)], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = render_table(("V",), [(3.14159,)])
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [(1,)])
+
+    def test_mixed_column_left_aligned(self):
+        text = render_table(("X",), [("text",), (5,)])
+        assert "text" in text
+
+
+class TestPercentage:
+    def test_paper_format(self):
+        assert render_percentage(0.921) == "92.1 %"
+        assert render_percentage(0.0) == "0.0 %"
+        assert render_percentage(1.0) == "100.0 %"
