@@ -6,7 +6,10 @@ Commands:
 * ``tutmac`` — run the workstation reference simulation and print the
   Table 4 profiling report;
 * ``flow`` — run the full Figure 2 design flow on the TUTMAC/TUTWLAN
-  system, writing XMI, generated C, the log-file and the report;
+  system, writing XMI, generated C, the log-file and the report; with
+  ``--fault-rate`` the simulation runs under a seeded fault plan;
+* ``faults`` — run a seeded fault-injection campaign on the ARQ-enabled
+  TUTMAC model and print the recovery ledger;
 * ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
   of the processors;
 * ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
@@ -46,9 +49,24 @@ def _cmd_flow(args) -> int:
     from repro.cases.tutwlan import build_tutwlan_system
     from repro.flow import run_design_flow
 
-    application, platform, mapping = build_tutwlan_system()
+    faults = None
+    if args.fault_rate > 0.0:
+        from repro.cases.tutmac.params import TutmacParameters
+        from repro.faults import build_campaign_plan
+
+        application, platform, mapping = build_tutwlan_system(
+            params=TutmacParameters(arq_enabled=True)
+        )
+        faults = build_campaign_plan(seed=args.seed, fault_rate=args.fault_rate)
+    else:
+        application, platform, mapping = build_tutwlan_system()
     result = run_design_flow(
-        application, platform, mapping, args.workdir, duration_us=args.duration_us
+        application,
+        platform,
+        mapping,
+        args.workdir,
+        duration_us=args.duration_us,
+        faults=faults,
     )
     print(result.report_text)
     print()
@@ -56,6 +74,22 @@ def _cmd_flow(args) -> int:
     for kind, path in sorted(result.artifacts.items()):
         print(f"  {kind:<8} {path}")
     return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import run_fault_campaign
+    from repro.profiling import render_fault_section, render_report
+
+    campaign = run_fault_campaign(
+        seed=args.seed, fault_rate=args.fault_rate, duration_us=args.duration_us
+    )
+    if args.full_report:
+        print(render_report(campaign.profiling, title="Fault campaign report"))
+    else:
+        print(render_fault_section(campaign.profiling))
+    stats = campaign.stats
+    ok = stats.injected == stats.detected == stats.recovered + stats.residual
+    return 0 if ok else 1
 
 
 def _cmd_timeline(args) -> int:
@@ -85,6 +119,13 @@ def _cmd_validate(args) -> int:
     return 0 if wellformed.ok and rules.ok else 1
 
 
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,7 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
     flow = subparsers.add_parser("flow", help="run the full Figure 2 design flow")
     flow.add_argument("--workdir", default="./tut_flow_output")
     flow.add_argument("--duration-us", type=int, default=100_000)
+    flow.add_argument(
+        "--seed", type=int, default=1, help="fault-plan seed (with --fault-rate)"
+    )
+    flow.add_argument(
+        "--fault-rate",
+        type=_rate,
+        default=0.0,
+        help="per-transfer corruption probability; 0 disables fault injection",
+    )
     flow.set_defaults(handler=_cmd_flow)
+
+    faults = subparsers.add_parser(
+        "faults", help="seeded fault-injection campaign on ARQ-enabled TUTMAC"
+    )
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--fault-rate", type=_rate, default=0.05)
+    faults.add_argument("--duration-us", type=int, default=200_000)
+    faults.add_argument(
+        "--full-report",
+        action="store_true",
+        help="print the whole profiling report, not just the fault ledger",
+    )
+    faults.set_defaults(handler=_cmd_faults)
 
     timeline = subparsers.add_parser(
         "timeline", help="text Gantt of the TUTWLAN processors"

@@ -16,13 +16,26 @@ from repro.cases.tutmac.params import TutmacParameters
 
 
 def build_fragmenter(app: ApplicationModel, params: TutmacParameters) -> Class:
-    """frag: splits SDUs into PDUs; one CRC request per SDU (the FCS)."""
+    """frag: splits SDUs into PDUs; one CRC request per SDU (the FCS).
+
+    With ``params.arq_enabled`` each PDU carries a per-fragment FCS and
+    frag runs a window-per-SDU ARQ: fragments stay in an ``outstanding``
+    bitmask until rca's CRC-verified ``pdu_ack`` clears them; a timer
+    retransmits unacknowledged fragments with exponential backoff and
+    bounded retries, then degrades gracefully (``gave_up`` counts
+    abandoned windows).
+    """
     component = app.component("Fragmenter", code_memory=6144, data_memory=16384)
     component.add_port(Port("pUi", provided=[sig.SDU_TX]))
     component.add_port(
         Port("pCrc", required=[sig.FRAG_CRC_REQ], provided=[sig.FRAG_CRC_CNF])
     )
-    component.add_port(Port("pRca", required=[sig.PDU_TX]))
+    if params.arq_enabled:
+        component.add_port(
+            Port("pRca", required=[sig.PDU_TX], provided=[sig.PDU_ACK])
+        )
+    else:
+        component.add_port(Port("pRca", required=[sig.PDU_TX]))
     component.add_port(
         Port("pMng", provided=[sig.DP_CFG], required=[sig.DP_STATUS])
     )
@@ -34,13 +47,51 @@ def build_fragmenter(app: ApplicationModel, params: TutmacParameters) -> Class:
     machine.variable("n", 0)
     machine.variable("hdr", 0)
     machine.variable("j", 0)
+    if params.arq_enabled:
+        machine.variable("outstanding", 0)   # bitmask of unacked fragments
+        machine.variable("win_seq", 0)       # SDU sequence of the open window
+        machine.variable("win_n", 0)         # fragments in the open window
+        machine.variable("retries", 0)
+        machine.variable("timeout", params.arq_timeout_us)
+        machine.variable("fcs", 0)
+        machine.variable("retx", 0)          # fragments retransmitted (stat)
+        machine.variable("gave_up", 0)       # windows abandoned (stat)
+        machine.variable("acked", 0)         # acks received (stat)
     machine.state("ready", initial=True)
-    machine.on_signal(
-        "ready",
-        "ready",
-        sig.SDU_TX,
-        params=["length", "seq"],
-        effect=(
+    if params.arq_enabled:
+        sdu_tx_effect = (
+            "sdus = sdus + 1;"
+            "n = (length + frag_bytes - 1) / frag_bytes;"
+            # a still-open window is abandoned: graceful degradation, not
+            # unbounded buffering
+            "if (outstanding != 0) {"
+            "  gave_up = gave_up + 1;"
+            "  outstanding = 0;"
+            "  reset_timer(arq_t);"
+            "}"
+            "i = 0;"
+            "while (i < n) {"
+            "  hdr = 0;"
+            "  j = 0;"
+            f"  while (j < {params.frag_header_iterations}) {{"
+            "    hdr = hdr + ((seq * 16 + i + j * 5) % 64);"
+            "    j = j + 1;"
+            "  }"
+            "  fcs = crc32(seq * 16 + i);"
+            "  send pdu_tx(seq * 16 + i, frag_bytes, fcs) via pRca;"
+            "  outstanding = outstanding | (1 << i);"
+            "  i = i + 1;"
+            "}"
+            "win_seq = seq;"
+            "win_n = n;"
+            "retries = 0;"
+            f"timeout = {params.arq_timeout_us};"
+            "set_timer(arq_t, timeout);"
+            "pending = pending + n;"
+            "send frag_crc_req(seq) via pCrc;"
+        )
+    else:
+        sdu_tx_effect = (
             "sdus = sdus + 1;"
             "n = (length + frag_bytes - 1) / frag_bytes;"
             "i = 0;"
@@ -56,7 +107,13 @@ def build_fragmenter(app: ApplicationModel, params: TutmacParameters) -> Class:
             "}"
             "pending = pending + n;"
             "send frag_crc_req(seq) via pCrc;"
-        ),
+        )
+    machine.on_signal(
+        "ready",
+        "ready",
+        sig.SDU_TX,
+        params=["length", "seq"],
+        effect=sdu_tx_effect,
         internal=True,
     )
     machine.on_signal(
@@ -77,11 +134,63 @@ def build_fragmenter(app: ApplicationModel, params: TutmacParameters) -> Class:
         priority=2,
         internal=True,
     )
+    if params.arq_enabled:
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.PDU_ACK,
+            params=["ackid"],
+            effect=(
+                "acked = acked + 1;"
+                "if (ackid / 16 == win_seq) {"
+                "  outstanding = outstanding & ~(1 << (ackid % 16));"
+                "  if (outstanding == 0) {"
+                "    reset_timer(arq_t);"
+                "  }"
+                "}"
+            ),
+            priority=3,
+            internal=True,
+        )
+        machine.on_timer(
+            "ready",
+            "ready",
+            "arq_t",
+            effect=(
+                "if (outstanding != 0) {"
+                f"  if (retries < {params.arq_max_retries}) {{"
+                "    retries = retries + 1;"
+                "    i = 0;"
+                "    while (i < win_n) {"
+                "      if ((outstanding & (1 << i)) != 0) {"
+                "        fcs = crc32(win_seq * 16 + i);"
+                "        send pdu_tx(win_seq * 16 + i, frag_bytes, fcs) via pRca;"
+                "        retx = retx + 1;"
+                "      }"
+                "      i = i + 1;"
+                "    }"
+                f"    timeout = timeout * {params.arq_backoff_factor};"
+                "    set_timer(arq_t, timeout);"
+                "  } else {"
+                "    gave_up = gave_up + 1;"
+                "    outstanding = 0;"
+                "  }"
+                "}"
+            ),
+            internal=True,
+        )
     return component
 
 
 def build_defragmenter(app: ApplicationModel, params: TutmacParameters) -> Class:
-    """defrag: reassembles downlink PDUs into SDUs, verifying the FCS."""
+    """defrag: reassembles downlink PDUs into SDUs, verifying the FCS.
+
+    With ``params.arq_enabled`` every received PDU is CRC-checked
+    individually through the crc service (``defrag_crc_req(fragid, fcs)``);
+    the SDU is delivered only when all outstanding checks return and none
+    failed, so injected bus corruption is *detected* rather than silently
+    forwarded to the user plane.
+    """
     component = app.component("Defragmenter", code_memory=6144, data_memory=16384)
     component.add_port(Port("pRca", provided=[sig.PDU_RX]))
     component.add_port(
@@ -94,42 +203,99 @@ def build_defragmenter(app: ApplicationModel, params: TutmacParameters) -> Class
     machine.variable("seq", 0)
     machine.variable("k", 0)
     machine.variable("hdr", 0)
+    if params.arq_enabled:
+        machine.variable("checks_out", 0)   # CRC confirmations still pending
+        machine.variable("good", 0)         # fragments that passed the FCS
+        machine.variable("bad", 0)          # fragments that failed the FCS
+        machine.variable("bad_total", 0)    # cumulative failed checks (stat)
+        machine.variable("last_flag", 0)    # saw the SDU-final fragment
     machine.state("ready", initial=True)
-    machine.on_signal(
-        "ready",
-        "ready",
-        sig.PDU_RX,
-        params=["fragid", "length", "last"],
-        effect=(
-            "fragments = fragments + 1;"
-            "total_len = total_len + length;"
-            "k = 0;"
-            f"while (k < {params.defrag_parse_iterations}) {{"
-            "  hdr = hdr + ((fragid + k * 3) % 32);"
-            "  k = k + 1;"
-            "}"
-            "if (last == 1) {"
-            "  send defrag_crc_req(seq) via pCrc;"
-            "}"
-        ),
-        internal=True,
-    )
-    machine.on_signal(
-        "ready",
-        "ready",
-        sig.DEFRAG_CRC_CNF,
-        params=["fragid", "ok"],
-        effect=(
-            "if (ok == 1) {"
-            "  send sdu_rx(total_len, seq) via pUi;"
-            "}"
-            "total_len = 0;"
-            "fragments = 0;"
-            "seq = seq + 1;"
-        ),
-        priority=1,
-        internal=True,
-    )
+    if params.arq_enabled:
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.PDU_RX,
+            params=["fragid", "length", "last", "fcs"],
+            effect=(
+                "fragments = fragments + 1;"
+                "total_len = total_len + length;"
+                "k = 0;"
+                f"while (k < {params.defrag_parse_iterations}) {{"
+                "  hdr = hdr + ((fragid + k * 3) % 32);"
+                "  k = k + 1;"
+                "}"
+                "if (last == 1) {"
+                "  last_flag = 1;"
+                "}"
+                "checks_out = checks_out + 1;"
+                "send defrag_crc_req(fragid, fcs) via pCrc;"
+            ),
+            internal=True,
+        )
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.DEFRAG_CRC_CNF,
+            params=["fragid", "ok"],
+            effect=(
+                "checks_out = checks_out - 1;"
+                "if (ok == 1) {"
+                "  good = good + 1;"
+                "} else {"
+                "  bad = bad + 1;"
+                "  bad_total = bad_total + 1;"
+                "}"
+                "if (last_flag == 1 && checks_out == 0) {"
+                "  if (bad == 0) {"
+                "    send sdu_rx(total_len, seq) via pUi;"
+                "  }"
+                "  total_len = 0;"
+                "  fragments = 0;"
+                "  good = 0;"
+                "  bad = 0;"
+                "  last_flag = 0;"
+                "  seq = seq + 1;"
+                "}"
+            ),
+            priority=1,
+            internal=True,
+        )
+    else:
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.PDU_RX,
+            params=["fragid", "length", "last"],
+            effect=(
+                "fragments = fragments + 1;"
+                "total_len = total_len + length;"
+                "k = 0;"
+                f"while (k < {params.defrag_parse_iterations}) {{"
+                "  hdr = hdr + ((fragid + k * 3) % 32);"
+                "  k = k + 1;"
+                "}"
+                "if (last == 1) {"
+                "  send defrag_crc_req(seq) via pCrc;"
+                "}"
+            ),
+            internal=True,
+        )
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.DEFRAG_CRC_CNF,
+            params=["fragid", "ok"],
+            effect=(
+                "if (ok == 1) {"
+                "  send sdu_rx(total_len, seq) via pUi;"
+                "}"
+                "total_len = 0;"
+                "fragments = 0;"
+                "seq = seq + 1;"
+            ),
+            priority=1,
+            internal=True,
+        )
     return component
 
 
@@ -164,19 +330,36 @@ def build_crc(app: ApplicationModel, params: TutmacParameters) -> Class:
         ),
         internal=True,
     )
-    machine.on_signal(
-        "ready",
-        "ready",
-        sig.DEFRAG_CRC_REQ,
-        params=["fragid"],
-        effect=(
-            "c = crc32(fragid);"
-            "computed = computed + 1;"
-            "send defrag_crc_cnf(fragid, 1) via pReq;"
-        ),
-        priority=1,
-        internal=True,
-    )
+    if params.arq_enabled:
+        # ARQ mode: compare the carried FCS against the recomputed CRC so
+        # corrupted fragments come back with ok == 0.
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.DEFRAG_CRC_REQ,
+            params=["fragid", "fcs"],
+            effect=(
+                "c = crc32(fragid);"
+                "computed = computed + 1;"
+                "send defrag_crc_cnf(fragid, (c == fcs) ? 1 : 0) via pReq;"
+            ),
+            priority=1,
+            internal=True,
+        )
+    else:
+        machine.on_signal(
+            "ready",
+            "ready",
+            sig.DEFRAG_CRC_REQ,
+            params=["fragid"],
+            effect=(
+                "c = crc32(fragid);"
+                "computed = computed + 1;"
+                "send defrag_crc_cnf(fragid, 1) via pReq;"
+            ),
+            priority=1,
+            internal=True,
+        )
     return component
 
 

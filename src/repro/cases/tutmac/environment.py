@@ -72,11 +72,22 @@ def build_radio_channel(app: ApplicationModel, params: TutmacParameters) -> Clas
         initial=True,
         entry=f"set_timer(dl_t, {params.downlink_period_us});",
     )
-    machine.on_timer(
-        "on_air",
-        "on_air",
-        "dl_t",
-        effect=(
+    if params.arq_enabled:
+        # ARQ mode: downlink frames carry the FCS that defrag will verify.
+        dl_effect = (
+            "dl_seq = dl_seq + 1;"
+            "i = 0;"
+            f"while (i < {params.downlink_fragments} - 1) {{"
+            f"  send phy_rx(dl_seq * 16 + i, {params.fragment_bytes}, 0,"
+            " crc32(dl_seq * 16 + i)) via pMac;"
+            "  i = i + 1;"
+            "}"
+            f"send phy_rx(dl_seq * 16 + i, {params.fragment_bytes}, 1,"
+            " crc32(dl_seq * 16 + i)) via pMac;"
+            f"set_timer(dl_t, {params.downlink_period_us});"
+        )
+    else:
+        dl_effect = (
             "dl_seq = dl_seq + 1;"
             "i = 0;"
             f"while (i < {params.downlink_fragments} - 1) {{"
@@ -85,7 +96,12 @@ def build_radio_channel(app: ApplicationModel, params: TutmacParameters) -> Clas
             "}"
             f"send phy_rx(dl_seq * 16 + i, {params.fragment_bytes}, 1) via pMac;"
             f"set_timer(dl_t, {params.downlink_period_us});"
-        ),
+        )
+    machine.on_timer(
+        "on_air",
+        "on_air",
+        "dl_t",
+        effect=dl_effect,
         internal=True,
     )
     machine.on_signal(

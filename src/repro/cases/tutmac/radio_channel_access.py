@@ -24,9 +24,18 @@ def build_radio_channel_access(
         data_memory=8192,
         real_time="hard",
     )
-    component.add_port(
-        Port("DataPort", provided=[sig.PDU_TX], required=[sig.PDU_RX])
-    )
+    if params.arq_enabled:
+        component.add_port(
+            Port(
+                "DataPort",
+                provided=[sig.PDU_TX],
+                required=[sig.PDU_RX, sig.PDU_ACK],
+            )
+        )
+    else:
+        component.add_port(
+            Port("DataPort", provided=[sig.PDU_TX], required=[sig.PDU_RX])
+        )
     component.add_port(
         Port(
             "MngPort",
@@ -49,6 +58,9 @@ def build_radio_channel_access(
     machine.variable("own_slots", params.slots_per_frame)
     machine.variable("rx_count", 0)
     machine.variable("b", 0)
+    if params.arq_enabled:
+        machine.variable("chk", 0)      # recomputed CRC for FCS verification
+        machine.variable("bad_rx", 0)   # uplink PDUs rejected on FCS (stat)
     machine.state(
         "access",
         initial=True,
@@ -81,28 +93,64 @@ def build_radio_channel_access(
         ),
         internal=True,
     )
-    machine.on_signal(
-        "access",
-        "access",
-        sig.PDU_TX,
-        params=["fragid", "length"],
-        effect="txq = txq + 1;",
-        priority=1,
-        internal=True,
-    )
-    machine.on_signal(
-        "access",
-        "access",
-        sig.PHY_RX,
-        params=["fragid", "length", "last"],
-        effect=(
-            "rx_count = rx_count + 1;"
-            "b = (fragid * 5 + length) % 97;"
-            "send pdu_rx(fragid, length, last) via DataPort;"
-        ),
-        priority=2,
-        internal=True,
-    )
+    if params.arq_enabled:
+        # ARQ mode: the uplink PDU carries a per-fragment FCS.  rca is the
+        # receiver end of the HIBI transfer, so it recomputes the CRC
+        # inline (the forbidden flow group4->group1 keeps it off the crc
+        # accelerator) and only CRC-clean PDUs are queued and acknowledged.
+        machine.on_signal(
+            "access",
+            "access",
+            sig.PDU_TX,
+            params=["fragid", "length", "fcs"],
+            effect=(
+                "chk = crc32(fragid);"
+                "if (chk == fcs) {"
+                "  txq = txq + 1;"
+                "  send pdu_ack(fragid) via DataPort;"
+                "} else {"
+                "  bad_rx = bad_rx + 1;"
+                "}"
+            ),
+            priority=1,
+            internal=True,
+        )
+        machine.on_signal(
+            "access",
+            "access",
+            sig.PHY_RX,
+            params=["fragid", "length", "last", "fcs"],
+            effect=(
+                "rx_count = rx_count + 1;"
+                "b = (fragid * 5 + length) % 97;"
+                "send pdu_rx(fragid, length, last, fcs) via DataPort;"
+            ),
+            priority=2,
+            internal=True,
+        )
+    else:
+        machine.on_signal(
+            "access",
+            "access",
+            sig.PDU_TX,
+            params=["fragid", "length"],
+            effect="txq = txq + 1;",
+            priority=1,
+            internal=True,
+        )
+        machine.on_signal(
+            "access",
+            "access",
+            sig.PHY_RX,
+            params=["fragid", "length", "last"],
+            effect=(
+                "rx_count = rx_count + 1;"
+                "b = (fragid * 5 + length) % 97;"
+                "send pdu_rx(fragid, length, last) via DataPort;"
+            ),
+            priority=2,
+            internal=True,
+        )
     machine.on_signal(
         "access",
         "access",

@@ -27,6 +27,9 @@ FRAG_CRC_CNF = "frag_crc_cnf"      # crc -> frag
 DEFRAG_CRC_REQ = "defrag_crc_req"  # defrag -> crc
 DEFRAG_CRC_CNF = "defrag_crc_cnf"  # crc -> defrag
 
+# ARQ (only declared with params.arq_enabled)
+PDU_ACK = "pdu_ack"                # rca -> frag: CRC-verified receipt
+
 # management plane
 BEACON_REQ = "beacon_req"      # mng -> rca           (MngToRCh)
 BEACON_CNF = "beacon_cnf"      # rca -> mng           (RChToMng)
@@ -53,29 +56,48 @@ ALL_SIGNALS = (
 
 
 def declare_signals(app: ApplicationModel, params: TutmacParameters) -> None:
-    """Declare every TUTMAC signal on ``app``."""
+    """Declare every TUTMAC signal on ``app``.
+
+    With ``params.arq_enabled`` the data-plane PDU signals carry a 32-bit
+    per-fragment FCS parameter (and payload) and the ``pdu_ack``
+    acknowledgement exists; the plain protocol stays byte-identical to the
+    paper's model.
+    """
     msdu_payload = params.msdu_bytes * 8
     fragment_payload = params.fragment_bytes * 8
+    arq = params.arq_enabled
+    fcs_bits = 32 if arq else 0
+    fcs_param = [("fcs", "Int32")] if arq else []
     app.signal(MSDU_REQ, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
     app.signal(MSDU_IND, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
     app.signal(SDU_TX, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
     app.signal(SDU_RX, [("length", "Int32"), ("seq", "Int32")], msdu_payload)
-    app.signal(PDU_TX, [("fragid", "Int32"), ("length", "Int32")], fragment_payload)
+    app.signal(
+        PDU_TX,
+        [("fragid", "Int32"), ("length", "Int32")] + fcs_param,
+        fragment_payload + fcs_bits,
+    )
     app.signal(
         PDU_RX,
-        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")],
-        fragment_payload,
+        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")] + fcs_param,
+        fragment_payload + fcs_bits,
     )
     app.signal(PHY_TX, [("fragid", "Int32"), ("length", "Int32")], fragment_payload)
     app.signal(
         PHY_RX,
-        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")],
-        fragment_payload,
+        [("fragid", "Int32"), ("length", "Int32"), ("last", "Bit")] + fcs_param,
+        fragment_payload + fcs_bits,
     )
     app.signal(FRAG_CRC_REQ, [("fragid", "Int32")], fragment_payload)
     app.signal(FRAG_CRC_CNF, [("fragid", "Int32"), ("checksum", "Int32")])
-    app.signal(DEFRAG_CRC_REQ, [("fragid", "Int32")], fragment_payload)
+    app.signal(
+        DEFRAG_CRC_REQ,
+        [("fragid", "Int32")] + fcs_param,
+        fragment_payload,
+    )
     app.signal(DEFRAG_CRC_CNF, [("fragid", "Int32"), ("ok", "Bit")])
+    if arq:
+        app.signal(PDU_ACK, [("fragid", "Int32")])
     app.signal(BEACON_REQ, [("seq", "Int32")])
     app.signal(BEACON_CNF, [("seq", "Int32")])
     app.signal(SLOT_CFG, [("first", "Int16"), ("count", "Int16")])

@@ -1,0 +1,341 @@
+"""Deterministic, seeded fault models for the system simulator.
+
+The paper's TUTMAC case study carries a CRC-32 hardware accelerator whose
+whole purpose is detecting corrupted frames, yet a perfect simulation never
+produces one.  A :class:`FaultPlan` turns the simulator into a robustness
+testbed: it decides — reproducibly, from a seed — which HIBI transfers
+corrupt or vanish, which signals are lost or duplicated at dispatch, and
+when processing elements stall or crash.
+
+Design constraints:
+
+* **Bit-reproducible.**  Every decision is a pure function of
+  ``(seed, site, kernel clock, draw counter)`` — no global RNG state, no
+  wall-clock.  Two runs with the same seed produce byte-identical logs.
+* **Zero-cost when disabled.**  A plan with all rates zero and no windows
+  reports :attr:`FaultPlan.enabled` ``False`` and the simulator treats it
+  exactly like ``faults=None``: no draws, no extra records, identical
+  output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+# fault kinds (the ``kind=`` vocabulary of FAULT log records)
+BUS_CORRUPT = "bus-corrupt"
+BUS_DROP = "bus-drop"
+SIGNAL_DROP = "signal-drop"
+SIGNAL_DUP = "signal-dup"
+PE_STALL = "pe-stall"
+PE_CRASH = "pe-crash"
+
+FAULT_KINDS = (BUS_CORRUPT, BUS_DROP, SIGNAL_DROP, SIGNAL_DUP, PE_STALL, PE_CRASH)
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit value."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _hash_site(site: str) -> int:
+    """FNV-1a over the site label — deterministic across processes, unlike
+    the builtin ``hash`` (PYTHONHASHSEED randomises string hashing)."""
+    state = 0xCBF29CE484222325
+    for byte in site.encode("utf-8"):
+        state = ((state ^ byte) * 0x100000001B3) & _MASK64
+    return state
+
+
+class FaultRng:
+    """Counter-based PRNG keyed off the kernel's integer-picosecond clock.
+
+    Each draw hashes ``(seed, site, time_ps, counter)`` so decisions are
+    independent of one another yet fully determined by the seed and the
+    (deterministic) simulation event order.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._counter = 0
+
+    def _draw(self, site: str, time_ps: int) -> int:
+        self._counter += 1
+        state = _mix64(self.seed ^ _GOLDEN)
+        state = _mix64(state ^ _hash_site(site))
+        state = _mix64(state ^ (time_ps & _MASK64))
+        return _mix64(state ^ (self._counter * _GOLDEN))
+
+    def uniform(self, site: str, time_ps: int) -> float:
+        """A float in [0, 1)."""
+        return self._draw(site, time_ps) / float(1 << 64)
+
+    def randint(self, site: str, time_ps: int, bound: int) -> int:
+        """An int in [0, bound)."""
+        if bound <= 0:
+            raise SimulationError("randint bound must be positive")
+        return self._draw(site, time_ps) % bound
+
+
+@dataclass(frozen=True)
+class PEWindow:
+    """A stall or crash window on one processing element.
+
+    * ``pe-stall`` — steps started inside the window take
+      ``stall_factor`` times longer (the PE is throttled, e.g. by DMA
+      contention or thermal limits).
+    * ``pe-crash`` — activations arriving inside the window are lost (the
+      PE is down; it recovers at ``end_ps``).
+    """
+
+    pe: str
+    start_ps: int
+    end_ps: int
+    kind: str = PE_STALL
+    stall_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PE_STALL, PE_CRASH):
+            raise SimulationError(f"unknown PE window kind {self.kind!r}")
+        if self.end_ps <= self.start_ps:
+            raise SimulationError("PE window must have positive length")
+        if self.kind == PE_STALL and self.stall_factor < 1:
+            raise SimulationError("stall_factor must be >= 1")
+
+    def covers(self, time_ps: int) -> bool:
+        return self.start_ps <= time_ps < self.end_ps
+
+
+@dataclass
+class FaultStats:
+    """Injection/recovery accounting, the report's reliability ledger.
+
+    ``detected`` counts injections on CRC-protected signals (the receiver's
+    FCS check is guaranteed to flag them, and lost protected frames are
+    flagged by the sender's retransmission timeout).  ``recovered`` counts
+    protected injections whose frame identity was later delivered clean —
+    i.e. the model's retransmission actually repaired the loss.
+    """
+
+    injected_by_kind: Dict[str, int] = field(default_factory=dict)
+    detected: int = 0
+    recovered: int = 0
+
+    @property
+    def injected(self) -> int:
+        return sum(self.injected_by_kind.values())
+
+    @property
+    def residual(self) -> int:
+        return self.detected - self.recovered
+
+    def count(self, kind: str) -> int:
+        return self.injected_by_kind.get(kind, 0)
+
+    def note_injected(self, kind: str) -> None:
+        self.injected_by_kind[kind] = self.injected_by_kind.get(kind, 0) + 1
+
+    def as_meta(self, seed: int) -> Dict[str, str]:
+        """Log-file META entries carrying the ledger into profiling."""
+        kinds = ",".join(
+            f"{kind}:{count}"
+            for kind, count in sorted(self.injected_by_kind.items())
+        )
+        return {
+            "fault_seed": str(seed),
+            "fault_injected": str(self.injected),
+            "fault_detected": str(self.detected),
+            "fault_recovered": str(self.recovered),
+            "fault_residual": str(self.residual),
+            "fault_kinds": kinds or "-",
+        }
+
+
+class FaultPlan:
+    """A reproducible schedule of fault injections.
+
+    Rates are per-opportunity probabilities: ``bus_*`` rates apply to each
+    eligible bus transfer, ``signal_*`` rates to each dispatched signal.
+    ``corruptible_signals``/``droppable_signals`` restrict which signals
+    are eligible (``None`` means all).  ``protected_signals`` are the ones
+    the application guards with an FCS — injections on them count as
+    *detected* and are identity-tracked so a later clean delivery of the
+    same frame counts as *recovered*.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        bus_corrupt_rate: float = 0.0,
+        bus_drop_rate: float = 0.0,
+        signal_drop_rate: float = 0.0,
+        signal_dup_rate: float = 0.0,
+        corruptible_signals: Optional[Iterable[str]] = None,
+        droppable_signals: Optional[Iterable[str]] = None,
+        protected_signals: Iterable[str] = (),
+        pe_windows: Iterable[PEWindow] = (),
+    ) -> None:
+        for name, rate in (
+            ("bus_corrupt_rate", bus_corrupt_rate),
+            ("bus_drop_rate", bus_drop_rate),
+            ("signal_drop_rate", signal_drop_rate),
+            ("signal_dup_rate", signal_dup_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = int(seed)
+        self.rng = FaultRng(seed)
+        self.bus_corrupt_rate = bus_corrupt_rate
+        self.bus_drop_rate = bus_drop_rate
+        self.signal_drop_rate = signal_drop_rate
+        self.signal_dup_rate = signal_dup_rate
+        self.corruptible_signals = (
+            frozenset(corruptible_signals) if corruptible_signals is not None else None
+        )
+        self.droppable_signals = (
+            frozenset(droppable_signals) if droppable_signals is not None else None
+        )
+        self.protected_signals = frozenset(protected_signals)
+        self.pe_windows: Tuple[PEWindow, ...] = tuple(pe_windows)
+        self.stats = FaultStats()
+        # (signal, frame identity) -> number of losses awaiting clean
+        # re-delivery.  A count, not a flag: a frame whose retransmission is
+        # itself lost has two detected events, both repaired by the one
+        # clean delivery that finally lands.
+        self._pending: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # enablement
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """False when the plan can never inject anything (zero-cost mode)."""
+        return bool(
+            self.bus_corrupt_rate > 0.0
+            or self.bus_drop_rate > 0.0
+            or self.signal_drop_rate > 0.0
+            or self.signal_dup_rate > 0.0
+            or self.pe_windows
+        )
+
+    # ------------------------------------------------------------------
+    # bus transfer faults
+    # ------------------------------------------------------------------
+
+    def _eligible(self, signal: str, restriction: Optional[frozenset]) -> bool:
+        return restriction is None or signal in restriction
+
+    def apply_bus_fault(
+        self,
+        signal: str,
+        args: Tuple[int, ...],
+        source_pe: str,
+        target_pe: str,
+        time_ps: int,
+    ) -> Tuple[Optional[str], Tuple[int, ...]]:
+        """Decide the fate of one bus transfer.
+
+        Returns ``(kind, args)``: ``(None, args)`` for a clean transfer,
+        ``(BUS_DROP, args)`` for a lost frame, or ``(BUS_CORRUPT,
+        corrupted_args)`` with one bit of the frame identity flipped.
+        """
+        site = f"bus:{source_pe}->{target_pe}:{signal}"
+        if self.bus_drop_rate > 0.0 and self._eligible(signal, self.droppable_signals):
+            if self.rng.uniform(site + ":drop", time_ps) < self.bus_drop_rate:
+                self._record_loss(BUS_DROP, signal, args)
+                return BUS_DROP, args
+        if self.bus_corrupt_rate > 0.0 and self._eligible(
+            signal, self.corruptible_signals
+        ):
+            if self.rng.uniform(site + ":corrupt", time_ps) < self.bus_corrupt_rate:
+                self._record_loss(BUS_CORRUPT, signal, args)
+                return BUS_CORRUPT, self._corrupt(signal, args, time_ps)
+        return None, args
+
+    def _corrupt(
+        self, signal: str, args: Tuple[int, ...], time_ps: int
+    ) -> Tuple[int, ...]:
+        """Flip one bit of the frame identity (the first argument)."""
+        if not args:
+            return args
+        bit = self.rng.randint(f"corrupt-bit:{signal}", time_ps, 16)
+        return (args[0] ^ (1 << bit),) + tuple(args[1:])
+
+    # ------------------------------------------------------------------
+    # dispatch faults
+    # ------------------------------------------------------------------
+
+    def apply_dispatch_fault(
+        self,
+        signal: str,
+        args: Tuple[int, ...],
+        sender: str,
+        receiver: str,
+        time_ps: int,
+    ) -> Optional[str]:
+        """Decide the fate of one signal dispatch: drop, duplicate or None."""
+        site = f"sig:{sender}->{receiver}:{signal}"
+        if self.signal_drop_rate > 0.0 and self._eligible(
+            signal, self.droppable_signals
+        ):
+            if self.rng.uniform(site + ":drop", time_ps) < self.signal_drop_rate:
+                self._record_loss(SIGNAL_DROP, signal, args)
+                return SIGNAL_DROP
+        if self.signal_dup_rate > 0.0:
+            if self.rng.uniform(site + ":dup", time_ps) < self.signal_dup_rate:
+                self.stats.note_injected(SIGNAL_DUP)
+                return SIGNAL_DUP
+        return None
+
+    # ------------------------------------------------------------------
+    # PE windows
+    # ------------------------------------------------------------------
+
+    def pe_crashed(self, pe: str, time_ps: int) -> bool:
+        for window in self.pe_windows:
+            if window.kind == PE_CRASH and window.pe == pe and window.covers(time_ps):
+                self.stats.note_injected(PE_CRASH)
+                return True
+        return False
+
+    def stall_duration_ps(self, pe: str, time_ps: int, duration_ps: int) -> int:
+        """Stretch a step's duration when the PE is inside a stall window."""
+        for window in self.pe_windows:
+            if window.kind == PE_STALL and window.pe == pe and window.covers(time_ps):
+                self.stats.note_injected(PE_STALL)
+                return duration_ps * window.stall_factor
+        return duration_ps
+
+    # ------------------------------------------------------------------
+    # detection / recovery accounting
+    # ------------------------------------------------------------------
+
+    def _record_loss(self, kind: str, signal: str, args: Tuple[int, ...]) -> None:
+        self.stats.note_injected(kind)
+        if signal in self.protected_signals and args:
+            self.stats.detected += 1
+            key = (signal, args[0])
+            self._pending[key] = self._pending.get(key, 0) + 1
+
+    def note_delivery(self, signal: str, args: Tuple[int, ...]) -> None:
+        """A clean delivery: if it re-delivers a lost frame, that's recovery."""
+        if not self._pending or not args:
+            return
+        count = self._pending.pop((signal, args[0]), 0)
+        self.stats.recovered += count
+
+    @property
+    def pending_losses(self) -> int:
+        """Protected injections not yet repaired by a clean re-delivery."""
+        return sum(self._pending.values())

@@ -4,7 +4,14 @@ from repro.flow.design_flow import (
     FLOW_INVENTORY,
     FLOW_STEPS,
     FlowResult,
+    StepFailure,
     run_design_flow,
 )
 
-__all__ = ["FLOW_INVENTORY", "FLOW_STEPS", "FlowResult", "run_design_flow"]
+__all__ = [
+    "FLOW_INVENTORY",
+    "FLOW_STEPS",
+    "FlowResult",
+    "StepFailure",
+    "run_design_flow",
+]

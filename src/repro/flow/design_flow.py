@@ -12,13 +12,19 @@
 Artefacts land in a work directory; the returned :class:`FlowResult`
 carries both the file paths and the in-memory analysis objects so callers
 (e.g. the improvement loop) can continue without re-reading files.
+
+Every step runs under error capture.  By default a failing step aborts the
+flow by re-raising, exactly as before; with ``continue_on_error=True`` the
+failure is recorded in :attr:`FlowResult.failures`, steps that depend on
+the missing artefact are recorded as skipped, and independent steps still
+run — so one broken stage yields a partial result instead of nothing.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.application.model import ApplicationModel
 from repro.codegen.project import GeneratedProject, generate_project
@@ -54,19 +60,85 @@ FLOW_INVENTORY = {
 
 
 @dataclass
+class StepFailure:
+    """One failed (or dependency-skipped) flow step."""
+
+    step: str
+    error: str
+    exception: Optional[BaseException] = None
+    skipped: bool = False
+
+    def __str__(self) -> str:
+        prefix = "skipped" if self.skipped else "failed"
+        return f"{self.step}: {prefix}: {self.error}"
+
+
+@dataclass
 class FlowResult:
-    """Artefacts and analyses of one flow execution."""
+    """Artefacts and analyses of one flow execution.
+
+    With ``continue_on_error`` some fields may be ``None`` (the producing
+    step failed or was skipped); :attr:`failures` lists what went wrong and
+    :attr:`succeeded` is True only for a clean full run.
+    """
 
     work_directory: str
-    xmi_path: str
-    log_path: str
-    report_path: str
-    code_directory: str
-    simulation: SimulationResult
-    profiling: ProfilingData
-    report_text: str
-    steps_run: tuple = FLOW_STEPS
+    xmi_path: Optional[str] = None
+    log_path: Optional[str] = None
+    report_path: Optional[str] = None
+    code_directory: Optional[str] = None
+    simulation: Optional[SimulationResult] = None
+    profiling: Optional[ProfilingData] = None
+    report_text: Optional[str] = None
+    steps_run: tuple = ()
     artifacts: Dict[str, str] = field(default_factory=dict)
+    failures: List[StepFailure] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failures and self.steps_run == FLOW_STEPS
+
+    def failure_for(self, step: str) -> Optional[StepFailure]:
+        for failure in self.failures:
+            if failure.step == step:
+                return failure
+        return None
+
+
+class _FlowRunner:
+    """Per-step error capture shared by all six steps."""
+
+    def __init__(self, continue_on_error: bool) -> None:
+        self.continue_on_error = continue_on_error
+        self.steps_run: List[str] = []
+        self.failures: List[StepFailure] = []
+
+    def failed(self, step: str) -> bool:
+        return any(f.step == step for f in self.failures)
+
+    def run(self, step: str, thunk, *, requires: tuple = ()):
+        """Run one step; returns its value, or None when it failed/skipped."""
+        broken = [dep for dep in requires if self.failed(dep)]
+        if broken:
+            self.failures.append(
+                StepFailure(
+                    step=step,
+                    error=f"dependency step {broken[0]!r} did not complete",
+                    skipped=True,
+                )
+            )
+            return None
+        try:
+            value = thunk()
+        except Exception as exc:  # noqa: BLE001 — the point is capture
+            if not self.continue_on_error:
+                raise
+            self.failures.append(
+                StepFailure(step=step, error=f"{type(exc).__name__}: {exc}", exception=exc)
+            )
+            return None
+        self.steps_run.append(step)
+        return value
 
 
 def run_design_flow(
@@ -77,53 +149,108 @@ def run_design_flow(
     duration_us: int = 100_000,
     generate_c: bool = True,
     strict: bool = True,
+    continue_on_error: bool = False,
+    faults=None,
 ) -> FlowResult:
-    """Run the complete Figure 2 flow; artefacts go to ``work_directory``."""
+    """Run the complete Figure 2 flow; artefacts go to ``work_directory``.
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan` handed to the
+    simulator; ``continue_on_error`` records step failures in the result
+    instead of raising, still running whatever does not depend on them.
+    """
     os.makedirs(work_directory, exist_ok=True)
+    runner = _FlowRunner(continue_on_error)
 
     # 1. validation
-    wellformed = validate_model(application.model)
-    rules = check_design_rules(application.model)
-    if platform.model is not application.model:
-        platform_report = check_design_rules(platform.model)
-        rules.issues.extend(platform_report.issues)
-    if strict:
-        wellformed.raise_on_errors()
-        rules.raise_on_errors()
+    def _validate() -> bool:
+        wellformed = validate_model(application.model)
+        rules = check_design_rules(application.model)
+        if platform.model is not application.model:
+            platform_report = check_design_rules(platform.model)
+            rules.issues.extend(platform_report.issues)
+        if strict:
+            wellformed.raise_on_errors()
+            rules.raise_on_errors()
+        return True
+
+    runner.run("validate", _validate)
 
     # 2. XMI export
-    xmi_text = model_to_xml(application.model)
-    xmi_path = os.path.join(work_directory, "model.xmi")
-    with open(xmi_path, "w", encoding="utf-8") as handle:
-        handle.write(xmi_text)
+    def _export_xmi() -> str:
+        xmi_text = model_to_xml(application.model)
+        path = os.path.join(work_directory, "model.xmi")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(xmi_text)
+        return xmi_text
+
+    xmi_text = runner.run("export-xmi", _export_xmi)
+    xmi_path = (
+        os.path.join(work_directory, "model.xmi") if xmi_text is not None else None
+    )
 
     # 3. profiling stage 1: parse the XML presentation for group info
-    group_info = group_info_from_xmi(xmi_text, profiles=[application.profile])
+    group_info = runner.run(
+        "parse-group-info",
+        lambda: group_info_from_xmi(xmi_text, profiles=[application.profile]),
+        requires=("export-xmi",),
+    )
 
     # 4. code generation (with instrumentation)
     code_directory = os.path.join(work_directory, "generated")
-    if generate_c:
-        project: Optional[GeneratedProject] = generate_project(
-            application, code_directory, instrument=True
-        )
+
+    def _generate() -> Optional[GeneratedProject]:
+        if not generate_c:
+            return None
+        project = generate_project(application, code_directory, instrument=True)
         project.write()
-    else:
-        project = None
+        return project
+
+    runner.run("generate-code", _generate)
+    if runner.failed("generate-code"):
+        code_directory = None
 
     # 5. simulation → log-file
-    simulation = SystemSimulation(application, platform, mapping)
-    result = simulation.run(duration_us)
     log_path = os.path.join(work_directory, "simulation.tutlog")
-    result.writer.write(log_path)
+
+    def _simulate() -> SimulationResult:
+        simulation = SystemSimulation(application, platform, mapping, faults=faults)
+        result = simulation.run(duration_us)
+        result.writer.write(log_path)
+        return result
+
+    result = runner.run("simulate", _simulate)
+    if result is None:
+        log_path = None
 
     # 6. profiling stage 3: combine and report
-    profiling = analyze(result.log, group_info)
-    report_text = render_report(
-        profiling, title=f"Profiling report: {application.top.name}"
-    )
     report_path = os.path.join(work_directory, "profiling_report.txt")
-    with open(report_path, "w", encoding="utf-8") as handle:
-        handle.write(report_text + "\n")
+
+    def _profile():
+        profiling = analyze(result.log, group_info)
+        report_text = render_report(
+            profiling, title=f"Profiling report: {application.top.name}"
+        )
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(report_text + "\n")
+        return profiling, report_text
+
+    profiled = runner.run(
+        "profile", _profile, requires=("parse-group-info", "simulate")
+    )
+    if profiled is not None:
+        profiling, report_text = profiled
+    else:
+        profiling, report_text, report_path = None, None, None
+
+    artifacts: Dict[str, str] = {}
+    if xmi_path is not None:
+        artifacts["xmi"] = xmi_path
+    if log_path is not None:
+        artifacts["log"] = log_path
+    if report_path is not None:
+        artifacts["report"] = report_path
+    if code_directory is not None:
+        artifacts["code"] = code_directory
 
     return FlowResult(
         work_directory=work_directory,
@@ -134,10 +261,7 @@ def run_design_flow(
         simulation=result,
         profiling=profiling,
         report_text=report_text,
-        artifacts={
-            "xmi": xmi_path,
-            "log": log_path,
-            "report": report_path,
-            "code": code_directory,
-        },
+        steps_run=tuple(runner.steps_run),
+        artifacts=artifacts,
+        failures=runner.failures,
     )

@@ -17,7 +17,12 @@ from repro.profiling.groupinfo import (
     group_info_from_model,
     group_info_from_xmi,
 )
-from repro.profiling.analysis import LatencyStats, ProfilingData, analyze
+from repro.profiling.analysis import (
+    FaultSummary,
+    LatencyStats,
+    ProfilingData,
+    analyze,
+)
 from repro.profiling.export import (
     group_times_csv,
     latency_csv,
@@ -27,6 +32,7 @@ from repro.profiling.export import (
 )
 from repro.profiling.report import (
     execution_time_rows,
+    render_fault_section,
     render_latency_detail,
     render_process_detail,
     render_report,
@@ -53,7 +59,9 @@ def profile_run(result, application):
 
 __all__ = [
     "ENVIRONMENT_GROUP",
+    "FaultSummary",
     "LatencyStats",
+    "render_fault_section",
     "render_latency_detail",
     "group_times_csv",
     "latency_csv",

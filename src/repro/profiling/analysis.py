@@ -13,7 +13,7 @@ transfers between individual application processes, are also available").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.simulation.logfile import LogFile
 from repro.profiling.groupinfo import ENVIRONMENT_GROUP, ProcessGroupInfo
@@ -39,6 +39,48 @@ class LatencyStats:
 
 
 @dataclass
+class FaultSummary:
+    """Fault-injection ledger recovered from the log's META entries.
+
+    The accounting identity ``injected == detected == recovered + residual``
+    holds for campaigns that restrict injection to CRC-protected signals
+    (see docs/fault_injection.md); ``by_kind`` breaks injections down by
+    fault model.
+    """
+
+    seed: int = 0
+    injected: int = 0
+    detected: int = 0
+    recovered: int = 0
+    residual: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Fraction of detected faults repaired (1.0 when nothing detected)."""
+        return self.recovered / self.detected if self.detected else 1.0
+
+
+def _fault_summary_from_meta(meta: Dict[str, str]) -> Optional[FaultSummary]:
+    if "fault_injected" not in meta:
+        return None
+    by_kind: Dict[str, int] = {}
+    kinds = meta.get("fault_kinds", "-")
+    if kinds and kinds != "-":
+        for entry in kinds.split(","):
+            kind, _, count = entry.partition(":")
+            by_kind[kind] = int(count or 0)
+    return FaultSummary(
+        seed=int(meta.get("fault_seed", "0")),
+        injected=int(meta.get("fault_injected", "0")),
+        detected=int(meta.get("fault_detected", "0")),
+        recovered=int(meta.get("fault_recovered", "0")),
+        residual=int(meta.get("fault_residual", "0")),
+        by_kind=by_kind,
+    )
+
+
+@dataclass
 class ProfilingData:
     """Joined and aggregated profiling metrics."""
 
@@ -53,6 +95,7 @@ class ProfilingData:
     transport_latency: Dict[str, LatencyStats] = field(default_factory=dict)
     dropped_signals: int = 0
     end_time_ps: int = 0
+    fault_stats: Optional[FaultSummary] = None
 
     # -- Table 4(a) ----------------------------------------------------------
 
@@ -149,4 +192,5 @@ def analyze(log: LogFile, group_info: ProcessGroupInfo) -> ProfilingData:
             record.transport, LatencyStats()
         ).observe(record.latency_ps)
     data.dropped_signals = len(log.drop_records)
+    data.fault_stats = _fault_summary_from_meta(log.meta)
     return data

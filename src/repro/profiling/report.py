@@ -118,6 +118,37 @@ def render_latency_detail(data: ProfilingData) -> str:
     return "\n\n".join(parts)
 
 
+def render_fault_section(data: ProfilingData) -> str:
+    """Fault-injection ledger: what was injected, detected and repaired.
+
+    Only rendered for runs that carried a fault plan; fault-free reports
+    are byte-identical to the pre-fault-injection layout.
+    """
+    stats = data.fault_stats
+    assert stats is not None
+    kind_rows = [
+        (kind, count) for kind, count in sorted(stats.by_kind.items())
+    ]
+    lines = [
+        "Fault injection",
+        "---------------",
+        f"seed: {stats.seed}",
+        f"injected faults: {stats.injected}",
+        f"detected (CRC-protected): {stats.detected}",
+        f"recovered by retransmission: {stats.recovered}",
+        f"residual losses: {stats.residual}",
+        f"recovery ratio: {render_percentage(stats.recovery_ratio)}",
+    ]
+    if kind_rows:
+        lines += [
+            "",
+            render_table(
+                ("Fault kind", "Injected"), kind_rows, title="Injections by kind"
+            ),
+        ]
+    return "\n".join(lines)
+
+
 def render_report(data: ProfilingData, title: str = "Profiling report") -> str:
     """The full profiling report (Table 4 plus detail sections)."""
     summary_lines = [
@@ -137,4 +168,6 @@ def render_report(data: ProfilingData, title: str = "Profiling report") -> str:
         "",
         render_latency_detail(data),
     ]
+    if data.fault_stats is not None:
+        summary_lines += ["", render_fault_section(data)]
     return "\n".join(summary_lines)

@@ -10,6 +10,7 @@ from repro.simulation.kernel import Kernel, PS_PER_MS, PS_PER_US, cycles_to_ps
 from repro.simulation.logfile import (
     DropRecord,
     ExecRecord,
+    FaultRecord,
     LogFile,
     LogWriter,
     SignalRecord,
@@ -39,6 +40,7 @@ __all__ = [
     "CostModel",
     "DropRecord",
     "ExecRecord",
+    "FaultRecord",
     "HibiBus",
     "Kernel",
     "LogFile",

@@ -43,6 +43,11 @@ class _Transfer:
     on_complete: Callable[[int], None]  # called with total latency (ps)
     started_ps: int = 0
     enqueued_ps: int = 0
+    # fault injection (None without a fault plan): the injected fault kind
+    # and the payload after corruption, resolved via on_fault at delivery
+    fault: Optional[str] = None
+    fault_args: tuple = ()
+    on_fault: Optional[Callable[[str, int, tuple], None]] = None
 
 
 class _SegmentRuntime:
@@ -58,9 +63,14 @@ class _SegmentRuntime:
 class HibiBus:
     """Cycle-approximate model of the platform's segmented interconnect."""
 
-    def __init__(self, platform: PlatformModel, kernel: Kernel) -> None:
+    def __init__(
+        self, platform: PlatformModel, kernel: Kernel, faults=None
+    ) -> None:
         self.platform = platform
         self.kernel = kernel
+        # an optional repro.faults.FaultPlan; None keeps transfers fault-free
+        # with zero per-transfer overhead
+        self.faults = faults
         self.segments: Dict[str, _SegmentRuntime] = {
             name: _SegmentRuntime(name, instance.spec)
             for name, instance in platform.segments.items()
@@ -76,8 +86,19 @@ class HibiBus:
         target_pe: str,
         size_bytes: int,
         on_complete: Callable[[int], None],
+        signal: str = "",
+        args: tuple = (),
+        on_fault: Optional[Callable[[str, int, tuple], None]] = None,
     ) -> None:
-        """Start a transfer; ``on_complete(latency_ps)`` fires on delivery."""
+        """Start a transfer; ``on_complete(latency_ps)`` fires on delivery.
+
+        With a fault plan installed, the transfer's fate is decided here
+        (keyed off the current kernel clock).  A corrupted or dropped frame
+        still occupies the bus normally; at delivery time
+        ``on_fault(kind, latency_ps, args)`` fires instead of
+        ``on_complete`` — with the bit-flipped payload for a corruption,
+        and not at all for a drop when no ``on_fault`` is given.
+        """
         path = self.platform.transfer_path(source_pe, target_pe)
         if not path:
             raise SimulationError(
@@ -92,6 +113,14 @@ class HibiBus:
             on_complete=on_complete,
             started_ps=self.kernel.now_ps,
         )
+        if self.faults is not None:
+            kind, fault_args = self.faults.apply_bus_fault(
+                signal, tuple(args), source_pe, target_pe, self.kernel.now_ps
+            )
+            if kind is not None:
+                transfer.fault = kind
+                transfer.fault_args = fault_args
+                transfer.on_fault = on_fault
         self._request_next_hop(transfer)
 
     def stats(self) -> Dict[str, TransferStats]:
@@ -121,6 +150,10 @@ class HibiBus:
     def _request_next_hop(self, transfer: _Transfer) -> None:
         if not transfer.path:
             latency = self.kernel.now_ps - transfer.started_ps
+            if transfer.fault is not None:
+                if transfer.on_fault is not None:
+                    transfer.on_fault(transfer.fault, latency, transfer.fault_args)
+                return
             transfer.on_complete(latency)
             return
         segment_name = transfer.path[0]

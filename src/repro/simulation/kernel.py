@@ -21,6 +21,10 @@ def cycles_to_ps(cycles: int, frequency_hz: int) -> int:
     """Duration of ``cycles`` clock cycles, in picoseconds."""
     if frequency_hz <= 0:
         raise SimulationError("frequency must be positive")
+    if cycles < 0:
+        # catch this here: a negative duration would otherwise surface
+        # later as schedule()'s baffling "cannot schedule into the past"
+        raise SimulationError(f"cycle count must be non-negative, got {cycles}")
     return (cycles * 1_000_000_000_000) // frequency_hz
 
 

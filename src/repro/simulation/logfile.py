@@ -13,9 +13,14 @@ fields), so it diffs well and any log line can be grepped:
     EXEC time=<ps> process=<name> pe=<pe> cycles=<n> duration=<ps> \
          from=<state> to=<state> trigger=<desc>
     SIG time=<ps> signal=<name> sender=<proc> receiver=<proc> bytes=<n> \
-        latency=<ps> transport=<local|bus|env>
+        latency=<ps> transport=<local|bus|env> [corrupt=1]
     DROP time=<ps> process=<name> signal=<name> reason=<text>
+    FAULT time=<ps> kind=<kind> signal=<name|-> source=<name|-> target=<name|->
     END time=<ps> events=<n>
+
+``FAULT`` records and the optional ``corrupt`` flag appear only in runs
+with fault injection enabled (see ``docs/fault_injection.md``); fault-free
+logs are byte-identical to the pre-fault format.
 """
 
 from __future__ import annotations
@@ -64,13 +69,17 @@ class SignalRecord:
     bytes: int
     latency_ps: int
     transport: str
+    corrupt: int = 0
 
     def render(self) -> str:
-        return (
+        line = (
             f"SIG time={self.time_ps} signal={self.signal} sender={self.sender} "
             f"receiver={self.receiver} bytes={self.bytes} "
             f"latency={self.latency_ps} transport={self.transport}"
         )
+        if self.corrupt:
+            line += " corrupt=1"
+        return line
 
 
 @dataclass(frozen=True)
@@ -89,7 +98,24 @@ class DropRecord:
         )
 
 
-LogRecord = Union[ExecRecord, SignalRecord, DropRecord]
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (only present with fault injection enabled)."""
+
+    time_ps: int
+    kind: str
+    signal: str = "-"
+    source: str = "-"
+    target: str = "-"
+
+    def render(self) -> str:
+        return (
+            f"FAULT time={self.time_ps} kind={self.kind} signal={self.signal} "
+            f"source={self.source} target={self.target}"
+        )
+
+
+LogRecord = Union[ExecRecord, SignalRecord, DropRecord, FaultRecord]
 
 
 class LogWriter:
@@ -108,6 +134,9 @@ class LogWriter:
 
     def drop(self, **kwargs) -> None:
         self.records.append(DropRecord(**kwargs))
+
+    def fault(self, **kwargs) -> None:
+        self.records.append(FaultRecord(**kwargs))
 
     def finish(self, end_time_ps: int) -> None:
         self.end_time_ps = end_time_ps
@@ -150,6 +179,16 @@ class LogFile:
     @property
     def drop_records(self) -> List[DropRecord]:
         return [r for r in self.records if isinstance(r, DropRecord)]
+
+    @property
+    def fault_records(self) -> List[FaultRecord]:
+        return [r for r in self.records if isinstance(r, FaultRecord)]
+
+    def faults_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.fault_records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
 
     def cycles_by_process(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
@@ -217,6 +256,7 @@ def parse_log(text: str) -> LogFile:
                         bytes=int(f["bytes"]),
                         latency_ps=int(f["latency"]),
                         transport=f["transport"],
+                        corrupt=int(f.get("corrupt", "0")),
                     )
                 )
             elif kind == "DROP":
@@ -227,6 +267,17 @@ def parse_log(text: str) -> LogFile:
                         process=f["process"],
                         signal=f["signal"],
                         reason=f["reason"],
+                    )
+                )
+            elif kind == "FAULT":
+                f = _parse_fields(line, 1)
+                records.append(
+                    FaultRecord(
+                        time_ps=int(f["time"]),
+                        kind=f["kind"],
+                        signal=f.get("signal", "-"),
+                        source=f.get("source", "-"),
+                        target=f.get("target", "-"),
                     )
                 )
             elif kind == "END":

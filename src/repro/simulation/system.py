@@ -49,6 +49,7 @@ class _Activation:
     sent_ps: int = 0
     transport: str = TRANSPORT_LOCAL
     bytes: int = 0
+    corrupt: bool = False  # payload was bit-corrupted in transit
 
     def describe(self) -> str:
         if self.kind == "signal":
@@ -130,6 +131,7 @@ class SimulationResult:
     pe_busy_ps: Dict[str, int]
     bus_stats: Dict[str, TransferStats]
     dropped_signals: int
+    fault_stats: Optional[object] = None  # repro.faults.FaultStats when injecting
     _parsed: Optional[LogFile] = field(default=None, repr=False)
 
     @property
@@ -159,13 +161,18 @@ class SystemSimulation:
         platform: PlatformModel,
         mapping: MappingModel,
         max_events: int = 5_000_000,
+        faults=None,
     ) -> None:
         mapping.check_complete()
         self.application = application
         self.platform = platform
         self.mapping = mapping
         self.kernel = Kernel(max_events=max_events)
-        self.bus = HibiBus(platform, self.kernel)
+        # A disabled plan (all rates zero, no windows) is treated exactly
+        # like no plan: every fault hook stays behind a None check, so the
+        # fault-free simulation is bit-identical to the pre-fault simulator.
+        self.faults = faults if faults is not None and faults.enabled else None
+        self.bus = HibiBus(platform, self.kernel, faults=self.faults)
         self.writer = LogWriter(
             meta={
                 "application": application.top.name,
@@ -216,6 +223,10 @@ class SystemSimulation:
         dispatched = self.kernel.run(until_ps=duration_us * PS_PER_US)
         end = self.kernel.now_ps
         self.writer.finish(end)
+        fault_stats = None
+        if self.faults is not None:
+            fault_stats = self.faults.stats
+            self.writer.meta.update(fault_stats.as_meta(self.faults.seed))
         return SimulationResult(
             writer=self.writer,
             end_time_ps=end,
@@ -223,6 +234,7 @@ class SystemSimulation:
             pe_busy_ps={n: r.busy_ps for n, r in self.pe_runtimes.items()},
             bus_stats=self.bus.stats(),
             dropped_signals=self.dropped,
+            fault_stats=fault_stats,
         )
 
     # ------------------------------------------------------------------
@@ -231,6 +243,28 @@ class SystemSimulation:
 
     def _deliver(self, activation: _Activation) -> None:
         """An activation arrives at its process (kernel time = arrival)."""
+        pe_name = self.pe_of_process[activation.process]
+        if (
+            self.faults is not None
+            and pe_name is not None
+            and self.faults.pe_crashed(pe_name, self.kernel.now_ps)
+        ):
+            # the PE is inside a crash window: the activation is lost
+            self.writer.fault(
+                time_ps=self.kernel.now_ps,
+                kind="pe-crash",
+                signal=activation.describe(),
+                source=pe_name,
+                target=activation.process,
+            )
+            self.dropped += 1
+            self.writer.drop(
+                time_ps=self.kernel.now_ps,
+                process=activation.process,
+                signal=activation.describe(),
+                reason="pe-crash",
+            )
+            return
         if activation.kind == "signal":
             self.writer.signal(
                 time_ps=self.kernel.now_ps,
@@ -240,8 +274,11 @@ class SystemSimulation:
                 bytes=activation.bytes,
                 latency_ps=self.kernel.now_ps - activation.sent_ps,
                 transport=activation.transport,
+                corrupt=1 if activation.corrupt else 0,
             )
-        pe_name = self.pe_of_process[activation.process]
+            if self.faults is not None and not activation.corrupt:
+                # a clean delivery may repair an earlier tracked loss
+                self.faults.note_delivery(activation.signal, activation.args)
         if pe_name is None:
             self._run_environment_step(activation)
             return
@@ -286,6 +323,19 @@ class SystemSimulation:
                 runtime.dispatch_overhead_cycles,
                 runtime.cost_model.spec.frequency_hz,
             )
+            if self.faults is not None:
+                stalled_ps = self.faults.stall_duration_ps(
+                    runtime.name, self.kernel.now_ps, duration_ps
+                )
+                if stalled_ps != duration_ps:
+                    self.writer.fault(
+                        time_ps=self.kernel.now_ps,
+                        kind="pe-stall",
+                        signal=activation.describe(),
+                        source=runtime.name,
+                        target=activation.process,
+                    )
+                    duration_ps = stalled_ps
             runtime.busy = True
             runtime.last_process = activation.process
             started_ps = self.kernel.now_ps
@@ -397,15 +447,40 @@ class SystemSimulation:
         size = signal.size_bytes()
         sender_pe = self.pe_of_process[sender]
         receiver_pe = self.pe_of_process[receiver]
-        activation = _Activation(
-            kind="signal",
-            process=receiver,
-            signal=intent.signal,
-            args=intent.args,
-            sender=sender,
-            sent_ps=self.kernel.now_ps,
-            bytes=size,
-        )
+        deliveries = 1
+        if self.faults is not None:
+            fault = self.faults.apply_dispatch_fault(
+                intent.signal, intent.args, sender, receiver, self.kernel.now_ps
+            )
+            if fault is not None:
+                self.writer.fault(
+                    time_ps=self.kernel.now_ps,
+                    kind=fault,
+                    signal=intent.signal,
+                    source=sender,
+                    target=receiver,
+                )
+                if fault == "signal-drop":
+                    return  # the signal is lost before any transport
+                deliveries = 2  # signal-dup: delivered twice, independently
+        for _ in range(deliveries):
+            activation = _Activation(
+                kind="signal",
+                process=receiver,
+                signal=intent.signal,
+                args=intent.args,
+                sender=sender,
+                sent_ps=self.kernel.now_ps,
+                bytes=size,
+            )
+            self._transport(activation, sender_pe, receiver_pe)
+
+    def _transport(
+        self,
+        activation: _Activation,
+        sender_pe: Optional[str],
+        receiver_pe: Optional[str],
+    ) -> None:
         if sender_pe is None or receiver_pe is None:
             # Environment boundary: no platform transport involved.
             activation.transport = TRANSPORT_ENV
@@ -420,14 +495,50 @@ class SystemSimulation:
             # Bus transport pays the wire latency plus the same receive
             # cost a local delivery pays (wrapper -> CPU hand-off).
             activation.transport = TRANSPORT_BUS
+            on_fault = None
+            if self.faults is not None:
+                on_fault = (
+                    lambda kind, _latency, args, a=activation, pe=receiver_pe: (
+                        self._bus_fault(kind, args, a, pe)
+                    )
+                )
             self.bus.transfer(
                 sender_pe,
                 receiver_pe,
-                size,
+                activation.bytes,
                 lambda _latency, a=activation, pe=receiver_pe: self.kernel.schedule(
                     self._receive_delay_ps(pe), lambda: self._deliver(a)
                 ),
+                signal=activation.signal,
+                args=activation.args,
+                on_fault=on_fault,
             )
+
+    def _bus_fault(
+        self,
+        kind: str,
+        args: Tuple[int, ...],
+        activation: _Activation,
+        receiver_pe: str,
+    ) -> None:
+        """A bus transfer resolved with an injected fault (at delivery time)."""
+        self.writer.fault(
+            time_ps=self.kernel.now_ps,
+            kind=kind,
+            signal=activation.signal,
+            source=activation.sender,
+            target=activation.process,
+        )
+        if kind == "bus-drop":
+            return  # the frame is gone; only an ARQ timeout can notice
+        # bus-corrupt: the frame arrives with a flipped payload bit — the
+        # receiver's CRC check is responsible for catching it
+        activation.args = tuple(args)
+        activation.corrupt = True
+        self.kernel.schedule(
+            self._receive_delay_ps(receiver_pe),
+            lambda a=activation: self._deliver(a),
+        )
 
     def _receive_delay_ps(self, pe_name: str) -> int:
         runtime = self.pe_runtimes[pe_name]

@@ -115,3 +115,80 @@ class TestInventory:
         assert not os.path.exists(
             os.path.join(result.code_directory, "tut_runtime.c")
         )
+
+
+class TestErrorCapture:
+    def _system(self):
+        app = build_pingpong()
+        platform = build_two_cpu_platform()
+        mapping = MappingModel(app, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        return app, platform, mapping
+
+    def test_default_mode_still_raises(self, tmp_path):
+        app, platform, mapping = self._system()
+        with pytest.raises(TypeError):
+            run_design_flow(
+                app, platform, mapping, str(tmp_path), duration_us="bogus"
+            )
+
+    def test_continue_on_error_partial_result(self, tmp_path):
+        app, platform, mapping = self._system()
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path),
+            duration_us="bogus", continue_on_error=True,
+        )
+        assert not result.succeeded
+        failed = result.failure_for("simulate")
+        assert failed is not None and not failed.skipped
+        assert "TypeError" in failed.error
+        skipped = result.failure_for("profile")
+        assert skipped is not None and skipped.skipped
+        # independent steps still produced artefacts
+        assert os.path.exists(result.xmi_path)
+        assert result.simulation is None
+        assert result.profiling is None
+        assert result.log_path is None
+        assert "log" not in result.artifacts
+
+    def test_clean_run_reports_success(self, flow_result):
+        assert flow_result.succeeded
+        assert flow_result.failures == []
+
+    def test_validation_failure_recorded_not_raised(self, tmp_path):
+        app, platform, mapping = self._system()
+        from repro.uml import Class
+
+        rogue = Class("Rogue")
+        app.package.add(rogue)
+        app.profile.apply(rogue, "Application")
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000,
+            continue_on_error=True,
+        )
+        failed = result.failure_for("validate")
+        assert failed is not None
+        # validation gates nothing downstream: the rest of the flow ran
+        assert result.profiling is not None
+        assert os.path.exists(result.report_path)
+
+
+class TestFaultsThroughFlow:
+    def test_flow_with_fault_plan(self, tmp_path):
+        from repro.cases.tutmac import TutmacParameters
+        from repro.cases.tutwlan import build_tutwlan_system
+        from repro.faults import build_campaign_plan
+
+        app, platform, mapping = build_tutwlan_system(
+            params=TutmacParameters(arq_enabled=True)
+        )
+        plan = build_campaign_plan(seed=2, fault_rate=0.05)
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=50_000,
+            faults=plan,
+        )
+        assert result.succeeded
+        assert result.profiling.fault_stats is not None
+        assert result.profiling.fault_stats.injected == plan.stats.injected
+        assert "Fault injection" in result.report_text

@@ -9,16 +9,22 @@ import pytest
 EXAMPLES_DIR = os.path.join(
     os.path.dirname(__file__), os.pardir, os.pardir, "examples"
 )
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
 
 
 def run_example(name, timeout=300):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, path],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=os.path.dirname(path),
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

@@ -114,3 +114,10 @@ class TestCyclesToPs:
     def test_zero_frequency_rejected(self):
         with pytest.raises(SimulationError):
             cycles_to_ps(1, 0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            cycles_to_ps(-1, 50_000_000)
+
+    def test_zero_cycles_ok(self):
+        assert cycles_to_ps(0, 50_000_000) == 0
