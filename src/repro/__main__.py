@@ -13,7 +13,13 @@ Commands:
 * ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
   of the processors;
 * ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
-  plus the TUT-Profile design rules over it.
+  plus the TUT-Profile design rules over it;
+* ``lint [model.xmi]`` — run the tutlint behavioural static-analysis
+  engine (EFSM, dataflow and signal-flow passes) over an XMI file or, by
+  default, the built-in TUTMAC/TUTWLAN system.
+
+``validate`` and ``lint`` share ``--format text|json`` and a
+severity-threshold exit code (``--fail-on``).
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ def _cmd_flow(args) -> int:
         args.workdir,
         duration_us=args.duration_us,
         faults=faults,
+        lint=args.lint,
     )
     print(result.report_text)
     print()
@@ -106,17 +113,102 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    from repro.analysis import render_records, validation_records
     from repro.tutprofile import TUT_PROFILE, check_design_rules
     from repro.uml import read_model, validate_model
 
     model = read_model(args.model, profiles=[TUT_PROFILE])
     wellformed = validate_model(model)
     rules = check_design_rules(model)
-    print("UML well-formedness:")
-    print("  " + wellformed.render().replace("\n", "\n  "))
-    print("TUT-Profile design rules:")
-    print("  " + rules.render().replace("\n", "\n  "))
-    return 0 if wellformed.ok and rules.ok else 1
+    records = validation_records(wellformed, source="wellformedness")
+    records += validation_records(rules, source="design-rules")
+    print(
+        render_records(
+            records,
+            format=args.format,
+            title=f"validation: {args.model}",
+            meta={"model": args.model},
+        )
+    )
+    if args.fail_on == "never":
+        return 0
+    severities = {r["severity"] for r in records}
+    if "error" in severities:
+        return 1
+    if args.fail_on == "warning" and "warning" in severities:
+        return 1
+    return 0
+
+
+def _load_lint_inputs(model_path):
+    """The (application, platform, mapping) triple for the lint command.
+
+    Without a path the built-in TUTMAC-on-TUTWLAN system is linted; with
+    one, the XMI document's views are reconstructed (platform and mapping
+    are optional — purely behavioural rules still run without them).
+    """
+    if model_path is None:
+        from repro.cases.tutwlan import build_tutwlan_system
+
+        return build_tutwlan_system()
+
+    from repro.application.model import ApplicationModel
+    from repro.errors import ReproError
+    from repro.tutprofile import TUT_PROFILE
+    from repro.uml import read_model
+
+    model = read_model(model_path, profiles=[TUT_PROFILE])
+    application = ApplicationModel.from_model(model)
+    platform = mapping = None
+    try:
+        from repro.mapping.model import MappingModel
+        from repro.platform.library import standard_library
+        from repro.platform.model import PlatformModel
+
+        platform = PlatformModel.from_model(
+            model, standard_library(profile=application.profile)
+        )
+        mapping = MappingModel.from_model(application, platform)
+    except ReproError:
+        platform = mapping = None
+    return application, platform, mapping
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        LintConfig,
+        lint_records,
+        render_matrix,
+        render_records,
+        render_rule_catalogue,
+        run_lint,
+        signal_flow_matrix,
+    )
+
+    if args.rules:
+        print(render_rule_catalogue())
+        return 0
+
+    application, platform, mapping = _load_lint_inputs(args.model)
+    config = LintConfig(fail_on=args.fail_on)
+    report = run_lint(application, platform, mapping, config=config)
+    records = lint_records(report, show_suppressed=args.show_suppressed)
+    subject = args.model or "TUTMAC/TUTWLAN (built-in)"
+    meta = {"model": subject}
+    if args.matrix and args.format == "json":
+        meta["matrix"] = {
+            f"{sender} -> {receiver}": signals
+            for (sender, receiver), signals in signal_flow_matrix(application).items()
+        }
+    print(
+        render_records(
+            records, format=args.format, title=f"tutlint: {subject}", meta=meta
+        )
+    )
+    if args.matrix and args.format == "text":
+        print()
+        print(render_matrix(signal_flow_matrix(application)))
+    return report.exit_code(args.fail_on)
 
 
 def _rate(text: str) -> float:
@@ -155,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-transfer corruption probability; 0 disables fault injection",
     )
+    flow.add_argument(
+        "--lint",
+        action="store_true",
+        help="run tutlint static analysis before code generation",
+    )
     flow.set_defaults(handler=_cmd_flow)
 
     faults = subparsers.add_parser(
@@ -180,7 +277,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = subparsers.add_parser("validate", help="validate an XMI model file")
     validate.add_argument("model")
+    validate.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    validate.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
     validate.set_defaults(handler=_cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint", help="run tutlint static analysis over a model"
+    )
+    lint.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="XMI model file (default: the built-in TUTMAC/TUTWLAN system)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include findings silenced by tutlint: disable= comments",
+    )
+    lint.add_argument(
+        "--matrix",
+        action="store_true",
+        help="also print the static signal-flow matrix (Figure 2's static twin)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,117 @@
+"""``tutlint``: behavioural static analysis for TUT-Profile models.
+
+The engine runs pluggable passes over a parsed application (plus,
+optionally, the platform and mapping views) without simulating it:
+
+* :mod:`repro.analysis.efsm` — per-machine EFSM structure (E001-E006);
+* :mod:`repro.analysis.dataflow` — action-language dataflow (D001-D007);
+* :mod:`repro.analysis.sigflow` — cross-process signal flow (S001-S004).
+
+Entry points: :func:`run_lint` for a whole application,
+:func:`lint_machine` for one state machine (the code generator's
+precondition hook).  See ``docs/static_analysis.md`` for the catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis import dataflow, efsm, sigflow
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    LintConfig,
+    LintContext,
+    LintReport,
+    Rule,
+    const_value,
+    register_rule,
+)
+from repro.analysis.report import (
+    lint_records,
+    render_matrix,
+    render_records,
+    render_rule_catalogue,
+    validation_records,
+)
+from repro.analysis.sigflow import group_flow_matrix, signal_flow_matrix
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1}
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(
+        findings,
+        key=lambda f: (_SEVERITY_ORDER.get(f.severity, 2), f.rule, f.subject, f.message),
+    )
+
+
+def run_lint(
+    application,
+    platform=None,
+    mapping=None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run every pass over ``application`` and return the full report.
+
+    ``platform`` and ``mapping`` enable the mapping-aware rules (S004);
+    without them the purely behavioural rules still run.
+    """
+    ctx = LintContext(
+        application=application,
+        platform=platform,
+        mapping=mapping,
+        config=config if config is not None else LintConfig(),
+    )
+    findings: List[Finding] = []
+    seen = set()
+    for _, process in sorted(application.processes.items()):
+        machine = process.component.classifier_behavior
+        if machine is None or id(machine) in seen:
+            continue
+        seen.add(id(machine))
+        efsm.check_machine(machine, ctx, findings)
+        dataflow.check_machine(machine, ctx, findings, application.signals)
+    sigflow.check_application(ctx, findings)
+    return LintReport(_sorted(findings))
+
+
+def lint_machine(
+    machine,
+    signal_decls=None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run the per-machine passes (EFSM + dataflow) over one behaviour.
+
+    This is the code generator's precondition: a machine that fails it
+    would compile into C that can never run correctly.
+    """
+    ctx = LintContext(
+        application=None,
+        config=config if config is not None else LintConfig(),
+    )
+    findings: List[Finding] = []
+    efsm.check_machine(machine, ctx, findings)
+    dataflow.check_machine(machine, ctx, findings, signal_decls)
+    return LintReport(_sorted(findings))
+
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "const_value",
+    "group_flow_matrix",
+    "lint_machine",
+    "lint_records",
+    "register_rule",
+    "render_matrix",
+    "render_records",
+    "render_rule_catalogue",
+    "run_lint",
+    "signal_flow_matrix",
+    "validation_records",
+]

@@ -1,0 +1,114 @@
+"""Report rendering shared by the ``lint`` and ``validate`` CLIs.
+
+Both commands reduce to the same shape — a list of records with a
+severity, a rule id, a location and a message — so one renderer produces
+the text and JSON presentations for both, and one helper turns a report
+into a process exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.core import RULES, LintReport
+from repro.uml.validation import ValidationReport
+
+FORMAT_CHOICES = ("text", "json")
+
+
+def lint_records(report: LintReport, show_suppressed: bool = False) -> List[Dict]:
+    findings = report.findings if show_suppressed else report.active
+    return [finding.to_record() for finding in findings]
+
+
+def validation_records(report: ValidationReport, source: str = "") -> List[Dict]:
+    records = []
+    for issue in report.issues:
+        record = {
+            "severity": issue.severity,
+            "rule": issue.rule,
+            "subject": getattr(issue.element, "qualified_name", "") or "",
+            "message": issue.message,
+        }
+        if source:
+            record["source"] = source
+        records.append(record)
+    return records
+
+
+def render_text(records: List[Dict], title: str = "") -> str:
+    """One line per record plus a severity summary, stable across commands."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for record in records:
+        suppressed = " (suppressed)" if record.get("suppressed") else ""
+        subject = record.get("subject") or "-"
+        lines.append(
+            f"[{record['severity']}] {record['rule']} {subject}: "
+            f"{record['message']}{suppressed}"
+        )
+    counted = [r for r in records if not r.get("suppressed")]
+    errors = sum(1 for r in counted if r["severity"] == "error")
+    warnings = sum(1 for r in counted if r["severity"] == "warning")
+    suppressed = len(records) - len(counted)
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    if not counted:
+        summary = f"ok: {summary}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(records: List[Dict], meta: Optional[Dict] = None) -> str:
+    counted = [r for r in records if not r.get("suppressed")]
+    payload = {
+        "findings": records,
+        "errors": sum(1 for r in counted if r["severity"] == "error"),
+        "warnings": sum(1 for r in counted if r["severity"] == "warning"),
+        "suppressed": len(records) - len(counted),
+    }
+    if meta:
+        payload.update(meta)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_records(
+    records: List[Dict],
+    format: str = "text",
+    title: str = "",
+    meta: Optional[Dict] = None,
+) -> str:
+    if format == "json":
+        return render_json(records, meta)
+    return render_text(records, title)
+
+
+def render_matrix(matrix: Dict) -> str:
+    """Render the static signal-flow matrix as an aligned text table."""
+    lines = ["static signal-flow matrix (send sites that can route):"]
+    if not matrix:
+        lines.append("  (empty)")
+        return "\n".join(lines)
+    width = max(len(f"{s} -> {r}") for s, r in matrix) + 2
+    for (sender, receiver), signals in sorted(matrix.items()):
+        if isinstance(signals, dict):
+            cell = ", ".join(
+                f"{name} x{count}" if count > 1 else name
+                for name, count in sorted(signals.items())
+            )
+        else:
+            cell = ", ".join(sorted(signals))
+        lines.append(f"  {f'{sender} -> {receiver}':<{width}} {cell}")
+    return "\n".join(lines)
+
+
+def render_rule_catalogue() -> str:
+    """The registered rules as a text table (the CLI's ``lint --rules``)."""
+    lines = ["tutlint rule catalogue:"]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"  {rule.id}  {rule.default_severity:<8} {rule.title}")
+    return "\n".join(lines)

@@ -548,6 +548,33 @@ class ApplicationModel:
                         table[(name, port.name, signal_name)] = destinations[0]
         return table
 
+    def send_destinations(
+        self, sender: str, signal_name: str, via: Optional[str] = None
+    ) -> List[Tuple[str, str]]:
+        """All ``(process, port)`` destinations a send may reach (maybe none).
+
+        The static, non-raising variant of :meth:`route`: it enumerates every
+        resolvable destination instead of requiring uniqueness, which is what
+        the signal-flow analysis (:mod:`repro.analysis.sigflow`) needs to
+        build the send/receive matrix and flag unrouted or ambiguous sends.
+        A ``via`` port the component does not own simply yields no routes.
+        """
+        process = self.find_process(sender)
+        resolver = self._resolver()
+        if via is not None:
+            port = process.component.port(via)
+            ports = [] if port is None else [port]
+        else:
+            ports = [
+                p for p in process.component.all_ports() if p.emits(signal_name)
+            ]
+        destinations: List[Tuple[str, str]] = []
+        for port in ports:
+            for destination in resolver.destinations(sender, port, signal_name):
+                if destination not in destinations:
+                    destinations.append(destination)
+        return destinations
+
     def route(
         self, sender: str, signal_name: str, via: Optional[str] = None
     ) -> Tuple[str, str]:
@@ -557,23 +584,11 @@ class ApplicationModel:
         may emit ``signal_name`` is searched.  The route must be unique.
         """
         process = self.find_process(sender)
-        resolver = self._resolver()
-        if via is not None:
-            port = process.component.port(via)
-            if port is None:
-                raise ModelError(
-                    f"component {process.component.name!r} has no port {via!r}"
-                )
-            ports = [port]
-        else:
-            ports = [
-                p for p in process.component.all_ports() if p.emits(signal_name)
-            ]
-        destinations = []
-        for port in ports:
-            for destination in resolver.destinations(sender, port, signal_name):
-                if destination not in destinations:
-                    destinations.append(destination)
+        if via is not None and process.component.port(via) is None:
+            raise ModelError(
+                f"component {process.component.name!r} has no port {via!r}"
+            )
+        destinations = self.send_destinations(sender, signal_name, via)
         if not destinations:
             raise ModelError(
                 f"no route for signal {signal_name!r} from process {sender!r}"

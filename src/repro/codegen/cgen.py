@@ -57,6 +57,26 @@ def sanitize(name: str) -> str:
     return cleaned
 
 
+def check_lintable(machine: StateMachine, signal_decls=None) -> None:
+    """Codegen precondition: refuse machines with error-severity lint findings.
+
+    A machine tutlint rejects (unreachable states read by nobody, undefined
+    names, constant division by zero, ...) would translate into C that can
+    never run correctly, so generation fails fast with the findings instead
+    of emitting broken code.  Inline ``tutlint: disable=`` suppressions
+    apply as usual.
+    """
+    from repro.analysis import lint_machine
+
+    report = lint_machine(machine, signal_decls)
+    if report.errors:
+        summary = "; ".join(str(f) for f in report.errors[:5])
+        raise CodegenError(
+            f"machine {machine.name!r} fails static analysis with "
+            f"{len(report.errors)} error(s): {summary}"
+        )
+
+
 class CGenerator:
     """Translates one component's state machine to C."""
 
@@ -65,11 +85,15 @@ class CGenerator:
         component: Class,
         signal_ids: Dict[str, int],
         instrument: bool = True,
+        lint: bool = False,
+        signal_decls=None,
     ) -> None:
         if component.classifier_behavior is None:
             raise CodegenError(
                 f"component {component.name!r} has no behaviour to generate"
             )
+        if lint:
+            check_lintable(component.classifier_behavior, signal_decls)
         self.component = component
         self.machine: StateMachine = component.classifier_behavior
         self.signal_ids = signal_ids

@@ -76,9 +76,15 @@ def generate_project(
     directory: str,
     instrument: bool = True,
     duration_us: int = 100_000,
+    lint: bool = False,
 ) -> GeneratedProject:
     """Generate the C project for ``app`` into ``directory`` (not written yet:
-    call :meth:`GeneratedProject.write`)."""
+    call :meth:`GeneratedProject.write`).
+
+    ``lint=True`` runs the tutlint per-machine precondition on every
+    component behaviour first; error-severity findings raise
+    :class:`CodegenError` before any file content is produced.
+    """
     signal_ids = {name: index for index, name in enumerate(sorted(app.signals))}
     process_names = list(app.processes)
     process_ids = {name: index for index, name in enumerate(process_names)}
@@ -95,7 +101,13 @@ def generate_project(
         if component.name in generated_components:
             component_prefixes[process.name] = sanitize(component.name)
             continue
-        generator = CGenerator(component, signal_ids, instrument=instrument)
+        generator = CGenerator(
+            component,
+            signal_ids,
+            instrument=instrument,
+            lint=lint,
+            signal_decls=app.signals,
+        )
         files[f"{generator.prefix}.h"] = generator.header()
         files[f"{generator.prefix}.c"] = generator.source()
         generated_components.add(component.name)

@@ -50,6 +50,18 @@ class ActionRuntimeError(ReproError):
     """Evaluation of an action or expression failed at simulation time."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis (tutlint) found blocking error-severity findings.
+
+    The ``findings`` attribute carries the full list of
+    :class:`repro.analysis.Finding` objects that triggered the error.
+    """
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        self.findings = list(findings) if findings is not None else []
+
+
 class MappingError(ModelError):
     """A platform mapping is inconsistent (unmapped group, bad target, ...)."""
 

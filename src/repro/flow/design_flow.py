@@ -38,6 +38,9 @@ from repro.tutprofile.rules import check_design_rules
 from repro.uml.validation import validate_model
 from repro.uml.xmi import model_to_xml
 
+#: The mandatory Figure 2 steps.  The optional "lint" step (``lint=True``)
+#: runs between validation and XMI export and is not required for
+#: :attr:`FlowResult.succeeded`.
 FLOW_STEPS = (
     "validate",
     "export-xmi",
@@ -90,13 +93,14 @@ class FlowResult:
     simulation: Optional[SimulationResult] = None
     profiling: Optional[ProfilingData] = None
     report_text: Optional[str] = None
+    lint_report: Optional[object] = None  # repro.analysis.LintReport when lint=True
     steps_run: tuple = ()
     artifacts: Dict[str, str] = field(default_factory=dict)
     failures: List[StepFailure] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
-        return not self.failures and self.steps_run == FLOW_STEPS
+        return not self.failures and set(FLOW_STEPS) <= set(self.steps_run)
 
     def failure_for(self, step: str) -> Optional[StepFailure]:
         for failure in self.failures:
@@ -151,12 +155,16 @@ def run_design_flow(
     strict: bool = True,
     continue_on_error: bool = False,
     faults=None,
+    lint: bool = False,
 ) -> FlowResult:
     """Run the complete Figure 2 flow; artefacts go to ``work_directory``.
 
     ``faults`` is an optional :class:`repro.faults.FaultPlan` handed to the
     simulator; ``continue_on_error`` records step failures in the result
     instead of raising, still running whatever does not depend on them.
+    ``lint=True`` inserts a tutlint static-analysis step after validation:
+    error-severity findings abort the flow (via :class:`AnalysisError`)
+    before any code is generated or simulated.
     """
     os.makedirs(work_directory, exist_ok=True)
     runner = _FlowRunner(continue_on_error)
@@ -174,6 +182,24 @@ def run_design_flow(
         return True
 
     runner.run("validate", _validate)
+
+    # 1b. optional static analysis (tutlint) — fail fast before codegen.
+    lint_report = None
+    if lint:
+        def _lint():
+            from repro.analysis import run_lint
+            from repro.errors import AnalysisError
+
+            report = run_lint(application, platform, mapping)
+            if report.errors:
+                summary = "; ".join(str(f) for f in report.errors[:5])
+                raise AnalysisError(
+                    f"{len(report.errors)} lint error(s): {summary}",
+                    report.errors,
+                )
+            return report
+
+        lint_report = runner.run("lint", _lint, requires=("validate",))
 
     # 2. XMI export
     def _export_xmi() -> str:
@@ -205,7 +231,10 @@ def run_design_flow(
         project.write()
         return project
 
-    runner.run("generate-code", _generate)
+    # A failed lint blocks code generation: that is the point of linting
+    # before codegen (the satellites downstream of it still depend on the
+    # artefacts, so they cascade as skipped).
+    runner.run("generate-code", _generate, requires=("lint",) if lint else ())
     if runner.failed("generate-code"):
         code_directory = None
 
@@ -261,6 +290,7 @@ def run_design_flow(
         simulation=result,
         profiling=profiling,
         report_text=report_text,
+        lint_report=lint_report,
         steps_run=tuple(runner.steps_run),
         artifacts=artifacts,
         failures=runner.failures,

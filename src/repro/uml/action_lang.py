@@ -85,15 +85,25 @@ def tokenize(source: str) -> List[Token]:
             column += 1
             continue
         if source.startswith("//", index):
+            start = index
             while index < length and source[index] != "\n":
                 index += 1
+            column += index - start
             continue
         if char.isdigit():
             start = index
             if source.startswith("0x", index) or source.startswith("0X", index):
                 index += 2
+                digits = index
                 while index < length and source[index] in "0123456789abcdefABCDEF":
                     index += 1
+                if index == digits:
+                    raise ActionSyntaxError(
+                        f"malformed hex literal {source[start:index]!r}",
+                        text=source,
+                        line=line,
+                        column=column,
+                    )
             else:
                 while index < length and source[index].isdigit():
                     index += 1

@@ -237,7 +237,12 @@ def _check_state_machines(root: Element, report: ValidationReport) -> None:
                 )
 
 
-def _reachable_states(machine: StateMachine):
+def reachable_states(machine: StateMachine):
+    """States reachable from the initial state under hierarchical entry.
+
+    Public because the static-analysis engine (:mod:`repro.analysis`)
+    shares this reachability computation for its unreachable-state rule.
+    """
     if machine.initial_state is None:
         return set(machine.states)
     reachable = set()
@@ -267,6 +272,10 @@ def _reachable_states(machine: StateMachine):
             if transition.source is state and transition.target not in reachable:
                 frontier.extend(absorb(transition.target))
     return reachable
+
+
+#: Backwards-compatible alias (the name this module used internally).
+_reachable_states = reachable_states
 
 
 def _check_required_tags(root: Element, report: ValidationReport) -> None:

@@ -1,0 +1,235 @@
+"""CLI acceptance: seeded-broken XMI fixtures through ``repro lint``.
+
+Each fixture seeds exactly one defect; the tests prove the expected
+finding comes out in both text and JSON formats with the right exit code.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.application import ApplicationModel
+from repro.uml import Port, write_model
+
+
+def unreachable_app():
+    """Seeds exactly one E001: state 'orphan' cannot be reached."""
+    app = ApplicationModel("BrokenReach")
+    component = app.component("C")
+    machine = app.behavior(component)
+    machine.state("idle", initial=True, entry="set_timer(t, 10);")
+    machine.state("orphan")
+    machine.on_timer("idle", "idle", "t")
+    app.process(app.top, "p1", component)
+    return app
+
+
+def use_before_assign_app():
+    """Seeds exactly one D002: 'tmp' read on the path where the branch
+    does not assign it."""
+    app = ApplicationModel("BrokenFlow")
+    component = app.component("C")
+    machine = app.behavior(component)
+    machine.variable("cond", 1)
+    machine.variable("keep", 0)
+    machine.state("idle", initial=True, entry="set_timer(t, 10);")
+    machine.on_timer(
+        "idle", "idle", "t",
+        effect="if (cond) { tmp = 1; } keep = tmp; cond = keep;",
+    )
+    app.process(app.top, "p1", component)
+    return app
+
+
+def lost_signal_app():
+    """Seeds exactly one S001: 'm' routes to r1, which never triggers on it."""
+    app = ApplicationModel("BrokenRoute")
+    app.signal("m")
+    sender = app.component("S")
+    sender.add_port(Port("out", required=["m"]))
+    machine = app.behavior(sender)
+    machine.state("idle", initial=True, entry="set_timer(t, 10);")
+    machine.on_timer("idle", "idle", "t", effect="send m() via out;")
+    receiver = app.component("R")
+    receiver.add_port(Port("inp", provided=["m"]))
+    machine2 = app.behavior(receiver)
+    machine2.state("idle", initial=True, entry="set_timer(u, 10);")
+    machine2.on_timer("idle", "idle", "u")
+    app.process(app.top, "s1", sender)
+    app.process(app.top, "r1", receiver)
+    app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+    return app
+
+
+def arity_mismatch_app():
+    """Seeds exactly one D004: 'ping' declares one parameter, send passes two."""
+    app = ApplicationModel("BrokenArity")
+    app.signal("ping", [("n", "Int32")])
+    sender = app.component("S")
+    sender.add_port(Port("out", required=["ping"]))
+    machine = app.behavior(sender)
+    machine.state("idle", initial=True, entry="set_timer(t, 10);")
+    machine.on_timer("idle", "idle", "t", effect="send ping(1, 2) via out;")
+    receiver = app.component("R")
+    receiver.add_port(Port("inp", provided=["ping"]))
+    machine2 = app.behavior(receiver)
+    machine2.state("idle", initial=True)
+    machine2.on_signal("idle", "idle", "ping", params=["n"], internal=True)
+    app.process(app.top, "s1", sender)
+    app.process(app.top, "r1", receiver)
+    app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+    return app
+
+
+def run_lint_cli(app, tmp_path, capsys, *extra):
+    path = tmp_path / "model.xmi"
+    write_model(app.model, path)
+    code = main(["lint", str(path), *extra])
+    return code, capsys.readouterr().out
+
+
+class TestSeededUnreachable:
+    def test_text(self, tmp_path, capsys):
+        code, out = run_lint_cli(unreachable_app(), tmp_path, capsys)
+        assert code == 1
+        assert "[error] E001" in out
+        assert "'orphan'" in out
+        assert "1 error(s), 0 warning(s)" in out
+
+    def test_json(self, tmp_path, capsys):
+        code, out = run_lint_cli(
+            unreachable_app(), tmp_path, capsys, "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["errors"] == 1 and payload["warnings"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "E001"
+        assert finding["severity"] == "error"
+        assert "'orphan'" in finding["message"]
+
+
+class TestSeededUseBeforeAssign:
+    def test_text(self, tmp_path, capsys):
+        code, out = run_lint_cli(use_before_assign_app(), tmp_path, capsys)
+        assert code == 0  # warnings pass the default error threshold
+        assert "[warning] D002" in out
+        assert "'tmp'" in out
+        assert "0 error(s), 1 warning(s)" in out
+
+    def test_fail_on_warning(self, tmp_path, capsys):
+        code, _ = run_lint_cli(
+            use_before_assign_app(), tmp_path, capsys, "--fail-on", "warning"
+        )
+        assert code == 1
+
+    def test_json(self, tmp_path, capsys):
+        code, out = run_lint_cli(
+            use_before_assign_app(), tmp_path, capsys, "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["errors"] == 0 and payload["warnings"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "D002"
+        assert "'tmp'" in finding["message"]
+
+
+class TestSeededLostSignal:
+    def test_text(self, tmp_path, capsys):
+        code, out = run_lint_cli(lost_signal_app(), tmp_path, capsys)
+        assert code == 1
+        assert "[error] S001" in out
+        assert "'r1'" in out and "never triggers" in out
+        assert "1 error(s), 0 warning(s)" in out
+
+    def test_json(self, tmp_path, capsys):
+        code, out = run_lint_cli(
+            lost_signal_app(), tmp_path, capsys, "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["errors"] == 1 and payload["warnings"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "S001"
+        assert "'m'" in finding["message"] and "'r1'" in finding["message"]
+
+
+class TestSeededArityMismatch:
+    def test_text(self, tmp_path, capsys):
+        code, out = run_lint_cli(arity_mismatch_app(), tmp_path, capsys)
+        assert code == 1
+        assert "[error] D004" in out
+        assert "'ping'" in out
+        assert "1 error(s), 0 warning(s)" in out
+
+    def test_json(self, tmp_path, capsys):
+        code, out = run_lint_cli(
+            arity_mismatch_app(), tmp_path, capsys, "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["errors"] == 1 and payload["warnings"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "D004"
+        assert "2 argument(s)" in finding["message"]
+
+
+class TestBuiltinModelIsClean:
+    def test_default_lint_exits_zero(self, capsys):
+        # CI gate: the shipped TUTMAC-on-TUTWLAN system must stay lint-clean.
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "ok: 0 error(s), 0 warning(s)" in out
+
+    def test_suppressed_findings_visible_on_request(self, capsys):
+        assert main(["lint", "--show-suppressed", "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(suppressed)") == 2
+        assert "S004" in out and "2 suppressed" in out
+
+
+class TestAuxiliaryOutput:
+    def test_rule_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "E001" in out and "S004" in out and "D006" in out
+
+    def test_matrix(self, tmp_path, capsys):
+        _, out = run_lint_cli(arity_mismatch_app(), tmp_path, capsys, "--matrix")
+        assert "s1 -> r1" in out and "ping" in out
+
+    def test_matrix_json(self, tmp_path, capsys):
+        _, out = run_lint_cli(
+            arity_mismatch_app(), tmp_path, capsys, "--matrix", "--format", "json"
+        )
+        payload = json.loads(out)
+        assert payload["matrix"]["s1 -> r1"] == {"ping": 1}
+
+
+class TestValidateCli:
+    def broken_model(self, tmp_path):
+        app = ApplicationModel("BrokenInit")
+        component = app.component("C")
+        machine = app.behavior(component)
+        machine.state("idle")  # deliberately no initial state
+        app.process(app.top, "p1", component)
+        path = tmp_path / "model.xmi"
+        write_model(app.model, path)
+        return path
+
+    def test_error_fails_text(self, tmp_path, capsys):
+        path = self.broken_model(tmp_path)
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "[error] machine-initial" in out
+
+    def test_error_fails_json(self, tmp_path, capsys):
+        path = self.broken_model(tmp_path)
+        assert main(["validate", str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert any(f["rule"] == "machine-initial" for f in payload["findings"])
+
+    def test_fail_on_never(self, tmp_path, capsys):
+        path = self.broken_model(tmp_path)
+        assert main(["validate", str(path), "--fail-on", "never"]) == 0

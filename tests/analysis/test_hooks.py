@@ -1,0 +1,115 @@
+"""The lint hooks in the design flow and the C code generator."""
+
+import pytest
+
+from repro.codegen.cgen import CGenerator, check_lintable
+from repro.codegen.project import generate_project
+from repro.errors import AnalysisError, CodegenError
+from repro.flow import run_design_flow
+from repro.mapping import MappingModel
+
+from tests.conftest import build_pingpong, build_two_cpu_platform
+
+
+def pingpong_system():
+    app = build_pingpong()
+    platform = build_two_cpu_platform()
+    mapping = MappingModel(app, platform)
+    mapping.map("g1", "cpu1")
+    mapping.map("g2", "cpu2")
+    return app, platform, mapping
+
+
+def break_ping(app):
+    """Seed an E001 unreachable-state error into the Ping behaviour."""
+    machine = app.processes["ping1"].component.classifier_behavior
+    machine.state("orphan")
+    return machine
+
+
+class TestFlowLintStep:
+    def test_clean_run_records_lint_report(self, tmp_path):
+        app, platform, mapping = pingpong_system()
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000, lint=True
+        )
+        assert result.succeeded
+        assert "lint" in result.steps_run
+        assert result.lint_report is not None and result.lint_report.ok
+
+    def test_lint_off_by_default(self, tmp_path):
+        app, platform, mapping = pingpong_system()
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000
+        )
+        assert result.succeeded
+        assert "lint" not in result.steps_run
+        assert result.lint_report is None
+
+    def test_lint_errors_abort_flow(self, tmp_path):
+        app, platform, mapping = pingpong_system()
+        break_ping(app)
+        with pytest.raises(AnalysisError) as excinfo:
+            run_design_flow(
+                app, platform, mapping, str(tmp_path), duration_us=1_000,
+                lint=True,
+            )
+        assert "E001" in str(excinfo.value)
+        assert [f.rule for f in excinfo.value.findings] == ["E001"]
+
+    def test_continue_on_error_skips_codegen(self, tmp_path):
+        app, platform, mapping = pingpong_system()
+        break_ping(app)
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000,
+            lint=True, continue_on_error=True,
+        )
+        assert not result.succeeded
+        failure = result.failure_for("lint")
+        assert failure is not None and "E001" in failure.error
+        skipped = result.failure_for("generate-code")
+        assert skipped is not None and skipped.skipped
+        assert "generate-code" not in result.steps_run
+
+    def test_broken_model_without_lint_still_generates(self, tmp_path):
+        # The unreachable state is harmless at run time; only the lint
+        # gate turns it into a flow failure.
+        app, platform, mapping = pingpong_system()
+        break_ping(app)
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=1_000
+        )
+        assert result.succeeded
+
+
+class TestCodegenPrecondition:
+    def test_clean_machine_passes(self):
+        app = build_pingpong()
+        machine = app.processes["ping1"].component.classifier_behavior
+        check_lintable(machine, app.signals)  # does not raise
+
+    def test_broken_machine_raises(self):
+        app = build_pingpong()
+        machine = break_ping(app)
+        with pytest.raises(CodegenError) as excinfo:
+            check_lintable(machine, app.signals)
+        assert "static analysis" in str(excinfo.value)
+        assert "E001" in str(excinfo.value)
+
+    def test_generator_lint_flag(self):
+        app = build_pingpong()
+        break_ping(app)
+        component = app.processes["ping1"].component
+        signal_ids = {name: i for i, name in enumerate(sorted(app.signals))}
+        CGenerator(component, signal_ids)  # lint off: no raise
+        with pytest.raises(CodegenError):
+            CGenerator(
+                component, signal_ids, lint=True, signal_decls=app.signals
+            )
+
+    def test_generate_project_lint_flag(self, tmp_path):
+        app = build_pingpong()
+        break_ping(app)
+        generate_project(app, str(tmp_path))  # lint off: no raise
+        with pytest.raises(CodegenError):
+            generate_project(app, str(tmp_path), lint=True)

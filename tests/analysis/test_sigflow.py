@@ -1,0 +1,182 @@
+"""Cross-process signal-flow rules S001-S004 and the static matrix."""
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.sigflow import group_flow_matrix, signal_flow_matrix
+from repro.application import ApplicationModel
+from repro.mapping import MappingModel
+from repro.platform import PlatformModel, standard_library
+from repro.uml import Port
+
+
+def sending_component(app, name, port, effect):
+    component = app.component(name)
+    component.add_port(port)
+    machine = app.behavior(component)
+    machine.state("s", initial=True)
+    machine.state("t")
+    machine.on_signal("s", "t", "kick", effect=effect)
+    machine.on_signal("t", "s", "kick")
+    return component
+
+
+class TestMatrix:
+    def test_pingpong_matrix(self, pingpong):
+        matrix = signal_flow_matrix(pingpong)
+        assert matrix == {
+            ("ping1", "pong1"): {"tick": 1},
+            ("pong1", "ping1"): {"tock": 1},
+        }
+
+    def test_group_matrix_aggregates(self, pingpong):
+        matrix = group_flow_matrix(pingpong)
+        assert matrix == {
+            ("g1", "g2"): {"tick"},
+            ("g2", "g1"): {"tock"},
+        }
+
+    def test_send_count_per_edge(self):
+        app = ApplicationModel("A")
+        app.signal("kick")
+        app.signal("m")
+        sender = sending_component(
+            app, "S", Port("out", required=["m"], provided=["kick"]),
+            "send m() via out; send m() via out;",
+        )
+        receiver = app.component("R")
+        receiver.add_port(Port("inp", provided=["m"], required=["kick"]))
+        machine = app.behavior(receiver)
+        machine.state("s", initial=True)
+        machine.on_signal("s", "s", "m", internal=True, effect="send kick() via inp;")
+        app.process(app.top, "s1", sender)
+        app.process(app.top, "r1", receiver)
+        app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+        assert signal_flow_matrix(app)[("s1", "r1")] == {"m": 2}
+
+
+class TestFlowRules:
+    def test_pingpong_is_clean(self, pingpong):
+        report = run_lint(pingpong)
+        assert report.active == []
+
+    def test_unrouted_send(self):
+        app = ApplicationModel("A")
+        app.signal("kick")
+        app.signal("m")
+        sender = sending_component(
+            app, "S", Port("out", required=["m", "kick"]), "send m() via out;"
+        )
+        app.process(app.top, "s1", sender)
+        findings = run_lint(app).by_rule("S002")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "'m'" in findings[0].message
+
+    def test_lost_signal(self):
+        app = ApplicationModel("A")
+        app.signal("kick")
+        app.signal("m")
+        sender = sending_component(
+            app, "S", Port("out", required=["m"], provided=["kick"]),
+            "send m() via out;",
+        )
+        receiver = app.component("R")
+        receiver.add_port(Port("inp", provided=["m"], required=["kick"]))
+        machine = app.behavior(receiver)
+        machine.state("s", initial=True)  # no transition triggers on 'm'
+        app.process(app.top, "s1", sender)
+        app.process(app.top, "r1", receiver)
+        app.connect(app.top, ("s1", "out"), ("r1", "inp"))
+        findings = run_lint(app).by_rule("S001")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "'r1'" in findings[0].message
+        assert "never triggers" in findings[0].message
+
+    def test_dead_receiver(self):
+        app = ApplicationModel("A")
+        app.signal("m")
+        receiver = app.component("R")
+        receiver.add_port(Port("inp", provided=["m"]))
+        machine = app.behavior(receiver)
+        machine.state("s", initial=True)
+        machine.on_signal("s", "s", "m", internal=True)
+        app.process(app.top, "r1", receiver)
+        findings = run_lint(app).by_rule("S003")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "'m'" in findings[0].message
+
+    def test_environment_absorbs_deliveries(self):
+        # Sends that route to an environment (testbench) process are fine
+        # even though the testbench model declares no trigger for them.
+        app = ApplicationModel("A")
+        app.signal("kick")
+        app.signal("m")
+        sender = sending_component(
+            app, "S", Port("out", required=["m"], provided=["kick"]),
+            "send m() via out;",
+        )
+        env = app.component("Env")
+        env.add_port(Port("io", provided=["m"], required=["kick"]))
+        env_machine = app.behavior(env)
+        env_machine.state("s", initial=True)
+        app.process(app.top, "s1", sender)
+        app.top.add_port(Port("pEnv"))
+        app.connect(app.top, (None, "pEnv"), ("s1", "out"))
+        app.environment_process("env1", env)
+        app.bind_boundary("pEnv", "env1", "io")
+        assert run_lint(app).by_rule("S001") == []
+
+
+def bridged_platform():
+    """Two CPUs on different HIBI segments joined by a bridge."""
+    platform = PlatformModel("Bridged", standard_library())
+    platform.instantiate("cpu1", "NiosCPU")
+    platform.instantiate("cpu2", "NiosCPU")
+    platform.segment("segA", "HIBISegment")
+    platform.segment("segB", "HIBISegment")
+    platform.segment("bridge", "HIBIBridgeSegment")
+    platform.attach("cpu1", "segA", address=0x100)
+    platform.attach("cpu2", "segB", address=0x200)
+    platform.attach("segA", "bridge", address=0x300)
+    platform.attach("segB", "bridge", address=0x400)
+    return platform
+
+
+class TestCrossSegmentCycle:
+    def test_request_reply_across_segments_warns(self, pingpong):
+        platform = bridged_platform()
+        mapping = MappingModel(pingpong, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        findings = run_lint(pingpong, platform, mapping).by_rule("S004")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "deadlock" in findings[0].message
+        assert "'g1'" in findings[0].message and "'g2'" in findings[0].message
+
+    def test_same_segment_is_clean(self, pingpong, two_cpu_platform):
+        mapping = MappingModel(pingpong, two_cpu_platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        assert run_lint(pingpong, two_cpu_platform, mapping).by_rule("S004") == []
+
+    def test_same_pe_is_clean(self, pingpong):
+        platform = bridged_platform()
+        mapping = MappingModel(pingpong, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu1")
+        assert run_lint(pingpong, platform, mapping).by_rule("S004") == []
+
+    def test_one_way_traffic_is_clean(self, pingpong):
+        # Remove the reply direction: pong still receives but never sends.
+        machine = pingpong.processes["pong1"].component.classifier_behavior
+        for transition in list(machine.transitions):
+            transition.effect = []
+        platform = bridged_platform()
+        mapping = MappingModel(pingpong, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        assert run_lint(pingpong, platform, mapping).by_rule("S004") == []

@@ -139,3 +139,50 @@ class TestRoundTrip:
         with pytest.raises(ActionSyntaxError) as excinfo:
             parse_actions("x = 1;\ny = (;")
         assert excinfo.value.line == 2
+
+
+class TestDiagnosticPositions:
+    """Every ActionSyntaxError must carry a 1-based line AND column —
+    including unterminated constructs that fail at end of input."""
+
+    def raises_at(self, source, line, column, parse=parse_actions):
+        with pytest.raises(ActionSyntaxError) as excinfo:
+            parse(source)
+        assert (excinfo.value.line, excinfo.value.column) == (line, column)
+        assert f"line {line}, column {column}" in str(excinfo.value)
+        return excinfo.value
+
+    def test_unterminated_assignment_at_eof(self):
+        self.raises_at("x =", 1, 4)
+
+    def test_unterminated_call_at_eof(self):
+        self.raises_at("send foo(", 1, 10)
+
+    def test_unterminated_block_at_eof(self):
+        self.raises_at("if (x) { y = 1;", 1, 16)
+
+    def test_unterminated_expression_at_eof(self):
+        self.raises_at("a +", 1, 4, parse=parse_expression)
+
+    def test_eof_column_after_trailing_comment(self):
+        # The comment skip must advance the column so an error at EOF on
+        # the next line does not report the comment's start position.
+        self.raises_at("x = 1; // trailing comment\ny =", 2, 4)
+
+    def test_eof_position_on_later_line(self):
+        self.raises_at("x = 1;\n\nsend pdu(1,", 3, 12)
+
+    def test_malformed_hex_literal(self):
+        error = self.raises_at("x = 0x;", 1, 5)
+        assert "malformed hex literal" in str(error)
+        assert "'0x'" in str(error)
+
+    def test_malformed_hex_literal_at_eof(self):
+        self.raises_at("y = 0X", 1, 5)
+
+    def test_unexpected_character_position(self):
+        error = self.raises_at("x = 1;\n  $", 2, 3)
+        assert "unexpected character" in str(error)
+
+    def test_comment_only_source_parses(self):
+        assert parse_actions("// nothing here") == []

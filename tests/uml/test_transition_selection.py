@@ -1,0 +1,218 @@
+"""Transition-selection edge cases in EFSM execution.
+
+Covers the ordering and guard rules the static analyser (repro.analysis)
+assumes: same-trigger candidates are tried in (priority, declaration)
+order, guards fall through, completion transitions chase after entry, and
+signal lookup bubbles from the active leaf through its ancestors.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import ProcessExecutor
+from repro.uml.statemachine import StateMachine
+
+
+def started(machine):
+    executor = ProcessExecutor("p", machine)
+    executor.start()
+    return executor
+
+
+class TestSameTriggerOrdering:
+    def test_lower_priority_value_wins(self):
+        m = StateMachine("M")
+        m.state("idle", initial=True)
+        m.state("a")
+        m.state("b")
+        m.on_signal("idle", "a", "go", priority=1)
+        m.on_signal("idle", "b", "go", priority=0)
+        executor = started(m)
+        outcome, reason = executor.consume_signal("go", [])
+        assert reason is None
+        assert outcome.to_state == "b"
+
+    def test_declaration_order_breaks_priority_ties(self):
+        m = StateMachine("M")
+        m.state("idle", initial=True)
+        m.state("a")
+        m.state("b")
+        m.on_signal("idle", "a", "go")
+        m.on_signal("idle", "b", "go")
+        executor = started(m)
+        outcome, _ = executor.consume_signal("go", [])
+        assert outcome.to_state == "a"
+
+    def test_guard_falls_through_to_next_candidate(self):
+        m = StateMachine("M")
+        m.variable("x", 0)
+        m.state("idle", initial=True)
+        m.state("a")
+        m.state("b")
+        m.on_signal("idle", "a", "go", guard="x > 0")
+        m.on_signal("idle", "b", "go")
+        executor = started(m)
+        outcome, _ = executor.consume_signal("go", [])
+        assert outcome.to_state == "b"
+        assert outcome.guards_evaluated == 1
+        executor2 = started(m)
+        executor2.variables["x"] = 1
+        outcome2, _ = executor2.consume_signal("go", [])
+        assert outcome2.to_state == "a"
+
+    def test_guard_reads_trigger_parameters(self):
+        m = StateMachine("M")
+        m.state("idle", initial=True)
+        m.state("big")
+        m.state("small")
+        m.on_signal("idle", "big", "load", params=["n"], guard="n >= 10")
+        m.on_signal("idle", "small", "load", params=["n"])
+        executor = started(m)
+        outcome, _ = executor.consume_signal("load", [3])
+        assert outcome.to_state == "small"
+        executor2 = started(m)
+        outcome2, _ = executor2.consume_signal("load", [12])
+        assert outcome2.to_state == "big"
+
+
+class TestDropReasons:
+    def machine(self):
+        m = StateMachine("M")
+        m.variable("x", 0)
+        m.state("idle", initial=True)
+        m.state("a")
+        m.on_signal("idle", "a", "go", guard="x > 0")
+        return m
+
+    def test_all_guards_false(self):
+        executor = started(self.machine())
+        outcome, reason = executor.consume_signal("go", [])
+        assert outcome is None and reason == "guards-false"
+
+    def test_no_transition_for_signal(self):
+        executor = started(self.machine())
+        outcome, reason = executor.consume_signal("mystery", [])
+        assert outcome is None and reason == "no-transition"
+
+    def test_timer_without_handler(self):
+        executor = started(self.machine())
+        outcome, reason = executor.fire_timer("t")
+        assert outcome is None and reason == "no-transition"
+
+    def test_dropped_signal_does_not_change_state(self):
+        executor = started(self.machine())
+        executor.consume_signal("go", [])
+        assert executor.current.name == "idle"
+
+
+class TestCompletionTransitions:
+    def test_chased_after_start(self):
+        m = StateMachine("M")
+        m.state("init", initial=True)
+        m.state("ready")
+        m.transition("init", "ready")  # completion: no trigger
+        executor = started(m)
+        assert executor.current.name == "ready"
+
+    def test_chased_after_signal_transition(self):
+        m = StateMachine("M")
+        m.state("idle", initial=True)
+        m.state("transient")
+        m.state("settled")
+        m.on_signal("idle", "transient", "go")
+        m.transition("transient", "settled")
+        executor = started(m)
+        outcome, _ = executor.consume_signal("go", [])
+        assert outcome.to_state == "settled"
+
+    def test_guarded_completion_waits_for_variable(self):
+        m = StateMachine("M")
+        m.variable("done", 0)
+        m.state("idle", initial=True)
+        m.state("hold")
+        m.state("out")
+        m.on_signal("idle", "hold", "go", effect="done = 0;")
+        m.on_signal("hold", "hold", "tick", effect="done = 1;")
+        m.transition("hold", "out", guard="done == 1")
+        executor = started(m)
+        executor.consume_signal("go", [])
+        assert executor.current.name == "hold"  # guard still false
+        outcome, _ = executor.consume_signal("tick", [])
+        assert outcome.to_state == "out"
+
+    def test_internal_transition_does_not_chase_completions(self):
+        # Internal transitions are effect-only: no exit/entry and no
+        # completion re-examination, even when their effect enables one.
+        m = StateMachine("M")
+        m.variable("done", 0)
+        m.state("hold", initial=True)
+        m.state("out")
+        m.on_signal("hold", "hold", "tick", internal=True, effect="done = 1;")
+        m.transition("hold", "out", guard="done == 1")
+        executor = started(m)
+        executor.consume_signal("tick", [])
+        assert executor.variables["done"] == 1
+        assert executor.current.name == "hold"
+
+    def test_completion_into_toplevel_final_terminates(self):
+        m = StateMachine("M")
+        m.state("init", initial=True)
+        m.transition("init", m.final_state())
+        executor = started(m)
+        assert executor.terminated
+        with pytest.raises(SimulationError):
+            executor.consume_signal("go", [])
+
+    def test_completion_livelock_detected(self):
+        m = StateMachine("M")
+        m.state("a", initial=True)
+        m.state("b")
+        m.transition("a", "b")
+        m.transition("b", "a")
+        with pytest.raises(SimulationError) as excinfo:
+            started(m)
+        assert "completion" in str(excinfo.value)
+
+
+class TestHierarchicalSelection:
+    def machine(self):
+        m = StateMachine("M")
+        outer = m.state("outer")
+        m.state("idle", initial=True)
+        m.state("inner", parent=outer, initial=True)
+        m.state("other")
+        m.on_signal("idle", "outer", "go")
+        m.on_signal("outer", "other", "reset")  # ancestor-level handler
+        return m
+
+    def test_ancestor_handles_when_leaf_does_not(self):
+        m = self.machine()
+        executor = started(m)
+        executor.consume_signal("go", [])
+        assert executor.current.name == "inner"
+        outcome, reason = executor.consume_signal("reset", [])
+        assert reason is None
+        assert outcome.to_state == "other"
+
+    def test_leaf_handler_shadows_ancestor(self):
+        m = self.machine()
+        m.state("leafdest", parent=m.find_state("outer"))
+        m.on_signal("inner", "leafdest", "reset")
+        executor = started(m)
+        executor.consume_signal("go", [])
+        outcome, _ = executor.consume_signal("reset", [])
+        assert outcome.to_state == "leafdest"
+
+    def test_internal_transition_skips_exit_and_entry(self):
+        m = StateMachine("M")
+        m.variable("entries", 0)
+        m.variable("hits", 0)
+        m.state("idle", initial=True, entry="entries = entries + 1;")
+        m.on_signal("idle", "idle", "poke", internal=True, effect="hits = hits + 1;")
+        m.on_signal("idle", "idle", "bounce")  # external self-loop re-enters
+        executor = started(m)
+        assert executor.variables["entries"] == 1
+        executor.consume_signal("poke", [])
+        assert executor.variables == {"entries": 1, "hits": 1}
+        executor.consume_signal("bounce", [])
+        assert executor.variables["entries"] == 2
