@@ -13,8 +13,9 @@ groups" using the profiling report.  This example automates the loop:
 Run:  python examples/architecture_exploration.py
 """
 
+import os
+
 from repro.cases.tutmac import PAPER_GROUPING, build_tutmac
-from repro.cases.tutwlan import build_tutwlan_platform
 from repro.exploration import (
     communication_minimizing_grouping,
     exhaustive_search,
@@ -70,15 +71,17 @@ print()
 
 # ------------------------------------------------ 3. mapping space exploration
 
+# The importable builder lets the engine fan candidates out over worker
+# processes and cache results content-addressed on disk; workers=0 would
+# run serially with the identical ranking (see docs/exploration.md).
+factory = "repro.cases.tutwlan:exploration_factory"
+workers = min(4, os.cpu_count() or 1)
 
-def factory():
-    fresh_application = build_tutmac()
-    platform = build_tutwlan_platform(profile=fresh_application.profile)
-    return fresh_application, platform
-
-
-print("exhaustive mapping search (108 assignments, short simulations) ...")
-candidates = exhaustive_search(factory, duration_us=10_000)
+print(
+    f"exhaustive mapping search (108 assignments, short simulations, "
+    f"{workers} workers) ..."
+)
+candidates = exhaustive_search(factory, duration_us=10_000, workers=workers)
 best, worst = candidates[0], candidates[-1]
 print(f"  evaluated {len(candidates)} assignments")
 print(f"  best : {best.assignment}  (bus bytes {best.result.bus_bytes})")

@@ -10,6 +10,10 @@ Commands:
   ``--fault-rate`` the simulation runs under a seeded fault plan;
 * ``faults`` — run a seeded fault-injection campaign on the ARQ-enabled
   TUTMAC model and print the recovery ledger;
+* ``explore`` — design-space exploration on the parallel candidate-
+  evaluation engine: an exhaustive TUTMAC mapping sweep (default) or a
+  multi-seed fault-campaign sweep, with ``--workers`` process-pool
+  fan-out and a ``--cache-dir`` content-addressed result cache;
 * ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
   of the processors;
 * ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
@@ -74,12 +78,94 @@ def _cmd_flow(args) -> int:
         duration_us=args.duration_us,
         faults=faults,
         lint=args.lint,
+        explore_factory=(
+            "repro.cases.tutwlan:exploration_factory" if args.explore else None
+        ),
+        explore_cache_dir=args.cache_dir,
     )
     print(result.report_text)
     print()
     print("artefacts:")
     for kind, path in sorted(result.artifacts.items()):
         print(f"  {kind:<8} {path}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    import json as json_module
+
+    from repro.exploration import mapping_sweep_specs, run_candidates
+    from repro.faults import fault_sweep_specs
+
+    if args.mode == "mappings":
+        specs = mapping_sweep_specs(
+            "repro.cases.tutwlan:exploration_factory",
+            duration_us=args.duration_us,
+            limit=args.limit,
+        )
+    else:
+        seeds = [int(seed) for seed in args.seeds.split(",") if seed.strip()]
+        specs = fault_sweep_specs(
+            seeds, fault_rate=args.fault_rate, duration_us=args.duration_us
+        )
+
+    def progress(outcome, done, total):
+        origin = "cache" if outcome.cached else f"{outcome.elapsed_s:.2f}s"
+        print(
+            f"[{done}/{total}] cost={outcome.cost:.1f} ({origin}) "
+            f"{outcome.spec.label}",
+            file=sys.stderr,
+        )
+
+    run = run_candidates(
+        specs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=progress if args.format == "text" else None,
+    )
+
+    if args.format == "json":
+        print(json_module.dumps(run.to_json_dict(top=args.top), indent=2))
+        return 0
+
+    from repro.util.tables import render_table
+
+    rows = []
+    for rank, outcome in enumerate(run.ranking()[: args.top]):
+        result = outcome.result
+        row = [
+            rank + 1,
+            round(outcome.cost, 1),
+            result.bus_bytes,
+            f"{result.max_pe_utilization:.1%}",
+        ]
+        if args.mode == "faults":
+            row += [
+                result.fault_injected,
+                result.fault_recovered,
+                result.fault_residual,
+            ]
+        row += [
+            "cache" if outcome.cached else f"{outcome.elapsed_s:.2f}s",
+            outcome.spec.label,
+        ]
+        rows.append(row)
+    headers = ["Rank", "Cost", "Bus bytes", "Peak util"]
+    if args.mode == "faults":
+        headers += ["Injected", "Recovered", "Residual"]
+    headers += ["Time", "Candidate"]
+    title = (
+        "TUTMAC mapping sweep"
+        if args.mode == "mappings"
+        else "TUTMAC fault-campaign sweep"
+    )
+    print(render_table(headers, rows, title=f"{title} (top {len(rows)})"))
+    print()
+    print(
+        f"evaluated {run.evaluated} of {len(run.outcomes)} candidates "
+        f"({run.cache_hits} cache hits) in {run.wall_s:.2f}s "
+        f"with workers={run.workers}"
+    )
     return 0
 
 
@@ -252,7 +338,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run tutlint static analysis before code generation",
     )
+    flow.add_argument(
+        "--explore",
+        action="store_true",
+        help="close the Figure 2 loop: improve the mapping from profiling "
+        "feedback and write exploration.json",
+    )
+    flow.add_argument(
+        "--cache-dir",
+        default=None,
+        help="exploration result cache directory (with --explore)",
+    )
     flow.set_defaults(handler=_cmd_flow)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="parallel design-space exploration with result caching",
+    )
+    explore.add_argument(
+        "--mode",
+        choices=("mappings", "faults"),
+        default="mappings",
+        help="sweep all TUTMAC mappings, or one fault campaign per seed",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = serial in-process, same ranking)",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache; warm re-runs evaluate nothing",
+    )
+    explore.add_argument(
+        "--top", type=int, default=10, help="candidates shown in the ranking"
+    )
+    explore.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    explore.add_argument("--duration-us", type=int, default=20_000)
+    explore.add_argument(
+        "--limit", type=int, default=None, help="cap the number of candidates"
+    )
+    explore.add_argument(
+        "--seeds",
+        default="1,2,3,4",
+        help="comma-separated fault-plan seeds (--mode faults)",
+    )
+    explore.add_argument("--fault-rate", type=_rate, default=0.05)
+    explore.set_defaults(handler=_cmd_explore)
 
     faults = subparsers.add_parser(
         "faults", help="seeded fault-injection campaign on ARQ-enabled TUTMAC"

@@ -88,6 +88,25 @@ def build_paper_mapping(
     return mapping
 
 
+def exploration_factory(grouping: Optional[Dict[str, str]] = None, arq: bool = False):
+    """Engine builder: a fresh TUTMAC ``(application, platform)`` pair.
+
+    This is the importable ``"repro.cases.tutwlan:exploration_factory"``
+    builder that :class:`repro.exploration.CandidateSpec` references, so
+    worker processes can rebuild the system without pickling UML objects.
+    ``grouping`` overrides the paper's process-group assignment; ``arq``
+    enables the retransmitting protocol variant used by fault campaigns.
+    """
+    from repro.cases.tutmac import TutmacParameters, build_tutmac
+
+    params = TutmacParameters(arq_enabled=True) if arq else None
+    application = build_tutmac(params=params, grouping=grouping)
+    platform = build_tutwlan_platform(
+        profile=application.profile, model=application.model
+    )
+    return application, platform
+
+
 def build_tutwlan_system(
     params=None,
     grouping: Optional[Dict[str, str]] = None,

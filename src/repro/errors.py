@@ -70,6 +70,22 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class InvalidScheduleError(SimulationError, ValueError):
+    """An event was scheduled with an invalid delay (e.g. into the past).
+
+    Subclasses :class:`ValueError` so callers validating plain numeric
+    arguments can catch it without importing the simulation package.
+    """
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration engine was misconfigured.
+
+    Raised e.g. when a candidate's builder is not importable by name but
+    parallel evaluation (which must re-import it in worker processes) or
+    result caching (which must hash it) was requested."""
+
+
 class CodegenError(ReproError):
     """Code generation could not translate a model construct."""
 

@@ -1,6 +1,25 @@
-"""Architecture exploration: grouping and mapping optimisation (paper §4.4)."""
+"""Architecture exploration: grouping and mapping optimisation (paper §4.4).
+
+The candidate-evaluation engine (:mod:`repro.exploration.engine`) fans
+design points out over a process pool with content-addressed result
+caching; see ``docs/exploration.md``.
+"""
 
 from repro.exploration.objectives import EvaluationResult, evaluate, summarize
+from repro.exploration.cache import ResultCache
+from repro.exploration.engine import (
+    CandidateOutcome,
+    ExplorationRun,
+    evaluate_spec,
+    run_candidates,
+)
+from repro.exploration.spec import (
+    CandidateSpec,
+    FaultSpec,
+    build_system,
+    builder_ref,
+    resolve_builder,
+)
 from repro.exploration.grouping import (
     communication_minimizing_grouping,
     external_traffic,
@@ -13,19 +32,31 @@ from repro.exploration.mapping import (
     enumerate_assignments,
     exhaustive_search,
     improvement_loop,
+    mapping_sweep_specs,
 )
 
 __all__ = [
+    "CandidateOutcome",
+    "CandidateSpec",
     "EvaluationResult",
+    "ExplorationRun",
+    "FaultSpec",
     "MappingCandidate",
+    "ResultCache",
+    "build_system",
+    "builder_ref",
     "communication_minimizing_grouping",
     "enumerate_assignments",
     "evaluate",
+    "evaluate_spec",
     "exhaustive_search",
     "external_traffic",
     "improvement_loop",
+    "mapping_sweep_specs",
     "per_process_grouping",
+    "resolve_builder",
     "round_robin_grouping",
+    "run_candidates",
     "single_group_grouping",
     "summarize",
 ]

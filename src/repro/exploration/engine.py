@@ -1,0 +1,210 @@
+"""Parallel candidate-evaluation engine for design-space exploration.
+
+The paper's Figure 2 loop — simulate, profile, regroup, remap — needs
+*many* simulations, and the discrete-event simulator is pure-Python CPU
+work, so candidates fan out over a ``multiprocessing`` **process** pool
+(threads would serialise on the GIL).  Each worker rebuilds its system
+from a picklable :class:`CandidateSpec`; live UML objects never cross the
+process boundary.
+
+Determinism contract: the simulator is seeded and bit-reproducible, every
+candidate is evaluated independently, and :meth:`ExplorationRun.ranking`
+sorts by the stable key ``(cost, spec canonical JSON)`` — so the ranking
+(and every :meth:`EvaluationResult.stable_hash`) is identical for
+``workers=0``, ``workers=1`` and ``workers=N``, warm or cold cache.
+``workers=0`` evaluates serially in-process (no pool at all), which is the
+fallback for determinism debugging and for builders that cannot be
+imported by name.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExplorationError
+from repro.exploration.cache import ResultCache
+from repro.exploration.objectives import EvaluationResult, evaluate
+from repro.exploration.spec import CandidateSpec, build_system
+
+#: ``progress`` callbacks receive ``(outcome, done, total)``.
+ProgressCallback = Callable[["CandidateOutcome", int, int], None]
+
+
+@dataclass
+class CandidateOutcome:
+    """One evaluated (or cache-served) candidate, with its timing record."""
+
+    index: int                    # position in the submitted spec sequence
+    spec: CandidateSpec
+    result: EvaluationResult
+    elapsed_s: float              # this run's wall-time (0.0 for cache hits)
+    cached: bool = False
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost()
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "label": self.spec.label,
+            "spec": self.spec.to_json_dict(),
+            "digest": self.spec.digest(),
+            "cost": self.cost,
+            "result": self.result.to_dict(),
+            "result_hash": self.result.stable_hash(),
+            "elapsed_s": self.elapsed_s,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class ExplorationRun:
+    """All outcomes of one engine invocation, in submission order."""
+
+    outcomes: List[CandidateOutcome]
+    workers: int
+    wall_s: float
+    cache_dir: Optional[str] = None
+
+    @property
+    def evaluated(self) -> int:
+        """Candidates actually simulated (cache hits excluded)."""
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def ranking(self) -> List[CandidateOutcome]:
+        """Outcomes sorted best-first by the stable key (cost, spec JSON)."""
+        return sorted(
+            self.outcomes, key=lambda o: (o.cost, o.spec.sort_key())
+        )
+
+    def to_json_dict(self, top: Optional[int] = None) -> Dict[str, object]:
+        ranking = self.ranking()
+        shown = ranking if top is None else ranking[:top]
+        return {
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "candidates_total": len(self.outcomes),
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "cache_dir": self.cache_dir,
+            "ranking": [
+                dict(outcome.to_json_dict(), rank=rank + 1)
+                for rank, outcome in enumerate(shown)
+            ],
+            # per-candidate timing records, in submission order
+            "records": [
+                {
+                    "index": outcome.index,
+                    "label": outcome.spec.label,
+                    "elapsed_s": outcome.elapsed_s,
+                    "cached": outcome.cached,
+                    "cost": outcome.cost,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def evaluate_spec(spec: CandidateSpec) -> EvaluationResult:
+    """Evaluate one candidate from scratch (the worker-side entry point)."""
+    application, platform, mapping = build_system(spec)
+    faults = spec.faults.build_plan() if spec.faults is not None else None
+    return evaluate(
+        application, platform, mapping, duration_us=spec.duration_us, faults=faults
+    )
+
+
+def _pool_evaluate(
+    payload: Tuple[int, CandidateSpec]
+) -> Tuple[int, EvaluationResult, float]:
+    index, spec = payload
+    started = time.perf_counter()
+    result = evaluate_spec(spec)
+    return index, result, time.perf_counter() - started
+
+
+def _pool_context():
+    # fork keeps already-imported modules (and sys.path) in the children;
+    # fall back to the platform default where fork does not exist.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_candidates(
+    specs: Sequence[CandidateSpec],
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ExplorationRun:
+    """Evaluate every spec; cache hits are served without simulating.
+
+    ``workers=0`` runs serially in-process; ``workers>=1`` fans the
+    uncached candidates out over a pool of that many processes.  The
+    returned outcomes are in submission order regardless of completion
+    order; use :meth:`ExplorationRun.ranking` for the stable best-first
+    view.
+    """
+    specs = list(specs)
+    if workers < 0:
+        raise ExplorationError(f"workers must be >= 0, got {workers}")
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    outcomes: List[Optional[CandidateOutcome]] = [None] * len(specs)
+    done = 0
+
+    def finish(outcome: CandidateOutcome) -> None:
+        nonlocal done
+        outcomes[outcome.index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, len(specs))
+
+    pending: List[Tuple[int, CandidateSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cache.load(spec) if cache is not None else None
+        if hit is not None:
+            result, _ = hit
+            finish(CandidateOutcome(index, spec, result, 0.0, cached=True))
+        else:
+            pending.append((index, spec))
+
+    if workers >= 1 and pending:
+        unnamed = [spec for _, spec in pending if spec.digest() is None]
+        if unnamed:
+            raise ExplorationError(
+                "parallel evaluation needs builders importable by name "
+                "('module:callable'); got a local/lambda builder — use "
+                "workers=0 or move the builder to module scope"
+            )
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(pending))) as pool:
+            for index, result, elapsed in pool.imap_unordered(
+                _pool_evaluate, pending
+            ):
+                outcome = CandidateOutcome(index, specs[index], result, elapsed)
+                if cache is not None:
+                    cache.store(specs[index], result, elapsed)
+                finish(outcome)
+    else:
+        for index, spec in pending:
+            step_started = time.perf_counter()
+            result = evaluate_spec(spec)
+            elapsed = time.perf_counter() - step_started
+            if cache is not None:
+                cache.store(spec, result, elapsed)
+            finish(CandidateOutcome(index, spec, result, elapsed))
+
+    return ExplorationRun(
+        outcomes=[outcome for outcome in outcomes if outcome is not None],
+        workers=workers,
+        wall_s=time.perf_counter() - started,
+        cache_dir=cache_dir,
+    )

@@ -5,20 +5,28 @@ process groups to be implemented on the same processor") and uses the
 profiling report to improve the mapping.  This module automates both
 moves: exhaustive search for small platforms, and a profiling-guided
 improvement loop that co-locates the hottest communicating groups.
+
+Both searches run on the candidate-evaluation engine
+(:mod:`repro.exploration.engine`): pass ``workers=N`` to fan simulations
+out over a process pool and ``cache_dir=`` to skip already-evaluated
+design points; ``workers=0`` (the default) is the serial in-process
+fallback, which produces the identical ranking.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import MappingError
 from repro.application.model import ApplicationModel
 from repro.mapping.model import MappingModel
 from repro.platform.model import PlatformModel
 from repro.tutprofile.tags import process_runs_on
-from repro.exploration.objectives import EvaluationResult, evaluate
+from repro.exploration.engine import ProgressCallback, run_candidates
+from repro.exploration.objectives import EvaluationResult
+from repro.exploration.spec import CandidateSpec, builder_ref, resolve_builder
 
 
 @dataclass
@@ -33,7 +41,13 @@ class MappingCandidate:
         return self.result.cost()
 
 
-ApplicationFactory = Callable[[], Tuple[ApplicationModel, PlatformModel]]
+#: A factory builds a *fresh* (application, platform) pair per evaluation
+#: — simulation consumes executor state, so design points cannot share
+#: models.  It may be a callable or a ``"module:callable"`` dotted path
+#: (required for parallel evaluation and result caching).
+ApplicationFactory = Union[
+    str, Callable[[], Tuple[ApplicationModel, PlatformModel]]
+]
 
 
 def _compatible_pes(
@@ -67,31 +81,55 @@ def enumerate_assignments(
     return assignments
 
 
+def _spec_builder(factory: ApplicationFactory):
+    """The spec-storable form of a factory: its dotted path if it has one."""
+    reference = builder_ref(factory)
+    return reference if reference is not None else factory
+
+
+def mapping_sweep_specs(
+    factory: ApplicationFactory,
+    duration_us: int = 20_000,
+    limit: Optional[int] = None,
+) -> List[CandidateSpec]:
+    """Candidate specs for the exhaustive sweep (one per assignment)."""
+    probe_application, probe_platform = resolve_builder(factory)()
+    assignments = enumerate_assignments(probe_application, probe_platform)
+    if limit is not None:
+        assignments = assignments[:limit]
+    builder = _spec_builder(factory)
+    return [
+        CandidateSpec.make(
+            builder,
+            assignment,
+            duration_us=duration_us,
+            label=",".join(f"{g}->{pe}" for g, pe in sorted(assignment.items())),
+        )
+        for assignment in assignments
+    ]
+
+
 def exhaustive_search(
     factory: ApplicationFactory,
     duration_us: int = 20_000,
     limit: Optional[int] = None,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[MappingCandidate]:
     """Evaluate every assignment; returns candidates sorted by cost.
 
-    ``factory`` builds a *fresh* (application, platform) pair per evaluation
-    — simulation consumes executor state, so design points cannot share
-    models.
+    The ranking is deterministic — same factory and horizon give the
+    identical order for any ``workers`` value, warm or cold cache.
     """
-    probe_app, probe_platform = factory()
-    assignments = enumerate_assignments(probe_app, probe_platform)
-    if limit is not None:
-        assignments = assignments[:limit]
-    candidates = []
-    for assignment in assignments:
-        application, platform = factory()
-        mapping = MappingModel(application, platform, view_name="ExploreMapping")
-        for group_name, pe_name in assignment.items():
-            mapping.map(group_name, pe_name)
-        result = evaluate(application, platform, mapping, duration_us=duration_us)
-        candidates.append(MappingCandidate(dict(assignment), result))
-    candidates.sort(key=lambda c: (c.cost, sorted(c.assignment.items())))
-    return candidates
+    specs = mapping_sweep_specs(factory, duration_us=duration_us, limit=limit)
+    run = run_candidates(
+        specs, workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    return [
+        MappingCandidate(outcome.spec.mapping_dict, outcome.result)
+        for outcome in run.ranking()
+    ]
 
 
 def improvement_loop(
@@ -99,6 +137,7 @@ def improvement_loop(
     initial_assignment: Dict[str, str],
     duration_us: int = 20_000,
     max_iterations: int = 8,
+    cache_dir: Optional[str] = None,
 ) -> List[MappingCandidate]:
     """The paper's profile→improve loop.
 
@@ -106,17 +145,20 @@ def improvement_loop(
     with the most signals crossing PEs, and tries to co-locate them (moving
     the lighter group), keeping the move only if the cost improves.
     Returns the history of accepted candidates (first = initial design).
+
+    With ``cache_dir`` the neighbourhood search skips design points a
+    previous run (or the exhaustive sweep) already evaluated.
     """
     history: List[MappingCandidate] = []
     current = dict(initial_assignment)
+    builder = _spec_builder(factory)
 
     def run(assignment: Dict[str, str]) -> MappingCandidate:
-        application, platform = factory()
-        mapping = MappingModel(application, platform, view_name="ExploreMapping")
-        for group_name, pe_name in assignment.items():
-            mapping.map(group_name, pe_name)
-        result = evaluate(application, platform, mapping, duration_us=duration_us)
-        return MappingCandidate(dict(assignment), result)
+        # one candidate per iteration: a pool would only add fork overhead,
+        # so the engine is used serially here — the win is the cache
+        spec = CandidateSpec.make(builder, assignment, duration_us=duration_us)
+        outcome = run_candidates([spec], workers=0, cache_dir=cache_dir).outcomes[0]
+        return MappingCandidate(dict(assignment), outcome.result)
 
     candidate = run(current)
     history.append(candidate)

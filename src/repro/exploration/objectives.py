@@ -9,8 +9,10 @@ numbers those decisions need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
 
 from repro.application.model import ApplicationModel
 from repro.mapping.model import MappingModel
@@ -32,6 +34,37 @@ class EvaluationResult:
     delivered_msdus: int      # end-to-end throughput proxy (if 'user' exists)
     dropped_signals: int
     group_cycles: Dict[str, int]
+    # fault-campaign ledger (zero when the point ran fault-free)
+    fault_injected: int = 0
+    fault_detected: int = 0
+    fault_recovered: int = 0
+
+    @property
+    def fault_residual(self) -> int:
+        return self.fault_detected - self.fault_recovered
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-JSON encoding (the cache's on-disk form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EvaluationResult":
+        names = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in names}
+        kwargs["group_cycles"] = dict(kwargs.get("group_cycles") or {})
+        return cls(**kwargs)
+
+    def stable_hash(self) -> str:
+        """SHA-256 of the canonical JSON encoding.
+
+        Identical metric values — including float bit patterns, which the
+        deterministic simulator guarantees for a fixed seed — yield the
+        identical hash in every process, interpreter and worker count.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def cost(self) -> float:
         """Scalar cost: bus traffic dominates, utilisation imbalance tie-breaks.
@@ -51,15 +84,25 @@ def evaluate(
     platform: PlatformModel,
     mapping: MappingModel,
     duration_us: int = 50_000,
+    faults: Optional[object] = None,
 ) -> EvaluationResult:
-    """Simulate one design point and compute its metrics."""
-    simulation = SystemSimulation(application, platform, mapping)
+    """Simulate one design point and compute its metrics.
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan`; when it
+    injects anything, the result carries the injection/recovery ledger.
+    """
+    simulation = SystemSimulation(application, platform, mapping, faults=faults)
     result = simulation.run(duration_us)
     metrics = summarize(result, application)
     delivered = 0
     if "user" in simulation.executors:
         delivered = simulation.executors["user"].variables.get("delivered", 0)
     metrics.delivered_msdus = delivered
+    if simulation.faults is not None:
+        stats = simulation.faults.stats
+        metrics.fault_injected = stats.injected
+        metrics.fault_detected = stats.detected
+        metrics.fault_recovered = stats.recovered
     return metrics
 
 

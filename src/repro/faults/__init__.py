@@ -21,7 +21,10 @@ from repro.faults.plan import (
 from repro.faults.campaign import (
     CampaignResult,
     build_campaign_plan,
+    campaign_fault_spec,
+    fault_sweep_specs,
     run_fault_campaign,
+    run_fault_sweep,
 )
 
 __all__ = [
@@ -38,5 +41,8 @@ __all__ = [
     "SIGNAL_DROP",
     "SIGNAL_DUP",
     "build_campaign_plan",
+    "campaign_fault_spec",
+    "fault_sweep_specs",
     "run_fault_campaign",
+    "run_fault_sweep",
 ]

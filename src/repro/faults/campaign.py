@@ -11,7 +11,7 @@ repairs the loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.profiling.analysis import ProfilingData
@@ -75,3 +75,80 @@ def run_fault_campaign(
     result = simulation.run(duration_us)
     profiling = profile_run(result, application)
     return CampaignResult(simulation=result, plan=plan, profiling=profiling)
+
+
+# ----------------------------------------------------------------------
+# multi-seed sweeps on the exploration engine
+# ----------------------------------------------------------------------
+
+
+def campaign_fault_spec(
+    seed: int = 1,
+    fault_rate: float = 0.05,
+    drop_rate: Optional[float] = None,
+):
+    """The picklable :class:`repro.exploration.FaultSpec` twin of
+    :func:`build_campaign_plan` (same rates, signals and seed)."""
+    from repro.cases.tutmac import signals as sig
+    from repro.exploration.spec import FaultSpec
+
+    return FaultSpec(
+        seed=seed,
+        bus_corrupt_rate=fault_rate,
+        bus_drop_rate=fault_rate / 2 if drop_rate is None else drop_rate,
+        corruptible_signals=(sig.PDU_TX,),
+        droppable_signals=(sig.PDU_TX,),
+        protected_signals=(sig.PDU_TX,),
+    )
+
+
+def fault_sweep_specs(
+    seeds: Iterable[int],
+    fault_rate: float = 0.05,
+    duration_us: int = 50_000,
+    drop_rate: Optional[float] = None,
+) -> List["CandidateSpec"]:
+    """One candidate per seed: ARQ-enabled TUTMAC on the paper mapping."""
+    from repro.cases.tutwlan import PAPER_MAPPING
+    from repro.exploration.spec import CandidateSpec
+
+    return [
+        CandidateSpec.make(
+            "repro.cases.tutwlan:exploration_factory",
+            dict(PAPER_MAPPING),
+            duration_us=duration_us,
+            faults=campaign_fault_spec(
+                seed=seed, fault_rate=fault_rate, drop_rate=drop_rate
+            ),
+            arq=True,
+            label=f"seed={seed}",
+        )
+        for seed in seeds
+    ]
+
+
+def run_fault_sweep(
+    seeds: Sequence[int] = (1, 2, 3, 4),
+    fault_rate: float = 0.05,
+    duration_us: int = 50_000,
+    drop_rate: Optional[float] = None,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress=None,
+) -> "ExplorationRun":
+    """Run one seeded campaign per seed on the exploration engine.
+
+    Each seed becomes an independent, cacheable candidate; ``workers=N``
+    fans the simulations out over N processes, ``workers=0`` runs them
+    serially with identical results.  Fault ledgers land in the
+    per-candidate :class:`~repro.exploration.EvaluationResult` fields
+    (``fault_injected``/``fault_detected``/``fault_recovered``).
+    """
+    from repro.exploration.engine import run_candidates
+
+    specs = fault_sweep_specs(
+        seeds, fault_rate=fault_rate, duration_us=duration_us, drop_rate=drop_rate
+    )
+    return run_candidates(
+        specs, workers=workers, cache_dir=cache_dir, progress=progress
+    )

@@ -18,10 +18,16 @@ flow by re-raising, exactly as before; with ``continue_on_error=True`` the
 failure is recorded in :attr:`FlowResult.failures`, steps that depend on
 the missing artefact are recorded as skipped, and independent steps still
 run — so one broken stage yields a partial result instead of nothing.
+
+With ``explore_factory`` the flow closes the Figure 2 loop: after
+profiling it runs the profiling-guided mapping improvement loop on the
+exploration engine (cache-aware via ``explore_cache_dir``) and writes the
+accepted-move history to ``exploration.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -94,6 +100,8 @@ class FlowResult:
     profiling: Optional[ProfilingData] = None
     report_text: Optional[str] = None
     lint_report: Optional[object] = None  # repro.analysis.LintReport when lint=True
+    # repro.exploration.MappingCandidate history when explore_factory is set
+    exploration: Optional[list] = None
     steps_run: tuple = ()
     artifacts: Dict[str, str] = field(default_factory=dict)
     failures: List[StepFailure] = field(default_factory=list)
@@ -156,6 +164,9 @@ def run_design_flow(
     continue_on_error: bool = False,
     faults=None,
     lint: bool = False,
+    explore_factory=None,
+    explore_cache_dir: Optional[str] = None,
+    explore_duration_us: int = 20_000,
 ) -> FlowResult:
     """Run the complete Figure 2 flow; artefacts go to ``work_directory``.
 
@@ -165,6 +176,10 @@ def run_design_flow(
     ``lint=True`` inserts a tutlint static-analysis step after validation:
     error-severity findings abort the flow (via :class:`AnalysisError`)
     before any code is generated or simulated.
+    ``explore_factory`` (a fresh-``(application, platform)`` builder, see
+    :mod:`repro.exploration.spec`) appends an optional "explore" step that
+    improves the mapping from the profiling feedback and records the move
+    history as the ``exploration`` artefact.
     """
     os.makedirs(work_directory, exist_ok=True)
     runner = _FlowRunner(continue_on_error)
@@ -271,7 +286,45 @@ def run_design_flow(
     else:
         profiling, report_text, report_path = None, None, None
 
+    # 7. optional exploration: close the Figure 2 loop (profile → remap)
+    exploration = None
+    exploration_path = None
+    if explore_factory is not None:
+        exploration_path = os.path.join(work_directory, "exploration.json")
+
+        def _explore():
+            from repro.exploration import improvement_loop
+
+            history = improvement_loop(
+                explore_factory,
+                mapping.assignment(),
+                duration_us=explore_duration_us,
+                cache_dir=explore_cache_dir,
+            )
+            payload = {
+                "initial_assignment": mapping.assignment(),
+                "steps": [
+                    {
+                        "assignment": candidate.assignment,
+                        "cost": candidate.cost,
+                        "bus_bytes": candidate.result.bus_bytes,
+                        "max_pe_utilization": candidate.result.max_pe_utilization,
+                    }
+                    for candidate in history
+                ],
+            }
+            with open(exploration_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            return history
+
+        exploration = runner.run("explore", _explore, requires=("simulate",))
+        if exploration is None:
+            exploration_path = None
+
     artifacts: Dict[str, str] = {}
+    if exploration_path is not None:
+        artifacts["exploration"] = exploration_path
     if xmi_path is not None:
         artifacts["xmi"] = xmi_path
     if log_path is not None:
@@ -291,6 +344,7 @@ def run_design_flow(
         profiling=profiling,
         report_text=report_text,
         lint_report=lint_report,
+        exploration=exploration,
         steps_run=tuple(runner.steps_run),
         artifacts=artifacts,
         failures=runner.failures,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import InvalidScheduleError, SimulationError
 
 PS_PER_US = 1_000_000
 PS_PER_MS = 1_000_000_000
@@ -56,7 +56,11 @@ class Kernel:
     def schedule(self, delay_ps: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay_ps`` after the current time."""
         if delay_ps < 0:
-            raise SimulationError(f"cannot schedule into the past ({delay_ps} ps)")
+            # InvalidScheduleError is a ValueError: negative delays are a
+            # caller bug (mirrors the cycles_to_ps negative guard above)
+            raise InvalidScheduleError(
+                f"cannot schedule into the past ({delay_ps} ps)"
+            )
         self._sequence += 1
         event = Event(self.now_ps + delay_ps, self._sequence, callback)
         heapq.heappush(self._heap, event)

@@ -89,6 +89,71 @@ class TestCommunicationMinimizing:
         assert external_traffic(assignment, data) == 0
 
 
+class TestEmptyProcessList:
+    """Every strategy must degrade gracefully to an empty assignment."""
+
+    def test_per_process_empty(self):
+        assert per_process_grouping([], {}) == {}
+
+    def test_single_group_empty(self):
+        assert single_group_grouping([], {}) == {}
+
+    def test_round_robin_empty(self):
+        assert round_robin_grouping([], {}, 3) == {}
+
+    def test_communication_minimizing_empty(self):
+        data = synthetic_profiling()
+        assert communication_minimizing_grouping(data, {}, 2) == {}
+
+    def test_external_traffic_empty_assignment(self):
+        assert external_traffic({}, synthetic_profiling()) == 0
+
+
+class TestAllHardware:
+    """Hardware-only models: nothing may land in a software group."""
+
+    HW_TYPES = {f"p{i}": "hardware" for i in range(1, 4)}
+
+    def test_single_group_all_hardware(self):
+        assignment = single_group_grouping(self.HW_TYPES, self.HW_TYPES)
+        assert set(assignment.values()) == {"g_hw"}
+
+    def test_round_robin_all_hardware(self):
+        assignment = round_robin_grouping(self.HW_TYPES, self.HW_TYPES, 2)
+        assert set(assignment.values()) == {"g_hw"}
+
+    def test_communication_minimizing_all_hardware_merges(self):
+        # same-kind clusters may merge, so the greedy loop still reaches
+        # the requested count even when every process is hardware
+        data = synthetic_profiling()
+        types = {f"p{i}": "hardware" for i in range(1, 6)}
+        assignment = communication_minimizing_grouping(data, types, 2)
+        assert len(set(assignment.values())) == 2
+
+    def test_mixed_kinds_never_share_a_group(self):
+        data = synthetic_profiling()
+        types = dict(
+            {f"p{i}": "hardware" for i in range(1, 3)},
+            **{f"p{i}": "general" for i in range(3, 6)},
+        )
+        assignment = communication_minimizing_grouping(data, types, 2)
+        hw_groups = {assignment[p] for p, k in types.items() if k == "hardware"}
+        sw_groups = {assignment[p] for p, k in types.items() if k == "general"}
+        assert not hw_groups & sw_groups
+
+
+class TestGroupCountEdges:
+    def test_requested_count_above_process_count(self):
+        data = synthetic_profiling()
+        assignment = communication_minimizing_grouping(data, PROCESS_TYPES, 99)
+        # nothing merges: one group per process
+        assert len(set(assignment.values())) == 5
+
+    def test_round_robin_single_group(self):
+        assignment = round_robin_grouping(PROCESS_TYPES, PROCESS_TYPES, 1)
+        assert len(set(assignment.values())) == 1
+
+
 class TestExternalTraffic:
     def test_counts_only_cross_group(self):
         data = synthetic_profiling()

@@ -1,0 +1,7 @@
+"""Tier-2 benchmark-regression suite.
+
+Short (sub-second) versions of the simulator and exploration benchmarks
+with asserted performance floors, so a perf regression fails ``pytest``
+instead of only showing up in ``benchmarks/`` artefacts.  Floors are set
+~10x below measured values to stay robust on slow shared CI runners.
+"""

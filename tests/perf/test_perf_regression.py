@@ -1,0 +1,118 @@
+"""Performance floors for the kernel, simulator and exploration engine.
+
+Each test is a miniature of a ``benchmarks/`` scenario with a generous
+floor (roughly one order of magnitude below current measurements on a
+laptop-class core), so only a genuine regression — an accidentally
+quadratic hot path, a pool that stopped parallelising, a cache that
+stopped hitting — trips it, not CI noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.exploration import mapping_sweep_specs, run_candidates
+from repro.simulation.kernel import Kernel
+
+TUTWLAN_BUILDER = "repro.cases.tutwlan:exploration_factory"
+
+#: events/second floor; the kernel currently sustains ~900k on one core.
+KERNEL_EVENTS_PER_S_FLOOR = 100_000
+
+#: wall-clock ceiling for one 20 ms TUTMAC/TUTWLAN evaluation (~0.05 s now).
+SINGLE_EVALUATION_BUDGET_S = 3.0
+
+
+def test_kernel_event_throughput_floor():
+    kernel = Kernel(max_events=10_000_000)
+    total = 50_000
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        if fired[0] < total:
+            kernel.schedule(10, tick)
+
+    kernel.schedule(0, tick)
+    started = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - started
+    assert fired[0] == total
+    assert total / elapsed > KERNEL_EVENTS_PER_S_FLOOR, (
+        f"kernel dispatched only {total / elapsed:.0f} events/s "
+        f"(floor {KERNEL_EVENTS_PER_S_FLOOR})"
+    )
+
+
+def test_single_evaluation_wall_clock_budget():
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=20_000, limit=1)
+    started = time.perf_counter()
+    run = run_candidates(specs, workers=0)
+    elapsed = time.perf_counter() - started
+    assert run.evaluated == 1
+    assert elapsed < SINGLE_EVALUATION_BUDGET_S, (
+        f"one 20 ms TUTMAC evaluation took {elapsed:.2f}s "
+        f"(budget {SINGLE_EVALUATION_BUDGET_S}s)"
+    )
+
+
+def test_exploration_sweep_throughput_floor():
+    # 6 short candidates must finish well under a second each
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=5_000, limit=6)
+    started = time.perf_counter()
+    run = run_candidates(specs, workers=0)
+    elapsed = time.perf_counter() - started
+    assert run.evaluated == 6
+    assert elapsed / 6 < 1.0, (
+        f"serial sweep averaged {elapsed / 6:.2f}s per 5 ms candidate"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="parallel speedup needs >= 2 cores"
+)
+def test_parallel_vs_serial_speedup_smoke():
+    """Two workers must beat serial on a ~1 s sweep (smoke, not a 2x claim)."""
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=20_000, limit=16)
+
+    started = time.perf_counter()
+    serial = run_candidates(specs, workers=0)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_candidates(specs, workers=2)
+    parallel_wall = time.perf_counter() - started
+
+    serial_hashes = [o.result.stable_hash() for o in serial.ranking()]
+    parallel_hashes = [o.result.stable_hash() for o in parallel.ranking()]
+    assert serial_hashes == parallel_hashes, "ranking must not depend on workers"
+    assert parallel_wall < serial_wall, (
+        f"2 workers ({parallel_wall:.2f}s) not faster than serial "
+        f"({serial_wall:.2f}s)"
+    )
+
+
+def test_warm_cache_skips_all_evaluation(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=5_000, limit=6)
+
+    started = time.perf_counter()
+    cold = run_candidates(specs, workers=0, cache_dir=cache_dir)
+    cold_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = run_candidates(specs, workers=0, cache_dir=cache_dir)
+    warm_wall = time.perf_counter() - started
+
+    assert cold.evaluated == 6 and cold.cache_hits == 0
+    assert warm.evaluated == 0 and warm.cache_hits == 6
+    assert warm_wall < cold_wall / 2, (
+        f"warm cache ({warm_wall:.3f}s) should be far cheaper than cold "
+        f"({cold_wall:.3f}s)"
+    )
+    warm_hashes = [o.result.stable_hash() for o in warm.ranking()]
+    cold_hashes = [o.result.stable_hash() for o in cold.ranking()]
+    assert warm_hashes == cold_hashes

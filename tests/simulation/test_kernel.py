@@ -47,6 +47,21 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             kernel.schedule(-1, lambda: None)
 
+    def test_negative_delay_is_a_value_error(self):
+        # regression: the guard must raise a ValueError subclass so plain
+        # argument validation catches it (mirrors cycles_to_ps's guard)
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_time_is_a_value_error(self):
+        kernel = Kernel()
+        kernel.schedule(10, lambda: None)
+        kernel.run()
+        assert kernel.now_ps == 10
+        with pytest.raises(ValueError):
+            kernel.schedule_at(5, lambda: None)
+
     def test_schedule_at(self):
         kernel = Kernel()
         seen = []
