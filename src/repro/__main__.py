@@ -16,6 +16,9 @@ Commands:
   fan-out and a ``--cache-dir`` content-addressed result cache;
 * ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
   of the processors;
+* ``trace`` — run the example system under the observability tracer and
+  print per-PE/bus metrics (``--format text|json``) or the Chrome-trace
+  JSON that loads in ui.perfetto.dev (``--format chrome``);
 * ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
   plus the TUT-Profile design rules over it;
 * ``lint [model.xmi]`` — run the tutlint behavioural static-analysis
@@ -23,7 +26,11 @@ Commands:
   default, the built-in TUTMAC/TUTWLAN system.
 
 ``validate`` and ``lint`` share ``--format text|json`` and a
-severity-threshold exit code (``--fail-on``).
+severity-threshold exit code (``--fail-on``).  Every ``--format json``
+output (except ``trace --format chrome``, which must stay a plain
+Chrome-trace container) uses the shared envelope
+``{"schema": "repro.<kind>/1", "results": ...}`` from
+:mod:`repro.util.jsonout`.
 """
 
 from __future__ import annotations
@@ -78,6 +85,7 @@ def _cmd_flow(args) -> int:
         duration_us=args.duration_us,
         faults=faults,
         lint=args.lint,
+        trace=args.trace,
         explore_factory=(
             "repro.cases.tutwlan:exploration_factory" if args.explore else None
         ),
@@ -125,7 +133,9 @@ def _cmd_explore(args) -> int:
     )
 
     if args.format == "json":
-        print(json_module.dumps(run.to_json_dict(top=args.top), indent=2))
+        from repro.util.jsonout import render_envelope
+
+        print(render_envelope("explore", run.to_json_dict(top=args.top)))
         return 0
 
     from repro.util.tables import render_table
@@ -198,6 +208,46 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.cases.tutwlan import build_tutwlan_system
+    from repro.observability import (
+        Tracer,
+        collect_metrics,
+        render_chrome_trace,
+        render_metrics_text,
+        write_chrome_trace,
+    )
+    from repro.profiling.groupinfo import group_info_from_model
+    from repro.simulation import SystemSimulation
+
+    application, platform, mapping = build_tutwlan_system()
+    tracer = Tracer()
+    simulation = SystemSimulation(application, platform, mapping, tracer=tracer)
+    result = simulation.run(args.duration_us)
+    metadata = {
+        "application": application.top.name,
+        "platform": platform.top.name,
+        "duration_us": args.duration_us,
+    }
+    if args.out:
+        write_chrome_trace(tracer, args.out, metadata=metadata)
+    if args.format == "chrome":
+        print(render_chrome_trace(tracer, metadata))
+        return 0
+    group_of = dict(group_info_from_model(application.model).process_to_group)
+    report = collect_metrics(tracer, result.end_time_ps, group_of=group_of)
+    if args.format == "json":
+        from repro.util.jsonout import render_envelope
+
+        print(render_envelope("trace-metrics", report.to_dict(), meta=metadata))
+        return 0
+    print(render_metrics_text(report))
+    if args.out:
+        print()
+        print(f"trace written to {args.out} (open it in ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.analysis import render_records, validation_records
     from repro.tutprofile import TUT_PROFILE, check_design_rules
@@ -214,6 +264,7 @@ def _cmd_validate(args) -> int:
             format=args.format,
             title=f"validation: {args.model}",
             meta={"model": args.model},
+            kind="validate",
         )
     )
     if args.fail_on == "never":
@@ -288,7 +339,11 @@ def _cmd_lint(args) -> int:
         }
     print(
         render_records(
-            records, format=args.format, title=f"tutlint: {subject}", meta=meta
+            records,
+            format=args.format,
+            title=f"tutlint: {subject}",
+            meta=meta,
+            kind="lint",
         )
     )
     if args.matrix and args.format == "text":
@@ -337,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint",
         action="store_true",
         help="run tutlint static analysis before code generation",
+    )
+    flow.add_argument(
+        "--trace",
+        action="store_true",
+        help="simulate under the observability tracer and write trace.json "
+        "(Perfetto) and metrics.json artefacts",
     )
     flow.add_argument(
         "--explore",
@@ -410,6 +471,31 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--window-us", type=int, default=3_000)
     timeline.add_argument("--width", type=int, default=100)
     timeline.set_defaults(handler=_cmd_timeline)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="traced example simulation: per-PE/bus metrics + Perfetto export",
+    )
+    trace.add_argument(
+        "target",
+        nargs="?",
+        choices=("examples",),
+        default="examples",
+        help="what to trace (the built-in TUTMAC-on-TUTWLAN example system)",
+    )
+    trace.add_argument("--duration-us", type=int, default=10_000)
+    trace.add_argument(
+        "--format",
+        choices=("text", "json", "chrome"),
+        default="text",
+        help="metrics tables, enveloped metrics JSON, or Chrome-trace JSON",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="also write the Chrome-trace JSON to this path",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     validate = subparsers.add_parser("validate", help="validate an XMI model file")
     validate.add_argument("model")

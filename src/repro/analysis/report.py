@@ -8,11 +8,11 @@ into a process exit code.
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List, Optional
 
 from repro.analysis.core import RULES, LintReport
 from repro.uml.validation import ValidationReport
+from repro.util.jsonout import render_envelope
 
 FORMAT_CHOICES = ("text", "json")
 
@@ -62,17 +62,18 @@ def render_text(records: List[Dict], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def render_json(records: List[Dict], meta: Optional[Dict] = None) -> str:
+def render_json(
+    records: List[Dict], meta: Optional[Dict] = None, kind: str = "lint"
+) -> str:
+    """The findings in the shared CLI envelope (``repro.<kind>/1``)."""
     counted = [r for r in records if not r.get("suppressed")]
-    payload = {
+    results = {
         "findings": records,
         "errors": sum(1 for r in counted if r["severity"] == "error"),
         "warnings": sum(1 for r in counted if r["severity"] == "warning"),
         "suppressed": len(records) - len(counted),
     }
-    if meta:
-        payload.update(meta)
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return render_envelope(kind, results, meta)
 
 
 def render_records(
@@ -80,9 +81,11 @@ def render_records(
     format: str = "text",
     title: str = "",
     meta: Optional[Dict] = None,
+    kind: str = "lint",
 ) -> str:
+    """Render records as text (``title`` heading) or enveloped JSON."""
     if format == "json":
-        return render_json(records, meta)
+        return render_json(records, meta, kind=kind)
     return render_text(records, title)
 
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.application.model import ApplicationModel
 from repro.mapping.model import MappingModel
+from repro.observability.metrics import summarize_result
 from repro.platform.model import PlatformModel
 from repro.profiling.analysis import analyze
 from repro.profiling.groupinfo import group_info_from_model
@@ -38,6 +39,8 @@ class EvaluationResult:
     fault_injected: int = 0
     fault_detected: int = 0
     fault_recovered: int = 0
+    # per-PE/bus observability summary (repro.observability.summarize_result)
+    observability: Dict[str, object] = field(default_factory=dict)
 
     @property
     def fault_residual(self) -> int:
@@ -52,6 +55,7 @@ class EvaluationResult:
         names = {f.name for f in fields(cls)}
         kwargs = {key: value for key, value in data.items() if key in names}
         kwargs["group_cycles"] = dict(kwargs.get("group_cycles") or {})
+        kwargs["observability"] = dict(kwargs.get("observability") or {})
         return cls(**kwargs)
 
     def stable_hash(self) -> str:
@@ -126,4 +130,5 @@ def summarize(result: SimulationResult, application: ApplicationModel) -> Evalua
         delivered_msdus=0,
         dropped_signals=result.dropped_signals,
         group_cycles=dict(data.group_cycles),
+        observability=summarize_result(result),
     )

@@ -102,6 +102,8 @@ class FlowResult:
     lint_report: Optional[object] = None  # repro.analysis.LintReport when lint=True
     # repro.exploration.MappingCandidate history when explore_factory is set
     exploration: Optional[list] = None
+    # repro.observability.MetricsReport when trace=True
+    metrics: Optional[object] = None
     steps_run: tuple = ()
     artifacts: Dict[str, str] = field(default_factory=dict)
     failures: List[StepFailure] = field(default_factory=list)
@@ -164,6 +166,7 @@ def run_design_flow(
     continue_on_error: bool = False,
     faults=None,
     lint: bool = False,
+    trace: bool = False,
     explore_factory=None,
     explore_cache_dir: Optional[str] = None,
     explore_duration_us: int = 20_000,
@@ -176,6 +179,11 @@ def run_design_flow(
     ``lint=True`` inserts a tutlint static-analysis step after validation:
     error-severity findings abort the flow (via :class:`AnalysisError`)
     before any code is generated or simulated.
+    ``trace=True`` runs the simulation under an observability tracer and
+    adds a "trace" step that writes ``trace.json`` (Chrome-trace JSON,
+    loadable in ui.perfetto.dev) and ``metrics.json`` (the aggregated
+    :class:`~repro.observability.metrics.MetricsReport` in the shared CLI
+    envelope) next to the other artefacts.
     ``explore_factory`` (a fresh-``(application, platform)`` builder, see
     :mod:`repro.exploration.spec`) appends an optional "explore" step that
     improves the mapping from the profiling feedback and records the move
@@ -255,9 +263,16 @@ def run_design_flow(
 
     # 5. simulation → log-file
     log_path = os.path.join(work_directory, "simulation.tutlog")
+    tracer = None
+    if trace:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
 
     def _simulate() -> SimulationResult:
-        simulation = SystemSimulation(application, platform, mapping, faults=faults)
+        simulation = SystemSimulation(
+            application, platform, mapping, faults=faults, tracer=tracer
+        )
         result = simulation.run(duration_us)
         result.writer.write(log_path)
         return result
@@ -265,6 +280,47 @@ def run_design_flow(
     result = runner.run("simulate", _simulate)
     if result is None:
         log_path = None
+
+    # 5b. optional observability export: trace.json + metrics.json
+    metrics_report = None
+    trace_path = metrics_path = None
+    if trace:
+        trace_path = os.path.join(work_directory, "trace.json")
+        metrics_path = os.path.join(work_directory, "metrics.json")
+
+        def _trace():
+            from repro.observability import collect_metrics, write_chrome_trace
+            from repro.util.jsonout import envelope
+
+            write_chrome_trace(
+                tracer,
+                trace_path,
+                metadata={
+                    "application": application.top.name,
+                    "platform": platform.top.name,
+                },
+            )
+            group_of = (
+                dict(group_info.process_to_group)
+                if group_info is not None
+                else None
+            )
+            report = collect_metrics(
+                tracer, result.end_time_ps, group_of=group_of
+            )
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    envelope("trace-metrics", report.to_dict()),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            return report
+
+        metrics_report = runner.run("trace", _trace, requires=("simulate",))
+        if metrics_report is None:
+            trace_path = metrics_path = None
 
     # 6. profiling stage 3: combine and report
     report_path = os.path.join(work_directory, "profiling_report.txt")
@@ -329,6 +385,10 @@ def run_design_flow(
         artifacts["xmi"] = xmi_path
     if log_path is not None:
         artifacts["log"] = log_path
+    if trace_path is not None:
+        artifacts["trace"] = trace_path
+    if metrics_path is not None:
+        artifacts["metrics"] = metrics_path
     if report_path is not None:
         artifacts["report"] = report_path
     if code_directory is not None:
@@ -345,6 +405,7 @@ def run_design_flow(
         report_text=report_text,
         lint_report=lint_report,
         exploration=exploration,
+        metrics=metrics_report,
         steps_run=tuple(runner.steps_run),
         artifacts=artifacts,
         failures=runner.failures,

@@ -28,6 +28,7 @@ class LatencyStats:
     max_ps: int = 0
 
     def observe(self, latency_ps: int) -> None:
+        """Add one delivery-latency sample."""
         self.count += 1
         self.total_ps += latency_ps
         if latency_ps > self.max_ps:
@@ -35,6 +36,7 @@ class LatencyStats:
 
     @property
     def mean_ps(self) -> float:
+        """Arithmetic mean latency (0.0 on an empty population)."""
         return self.total_ps / self.count if self.count else 0.0
 
 
@@ -100,6 +102,7 @@ class ProfilingData:
     # -- Table 4(a) ----------------------------------------------------------
 
     def total_cycles(self) -> int:
+        """Total charged cycles across all groups."""
         return sum(self.group_cycles.values())
 
     def group_share(self, group_name: str) -> float:
@@ -110,6 +113,7 @@ class ProfilingData:
         return self.group_cycles.get(group_name, 0) / total
 
     def shares(self) -> Dict[str, float]:
+        """Execution-time proportion per group, Table 4(a)'s column."""
         return {
             group: self.group_share(group)
             for group in self.group_info.all_groups()
@@ -127,6 +131,7 @@ class ProfilingData:
         ]
 
     def signals_between(self, sender_group: str, receiver_group: str) -> int:
+        """Delivered signal count of one sender->receiver group pair."""
         return self.group_signals.get((sender_group, receiver_group), 0)
 
     # -- optimisation objectives ------------------------------------------------
@@ -141,6 +146,7 @@ class ProfilingData:
         )
 
     def internal_signals(self) -> int:
+        """Signals delivered within a single group."""
         return sum(
             count
             for (sender, receiver), count in self.group_signals.items()
@@ -148,6 +154,7 @@ class ProfilingData:
         )
 
     def external_bytes(self) -> int:
+        """Bytes carried by group-crossing signals."""
         return sum(
             count
             for (sender, receiver), count in self.group_bytes.items()
@@ -155,6 +162,7 @@ class ProfilingData:
         )
 
     def busiest_group(self) -> str:
+        """The group with the most charged cycles (name breaks ties)."""
         if not self.group_cycles:
             return ENVIRONMENT_GROUP
         return max(self.group_cycles, key=lambda g: (self.group_cycles[g], g))

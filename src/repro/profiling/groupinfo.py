@@ -37,9 +37,11 @@ class ProcessGroupInfo:
     group_names: List[str] = field(default_factory=list)
 
     def group_of(self, process_name: str) -> str:
+        """The group of a process (Environment when ungrouped)."""
         return self.process_to_group.get(process_name, ENVIRONMENT_GROUP)
 
     def members(self, group_name: str) -> List[str]:
+        """Sorted names of the processes in one group."""
         return sorted(
             process
             for process, group in self.process_to_group.items()
@@ -55,6 +57,7 @@ class ProcessGroupInfo:
 
     @property
     def process_count(self) -> int:
+        """Number of processes with a (possibly Environment) group."""
         return len(self.process_to_group)
 
 

@@ -28,6 +28,7 @@ def execution_time_rows(data: ProfilingData) -> List[Tuple[str, str, str]]:
 
 
 def render_table4a(data: ProfilingData) -> str:
+    """Table 4(a): process-group execution times and proportions."""
     return render_table(
         ("Process group", "Total execution time", "Proportion"),
         execution_time_rows(data),
@@ -36,6 +37,7 @@ def render_table4a(data: ProfilingData) -> str:
 
 
 def signal_matrix_rows(data: ProfilingData) -> List[List[object]]:
+    """Table 4(b) body rows: one row of signal counts per sender group."""
     groups = data.group_info.all_groups()
     matrix = data.signal_matrix()
     rows: List[List[object]] = []
@@ -45,6 +47,7 @@ def signal_matrix_rows(data: ProfilingData) -> List[List[object]]:
 
 
 def render_table4b(data: ProfilingData) -> str:
+    """Table 4(b): the group-to-group signal-count matrix."""
     groups = data.group_info.all_groups()
     return render_table(
         ["Sender/Receiver"] + groups,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.observability.tracer import Tracer, bus_track
 from repro.platform.components import SegmentSpec, WrapperSpec
 from repro.platform.model import PlatformModel
 from repro.simulation.kernel import Kernel, cycles_to_ps
@@ -48,6 +49,7 @@ class _Transfer:
     fault: Optional[str] = None
     fault_args: tuple = ()
     on_fault: Optional[Callable[[str, int, tuple], None]] = None
+    trace_handle: Optional[int] = None  # open tracer span of the current hop
 
 
 class _SegmentRuntime:
@@ -64,13 +66,20 @@ class HibiBus:
     """Cycle-approximate model of the platform's segmented interconnect."""
 
     def __init__(
-        self, platform: PlatformModel, kernel: Kernel, faults=None
+        self,
+        platform: PlatformModel,
+        kernel: Kernel,
+        faults=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.platform = platform
         self.kernel = kernel
         # an optional repro.faults.FaultPlan; None keeps transfers fault-free
         # with zero per-transfer overhead
         self.faults = faults
+        # an optional repro.observability.Tracer: grant→release spans and
+        # request-queue depth samples per segment, same None-gated pattern
+        self.tracer = tracer
         self.segments: Dict[str, _SegmentRuntime] = {
             name: _SegmentRuntime(name, instance.spec)
             for name, instance in platform.segments.items()
@@ -124,6 +133,7 @@ class HibiBus:
         self._request_next_hop(transfer)
 
     def stats(self) -> Dict[str, TransferStats]:
+        """Per-segment aggregate transfer statistics (live references)."""
         return {name: runtime.stats for name, runtime in self.segments.items()}
 
     def utilization(self, end_time_ps: int) -> Dict[str, float]:
@@ -162,6 +172,14 @@ class HibiBus:
         wrapper = self._wrapper_between(agent, segment_name)
         transfer.enqueued_ps = self.kernel.now_ps
         runtime.queue.append((wrapper, transfer))
+        if self.tracer is not None:
+            # wrapper FIFO depth: its high-water mark is the contention metric
+            self.tracer.counter(
+                "requests",
+                bus_track(segment_name),
+                {"depth": len(runtime.queue)},
+                time_ps=self.kernel.now_ps,
+            )
         if not runtime.busy:
             self._grant(runtime)
 
@@ -178,12 +196,29 @@ class HibiBus:
         runtime.stats.words += runtime.spec.words_for_bytes(transfer.size_bytes)
         runtime.stats.busy_ps += duration_ps
         runtime.stats.wait_ps += self.kernel.now_ps - transfer.enqueued_ps
+        if self.tracer is not None:
+            args = {
+                "bytes": transfer.size_bytes,
+                "wait_ps": self.kernel.now_ps - transfer.enqueued_ps,
+            }
+            if transfer.fault is not None:
+                args["fault"] = transfer.fault
+            transfer.trace_handle = self.tracer.begin(
+                transfer.agents[0] if transfer.agents else "transfer",
+                bus_track(runtime.name),
+                category="bus",
+                time_ps=self.kernel.now_ps,
+                **args,
+            )
         self.kernel.schedule(
             duration_ps, lambda r=runtime, t=transfer: self._release(r, t)
         )
 
     def _release(self, runtime: _SegmentRuntime, transfer: _Transfer) -> None:
         runtime.busy = False
+        if self.tracer is not None and transfer.trace_handle is not None:
+            self.tracer.end(transfer.trace_handle, time_ps=self.kernel.now_ps)
+            transfer.trace_handle = None
         transfer.path = transfer.path[1:]
         transfer.agents = transfer.agents[1:]
         self._request_next_hop(transfer)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.observability.tracer import Tracer, efsm_track
 from repro.uml.actions import ActionEnvironment, evaluate, execute
 from repro.uml.statemachine import (
     CompletionTrigger,
@@ -61,15 +62,27 @@ class _StepEnvironment(ActionEnvironment):
 
 
 class ProcessExecutor:
-    """Runtime state of one application process (one EFSM instance)."""
+    """Runtime state of one application process (one EFSM instance).
 
-    def __init__(self, name: str, machine: StateMachine) -> None:
+    With a :class:`~repro.observability.tracer.Tracer` installed, every
+    fired transition emits an instant event on the process's ``efsm``
+    track (timestamped by the tracer's bound clock); ``tracer=None`` adds
+    no work to any step.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: StateMachine,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if machine.initial_state is None:
             raise SimulationError(
                 f"machine {machine.name!r} of process {name!r} has no initial state"
             )
         self.name = name
         self.machine = machine
+        self.tracer = tracer
         self.variables: Dict[str, int] = dict(machine.variables)
         self.current: Optional[State] = None
         self.terminated = False
@@ -99,6 +112,7 @@ class ProcessExecutor:
         self._chase_completions(outcome, environment)
         outcome.to_state = self.current.name
         self._collect(outcome, environment)
+        self._trace_step(outcome)
         return outcome
 
     def consume_signal(
@@ -207,6 +221,7 @@ class ProcessExecutor:
                 self._chase_completions(outcome, environment)
         outcome.to_state = self.current.name
         self._collect(outcome, environment)
+        self._trace_step(outcome)
         return outcome
 
     def _take(
@@ -278,6 +293,20 @@ class ProcessExecutor:
         raise SimulationError(
             f"process {self.name!r} chained more than {MAX_COMPLETION_CHAIN} "
             "completion transitions (livelock in the model?)"
+        )
+
+    def _trace_step(self, outcome: StepOutcome) -> None:
+        """Emit the fired transition as an instant on the ``efsm`` track."""
+        if self.tracer is None:
+            return
+        self.tracer.instant(
+            outcome.trigger or "step",
+            efsm_track(self.name),
+            category="efsm",
+            from_state=outcome.from_state,
+            to_state=outcome.to_state,
+            statements=outcome.statements,
+            sends=len(outcome.sends),
         )
 
     def _collect(self, outcome: StepOutcome, environment: _StepEnvironment) -> None:

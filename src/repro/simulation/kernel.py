@@ -12,6 +12,7 @@ import heapq
 from typing import Callable, Optional
 
 from repro.errors import InvalidScheduleError, SimulationError
+from repro.observability.tracer import KERNEL_TRACK, Tracer
 
 PS_PER_US = 1_000_000
 PS_PER_MS = 1_000_000_000
@@ -44,11 +45,24 @@ class Event:
 
 
 class Kernel:
-    """Event heap with a current time and a hard event budget."""
+    """Event heap with a current time and a hard event budget.
 
-    def __init__(self, max_events: int = 5_000_000) -> None:
+    With a :class:`~repro.observability.tracer.Tracer` installed the run
+    loop samples the event-heap depth every ``trace_stride`` dispatches
+    (the scheduler-queue-depth series in trace exports); ``tracer=None``
+    keeps the loop's per-event cost at a single predicate check.
+    """
+
+    def __init__(
+        self,
+        max_events: int = 5_000_000,
+        tracer: Optional[Tracer] = None,
+        trace_stride: int = 64,
+    ) -> None:
         self.now_ps: int = 0
         self.max_events = max_events
+        self.tracer = tracer
+        self.trace_stride = max(1, trace_stride)
         self._heap: list = []
         self._sequence = 0
         self._dispatched = 0
@@ -67,13 +81,16 @@ class Kernel:
         return event
 
     def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at the absolute instant ``time_ps``."""
         return self.schedule(time_ps - self.now_ps, callback)
 
     def cancel(self, event: Event) -> None:
+        """Mark ``event`` cancelled; it is skipped (and dropped) at dispatch."""
         event.cancelled = True
 
     @property
     def pending(self) -> int:
+        """Scheduled events not yet dispatched or cancelled."""
         return sum(1 for event in self._heap if not event.cancelled)
 
     def run(self, until_ps: Optional[int] = None) -> int:
@@ -95,6 +112,16 @@ class Kernel:
             event.callback()
             dispatched += 1
             self._dispatched += 1
+            if (
+                self.tracer is not None
+                and self._dispatched % self.trace_stride == 0
+            ):
+                self.tracer.counter(
+                    "events",
+                    KERNEL_TRACK,
+                    {"depth": len(self._heap)},
+                    time_ps=self.now_ps,
+                )
             if self._dispatched > self.max_events:
                 raise SimulationError(
                     f"event budget exceeded ({self.max_events} events); "

@@ -51,6 +51,7 @@ class ExecRecord:
     trigger: str
 
     def render(self) -> str:
+        """The record as one EXEC log line."""
         return (
             f"EXEC time={self.time_ps} process={self.process} pe={self.pe} "
             f"cycles={self.cycles} duration={self.duration_ps} "
@@ -72,6 +73,7 @@ class SignalRecord:
     corrupt: int = 0
 
     def render(self) -> str:
+        """The record as one SIG log line (corrupt flag only when set)."""
         line = (
             f"SIG time={self.time_ps} signal={self.signal} sender={self.sender} "
             f"receiver={self.receiver} bytes={self.bytes} "
@@ -92,6 +94,7 @@ class DropRecord:
     reason: str
 
     def render(self) -> str:
+        """The record as one DROP log line."""
         return (
             f"DROP time={self.time_ps} process={self.process} "
             f"signal={self.signal} reason={self.reason}"
@@ -109,6 +112,7 @@ class FaultRecord:
     target: str = "-"
 
     def render(self) -> str:
+        """The record as one FAULT log line."""
         return (
             f"FAULT time={self.time_ps} kind={self.kind} signal={self.signal} "
             f"source={self.source} target={self.target}"
@@ -127,21 +131,27 @@ class LogWriter:
         self.end_time_ps = 0
 
     def exec_step(self, **kwargs) -> None:
+        """Record one executed run-to-completion step (EXEC line)."""
         self.records.append(ExecRecord(**kwargs))
 
     def signal(self, **kwargs) -> None:
+        """Record one delivered signal instance (SIG line)."""
         self.records.append(SignalRecord(**kwargs))
 
     def drop(self, **kwargs) -> None:
+        """Record a signal consumed without firing a transition (DROP)."""
         self.records.append(DropRecord(**kwargs))
 
     def fault(self, **kwargs) -> None:
+        """Record one injected fault (FAULT line)."""
         self.records.append(FaultRecord(**kwargs))
 
     def finish(self, end_time_ps: int) -> None:
+        """Fix the log horizon written into the END line."""
         self.end_time_ps = end_time_ps
 
     def render(self) -> str:
+        """The complete log text: MAGIC, META, records, END trailer."""
         lines = [MAGIC]
         for key in sorted(self.meta):
             value = str(self.meta[key]).replace("\n", " ")
@@ -151,6 +161,7 @@ class LogWriter:
         return "\n".join(lines) + "\n"
 
     def write(self, path) -> None:
+        """Render and write the log to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render())
 
@@ -170,27 +181,33 @@ class LogFile:
 
     @property
     def exec_records(self) -> List[ExecRecord]:
+        """All EXEC records, in log order."""
         return [r for r in self.records if isinstance(r, ExecRecord)]
 
     @property
     def signal_records(self) -> List[SignalRecord]:
+        """All SIG records, in log order."""
         return [r for r in self.records if isinstance(r, SignalRecord)]
 
     @property
     def drop_records(self) -> List[DropRecord]:
+        """All DROP records, in log order."""
         return [r for r in self.records if isinstance(r, DropRecord)]
 
     @property
     def fault_records(self) -> List[FaultRecord]:
+        """All FAULT records, in log order."""
         return [r for r in self.records if isinstance(r, FaultRecord)]
 
     def faults_by_kind(self) -> Dict[str, int]:
+        """Injected-fault counts keyed by fault kind."""
         counts: Dict[str, int] = {}
         for record in self.fault_records:
             counts[record.kind] = counts.get(record.kind, 0) + 1
         return counts
 
     def cycles_by_process(self) -> Dict[str, int]:
+        """Total charged PE cycles per process, over all EXEC records."""
         totals: Dict[str, int] = {}
         for record in self.exec_records:
             totals[record.process] = totals.get(record.process, 0) + record.cycles
@@ -296,5 +313,6 @@ def parse_log(text: str) -> LogFile:
 
 
 def read_log(path) -> LogFile:
+    """Read and parse a simulation log file from disk."""
     with open(path, "r", encoding="utf-8") as handle:
         return parse_log(handle.read())

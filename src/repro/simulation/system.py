@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.application.model import ApplicationModel
 from repro.mapping.model import MappingModel
+from repro.observability.tracer import SYSTEM_TRACK, Tracer, pe_track
 from repro.platform.model import PlatformModel
 from repro.simulation.bus import HibiBus, TransferStats
 from repro.simulation.executor import ProcessExecutor, SendIntent, StepOutcome
@@ -52,6 +53,7 @@ class _Activation:
     corrupt: bool = False  # payload was bit-corrupted in transit
 
     def describe(self) -> str:
+        """Human-readable trigger label used in log and trace records."""
         if self.kind == "signal":
             return self.signal
         if self.kind == "timer":
@@ -88,10 +90,12 @@ class _PERuntime:
         self._seq = 0
 
     def enqueue(self, activation: _Activation, priority: int) -> None:
+        """Add an activation to the ready queue (insertion order preserved)."""
         self._seq += 1
         self.ready.append((self._seq, priority, activation))
 
     def pop(self) -> Optional[_Activation]:
+        """Remove and return the next activation per the queue policy."""
         if not self.ready:
             return None
         if self.policy == "fifo":
@@ -132,15 +136,18 @@ class SimulationResult:
     bus_stats: Dict[str, TransferStats]
     dropped_signals: int
     fault_stats: Optional[object] = None  # repro.faults.FaultStats when injecting
+    trace: Optional[Tracer] = None        # the run's tracer when tracing was on
     _parsed: Optional[LogFile] = field(default=None, repr=False)
 
     @property
     def log(self) -> LogFile:
+        """The run's log, parsed lazily from the writer's rendering."""
         if self._parsed is None:
             self._parsed = parse_log(self.writer.render())
         return self._parsed
 
     def pe_utilization(self) -> Dict[str, float]:
+        """Busy fraction of the simulated interval, per processing element."""
         if self.end_time_ps <= 0:
             return {pe: 0.0 for pe in self.pe_busy_ps}
         return {
@@ -149,6 +156,7 @@ class SimulationResult:
         }
 
     def total_cycles(self) -> int:
+        """Total PE clock cycles charged across all logged steps."""
         return sum(self.log.cycles_by_process().values())
 
 
@@ -162,17 +170,26 @@ class SystemSimulation:
         mapping: MappingModel,
         max_events: int = 5_000_000,
         faults=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         mapping.check_complete()
         self.application = application
         self.platform = platform
         self.mapping = mapping
-        self.kernel = Kernel(max_events=max_events)
+        # The tracer mirrors the faults pattern: every hook sits behind a
+        # None check, so an untraced run is byte-identical (log and all)
+        # to the pre-observability simulator.
+        self.tracer = tracer
+        self.kernel = Kernel(max_events=max_events, tracer=tracer)
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.kernel.now_ps)
         # A disabled plan (all rates zero, no windows) is treated exactly
         # like no plan: every fault hook stays behind a None check, so the
         # fault-free simulation is bit-identical to the pre-fault simulator.
         self.faults = faults if faults is not None and faults.enabled else None
-        self.bus = HibiBus(platform, self.kernel, faults=self.faults)
+        self.bus = HibiBus(
+            platform, self.kernel, faults=self.faults, tracer=tracer
+        )
         self.writer = LogWriter(
             meta={
                 "application": application.top.name,
@@ -192,7 +209,9 @@ class SystemSimulation:
         self.executors: Dict[str, ProcessExecutor] = {}
         self.pe_of_process: Dict[str, Optional[str]] = {}
         for name, process in application.processes.items():
-            self.executors[name] = ProcessExecutor(name, process.behavior)
+            self.executors[name] = ProcessExecutor(
+                name, process.behavior, tracer=tracer
+            )
             if process.is_environment:
                 self.pe_of_process[name] = None
             else:
@@ -235,6 +254,7 @@ class SystemSimulation:
             bus_stats=self.bus.stats(),
             dropped_signals=self.dropped,
             fault_stats=fault_stats,
+            trace=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -264,6 +284,15 @@ class SystemSimulation:
                 signal=activation.describe(),
                 reason="pe-crash",
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "pe-crash",
+                    pe_track(pe_name),
+                    category="fault",
+                    signal=activation.describe(),
+                    process=activation.process,
+                )
+                self._trace_drop(activation, "pe-crash")
             return
         if activation.kind == "signal":
             self.writer.signal(
@@ -279,14 +308,41 @@ class SystemSimulation:
             if self.faults is not None and not activation.corrupt:
                 # a clean delivery may repair an earlier tracked loss
                 self.faults.note_delivery(activation.signal, activation.args)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    activation.signal,
+                    SYSTEM_TRACK,
+                    category="signal",
+                    sender=activation.sender,
+                    receiver=activation.process,
+                    latency_ps=self.kernel.now_ps - activation.sent_ps,
+                    transport=activation.transport,
+                    bytes=activation.bytes,
+                    corrupt=1 if activation.corrupt else 0,
+                )
         if pe_name is None:
             self._run_environment_step(activation)
             return
         runtime = self.pe_runtimes[pe_name]
         priority = self.application.find_process(activation.process).priority()
         runtime.enqueue(activation, priority)
+        if self.tracer is not None:
+            # ready-queue depth sample: its high-water mark feeds metrics
+            self.tracer.counter(
+                "ready", pe_track(pe_name), {"depth": len(runtime.ready)}
+            )
         if not runtime.busy:
             self._start_next(runtime)
+
+    def _trace_drop(self, activation: _Activation, reason: str) -> None:
+        """Mirror a DROP log record as a trace instant (tracing only)."""
+        self.tracer.instant(
+            activation.describe(),
+            SYSTEM_TRACK,
+            category="drop",
+            process=activation.process,
+            reason=reason,
+        )
 
     def _start_next(self, runtime: _PERuntime) -> None:
         """Pop ready activations until one fires a step or the queue drains."""
@@ -306,6 +362,8 @@ class SystemSimulation:
                     signal=activation.describe(),
                     reason=reason or "no-transition",
                 )
+                if self.tracer is not None:
+                    self._trace_drop(activation, reason or "no-transition")
                 continue
             process = self.application.find_process(activation.process)
             cost = runtime.cost_model.step_cost(
@@ -335,6 +393,14 @@ class SystemSimulation:
                         source=runtime.name,
                         target=activation.process,
                     )
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "pe-stall",
+                            pe_track(runtime.name),
+                            category="fault",
+                            process=activation.process,
+                            extra_ps=stalled_ps - duration_ps,
+                        )
                     duration_ps = stalled_ps
             runtime.busy = True
             runtime.last_process = activation.process
@@ -380,6 +446,18 @@ class SystemSimulation:
             to_state=outcome.to_state,
             trigger=activation.describe(),
         )
+        if self.tracer is not None:
+            self.tracer.span(
+                activation.process,
+                pe_track(runtime.name),
+                start_ps=started_ps,
+                duration_ps=self.kernel.now_ps - started_ps,
+                category="exec",
+                from_state=outcome.from_state,
+                to_state=outcome.to_state,
+                trigger=activation.describe(),
+                cycles=cycles,
+            )
         self._apply_outcome(activation.process, outcome)
         self._start_next(runtime)
 
@@ -397,6 +475,8 @@ class SystemSimulation:
                 signal=activation.describe(),
                 reason=reason or "no-transition",
             )
+            if self.tracer is not None:
+                self._trace_drop(activation, reason or "no-transition")
             return
         self.writer.exec_step(
             time_ps=self.kernel.now_ps,
@@ -447,6 +527,14 @@ class SystemSimulation:
         size = signal.size_bytes()
         sender_pe = self.pe_of_process[sender]
         receiver_pe = self.pe_of_process[receiver]
+        if self.tracer is not None:
+            self.tracer.instant(
+                intent.signal,
+                SYSTEM_TRACK,
+                category="dispatch",
+                sender=sender,
+                receiver=receiver,
+            )
         deliveries = 1
         if self.faults is not None:
             fault = self.faults.apply_dispatch_fault(
@@ -460,6 +548,15 @@ class SystemSimulation:
                     source=sender,
                     target=receiver,
                 )
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        fault,
+                        SYSTEM_TRACK,
+                        category="fault",
+                        signal=intent.signal,
+                        source=sender,
+                        target=receiver,
+                    )
                 if fault == "signal-drop":
                     return  # the signal is lost before any transport
                 deliveries = 2  # signal-dup: delivered twice, independently
@@ -529,6 +626,15 @@ class SystemSimulation:
             source=activation.sender,
             target=activation.process,
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                kind,
+                SYSTEM_TRACK,
+                category="fault",
+                signal=activation.signal,
+                source=activation.sender,
+                target=activation.process,
+            )
         if kind == "bus-drop":
             return  # the frame is gone; only an ARQ timeout can notice
         # bus-corrupt: the frame arrives with a flipped payload bit — the

@@ -1,0 +1,50 @@
+"""Shared JSON envelope for machine-readable CLI output.
+
+Every ``--format json`` surface of the ``repro`` CLI emits the same
+top-level shape::
+
+    {"schema": "repro.<kind>/1", "results": <payload>, "meta": {...}}
+
+``schema`` names the payload kind and its version (bump the version when
+a payload changes incompatibly), ``results`` carries the command-specific
+body, and the optional ``meta`` object holds provenance (model path,
+matrix, run parameters).  Consumers dispatch on ``schema`` and read
+``results`` without caring which subcommand produced the file.
+
+The one deliberate exception is ``repro trace --format chrome``: its
+output must be a valid Chrome-trace JSON container (``traceEvents`` at
+the top level) for Perfetto to load it, so it is not enveloped.
+
+See ``docs/README.md`` for the envelope contract and the list of schema
+kinds in use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+#: Version suffix shared by all envelope schemas.
+SCHEMA_VERSION = 1
+
+
+def schema_id(kind: str) -> str:
+    """The ``schema`` field value for a payload kind (``repro.<kind>/1``)."""
+    return f"repro.{kind}/{SCHEMA_VERSION}"
+
+
+def envelope(
+    kind: str, results: object, meta: Optional[Dict] = None
+) -> Dict[str, object]:
+    """Wrap ``results`` in the shared envelope (``meta`` only when given)."""
+    payload: Dict[str, object] = {"schema": schema_id(kind), "results": results}
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def render_envelope(
+    kind: str, results: object, meta: Optional[Dict] = None
+) -> str:
+    """The enveloped payload as indented, key-sorted JSON text."""
+    return json.dumps(envelope(kind, results, meta), indent=2, sort_keys=True)

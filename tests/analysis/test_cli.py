@@ -87,6 +87,13 @@ def run_lint_cli(app, tmp_path, capsys, *extra):
     return code, capsys.readouterr().out
 
 
+def unwrap(out, kind):
+    """Parse an enveloped CLI JSON payload and return its results body."""
+    payload = json.loads(out)
+    assert payload["schema"] == f"repro.{kind}/1"
+    return payload["results"]
+
+
 class TestSeededUnreachable:
     def test_text(self, tmp_path, capsys):
         code, out = run_lint_cli(unreachable_app(), tmp_path, capsys)
@@ -100,7 +107,7 @@ class TestSeededUnreachable:
             unreachable_app(), tmp_path, capsys, "--format", "json"
         )
         assert code == 1
-        payload = json.loads(out)
+        payload = unwrap(out, "lint")
         assert payload["errors"] == 1 and payload["warnings"] == 0
         (finding,) = payload["findings"]
         assert finding["rule"] == "E001"
@@ -127,7 +134,7 @@ class TestSeededUseBeforeAssign:
             use_before_assign_app(), tmp_path, capsys, "--format", "json"
         )
         assert code == 0
-        payload = json.loads(out)
+        payload = unwrap(out, "lint")
         assert payload["errors"] == 0 and payload["warnings"] == 1
         (finding,) = payload["findings"]
         assert finding["rule"] == "D002"
@@ -147,7 +154,7 @@ class TestSeededLostSignal:
             lost_signal_app(), tmp_path, capsys, "--format", "json"
         )
         assert code == 1
-        payload = json.loads(out)
+        payload = unwrap(out, "lint")
         assert payload["errors"] == 1 and payload["warnings"] == 0
         (finding,) = payload["findings"]
         assert finding["rule"] == "S001"
@@ -167,7 +174,7 @@ class TestSeededArityMismatch:
             arity_mismatch_app(), tmp_path, capsys, "--format", "json"
         )
         assert code == 1
-        payload = json.loads(out)
+        payload = unwrap(out, "lint")
         assert payload["errors"] == 1 and payload["warnings"] == 0
         (finding,) = payload["findings"]
         assert finding["rule"] == "D004"
@@ -203,7 +210,8 @@ class TestAuxiliaryOutput:
             arity_mismatch_app(), tmp_path, capsys, "--matrix", "--format", "json"
         )
         payload = json.loads(out)
-        assert payload["matrix"]["s1 -> r1"] == {"ping": 1}
+        assert payload["schema"] == "repro.lint/1"
+        assert payload["meta"]["matrix"]["s1 -> r1"] == {"ping": 1}
 
 
 class TestValidateCli:
@@ -226,7 +234,7 @@ class TestValidateCli:
     def test_error_fails_json(self, tmp_path, capsys):
         path = self.broken_model(tmp_path)
         assert main(["validate", str(path), "--format", "json"]) == 1
-        payload = json.loads(capsys.readouterr().out)
+        payload = unwrap(capsys.readouterr().out, "validate")
         assert payload["errors"] == 1
         assert any(f["rule"] == "machine-initial" for f in payload["findings"])
 

@@ -1,0 +1,130 @@
+"""Chrome-trace export: validity, deterministic ids, byte-identical runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.mapping import MappingModel
+from repro.observability import (
+    SYSTEM_TRACK,
+    Tracer,
+    bus_track,
+    pe_track,
+    render_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.simulation import SystemSimulation
+
+from tests.conftest import build_pingpong, build_two_cpu_platform
+
+
+def build_trace() -> Tracer:
+    tracer = Tracer()
+    tracer.span(
+        "step", pe_track("cpu2"), start_ps=2_000_000, duration_ps=500_000,
+        category="exec",
+    )
+    tracer.span("step", pe_track("cpu1"), start_ps=0, duration_ps=1_000_000)
+    tracer.instant("msg", SYSTEM_TRACK, category="signal", time_ps=1_500_000)
+    tracer.counter("requests", bus_track("seg1"), {"depth": 2}, time_ps=100)
+    return tracer
+
+
+def run_traced_pingpong() -> Tracer:
+    app = build_pingpong()
+    platform = build_two_cpu_platform()
+    mapping = MappingModel(app, platform)
+    mapping.map("g1", "cpu1")
+    mapping.map("g2", "cpu2")
+    tracer = Tracer()
+    SystemSimulation(app, platform, mapping, tracer=tracer).run(5_000)
+    return tracer
+
+
+class TestChromeTraceShape:
+    def test_every_event_carries_ph_ts_pid_tid(self):
+        payload = to_chrome_trace(build_trace())
+        assert payload["displayTimeUnit"] == "ns"
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+            assert event["ph"] in ("M", "X", "i", "C")
+
+    def test_metadata_events_label_every_track(self):
+        events = to_chrome_trace(build_trace())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        processes = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert processes == {"pe", "bus", "system"}
+        assert threads == {"cpu1", "cpu2", "seg1", "dispatch"}
+        # metadata rows come first so Perfetto labels tracks before data
+        first_data = next(i for i, e in enumerate(events) if e["ph"] != "M")
+        assert all(e["ph"] == "M" for e in events[:first_data])
+
+    def test_pid_tid_assignment_is_sorted_and_deterministic(self):
+        events = to_chrome_trace(build_trace())["traceEvents"]
+        names = {}
+        for event in events:
+            if event["ph"] == "M" and event["name"] == "process_name":
+                names[event["args"]["name"]] = event["pid"]
+        # sorted group names -> pids from 1: bus < pe < system
+        assert names == {"bus": 1, "pe": 2, "system": 3}
+        spans = [e for e in events if e["ph"] == "X"]
+        # within the "pe" group, cpu1 sorts before cpu2
+        by_name = {
+            (e["pid"], e["tid"]): e["ts"] for e in spans
+        }
+        assert by_name == {(2, 1): 0.0, (2, 2): 2.0}
+
+    def test_timestamps_are_microseconds(self):
+        spans = [
+            e for e in to_chrome_trace(build_trace())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        longest = max(spans, key=lambda e: e["dur"])
+        assert longest["dur"] == 1.0  # 1_000_000 ps
+
+    def test_instants_are_thread_scoped(self):
+        instants = [
+            e for e in to_chrome_trace(build_trace())["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert instants and all(e["s"] == "t" for e in instants)
+        assert instants[0]["cat"] == "signal"
+
+    def test_metadata_lands_in_container(self):
+        payload = to_chrome_trace(build_trace(), metadata={"app": "PingPong"})
+        assert payload["metadata"] == {"app": "PingPong"}
+
+
+class TestRendering:
+    def test_render_is_canonical_json(self):
+        text = render_chrome_trace(build_trace())
+        assert ": " not in text and "\n" not in text
+        assert json.loads(text)["traceEvents"]
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(build_trace(), path, metadata={"k": 1})
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert content.endswith("\n")
+        assert json.loads(content)["metadata"] == {"k": 1}
+
+
+class TestDeterminism:
+    def test_same_model_renders_byte_identical_traces(self):
+        first = render_chrome_trace(run_traced_pingpong())
+        second = render_chrome_trace(run_traced_pingpong())
+        assert first == second
+        assert json.loads(first)["traceEvents"]
+
+    def test_simulation_trace_has_exec_spans_and_signals(self):
+        payload = to_chrome_trace(run_traced_pingpong())
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert any(e.get("cat") == "exec" for e in spans)
+        assert any(e["ph"] == "i" and e.get("cat") == "signal" for e in events)
+        assert any(e["ph"] == "C" for e in events)

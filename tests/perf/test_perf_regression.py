@@ -26,9 +26,7 @@ KERNEL_EVENTS_PER_S_FLOOR = 100_000
 SINGLE_EVALUATION_BUDGET_S = 3.0
 
 
-def test_kernel_event_throughput_floor():
-    kernel = Kernel(max_events=10_000_000)
-    total = 50_000
+def _measure_kernel_events_per_s(kernel, total=50_000):
     fired = [0]
 
     def tick():
@@ -41,8 +39,24 @@ def test_kernel_event_throughput_floor():
     kernel.run()
     elapsed = time.perf_counter() - started
     assert fired[0] == total
-    assert total / elapsed > KERNEL_EVENTS_PER_S_FLOOR, (
-        f"kernel dispatched only {total / elapsed:.0f} events/s "
+    return total / elapsed
+
+
+def test_kernel_event_throughput_floor():
+    rate = _measure_kernel_events_per_s(Kernel(max_events=10_000_000))
+    assert rate > KERNEL_EVENTS_PER_S_FLOOR, (
+        f"kernel dispatched only {rate:.0f} events/s "
+        f"(floor {KERNEL_EVENTS_PER_S_FLOOR})"
+    )
+
+
+def test_kernel_event_throughput_floor_tracing_disabled():
+    """tracer=None must cost one predicate per dispatch: same floor applies."""
+    rate = _measure_kernel_events_per_s(
+        Kernel(max_events=10_000_000, tracer=None)
+    )
+    assert rate > KERNEL_EVENTS_PER_S_FLOOR, (
+        f"tracing-disabled kernel dispatched only {rate:.0f} events/s "
         f"(floor {KERNEL_EVENTS_PER_S_FLOOR})"
     )
 

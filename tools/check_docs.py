@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the CI ``docs`` job).
+
+Scans ``docs/*.md`` plus the top-level ``README.md`` and verifies that
+
+* every relative markdown link ``[text](path)`` points at a file that
+  exists (absolute URLs are skipped);
+* every anchor ``[text](path#anchor)`` or ``[text](#anchor)`` matches a
+  heading in the target file, using GitHub's heading-slug rules;
+* every file path quoted in backticks that looks like a repo path
+  (``src/...``, ``tests/...``, ``tools/...``, ``docs/...``) exists.
+
+Exit code 0 when everything resolves, 1 with one line per broken
+reference otherwise.  No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown links: [text](target) — target may carry a #anchor suffix.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline code that names a repo file: `src/...py`, `tests/...py`, etc.
+CODE_PATH_RE = re.compile(r"`((?:src|tests|tools|docs)/[A-Za-z0-9_./-]+)`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors a markdown file exposes."""
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(match) for match in HEADING_RE.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    """All broken references of one markdown file, as message strings."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    for code_path in CODE_PATH_RE.findall(text):
+        if not (REPO_ROOT / code_path).exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: stale path reference -> {code_path}"
+            )
+    return problems
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files.append(REPO_ROOT / "README.md")
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken reference(s) across {checked} file(s)")
+        return 1
+    print(f"docs ok: {checked} file(s), all links, anchors and paths resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Public-docstring audit (the CI ``docs`` job).
+
+``python tools/check_docstrings.py <dir> [<dir> ...]`` walks the given
+source trees and requires a docstring on
+
+* every module,
+* every public class (name not starting with ``_``),
+* every public function and method.
+
+Private helpers (leading underscore) and dunder methods are exempt, as
+are trivial overrides whose body is a bare ``pass``/``...``.  This is the
+pydocstyle-style spot check the observability PR's documentation gate
+runs — stdlib-only, so it needs nothing installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def trivial(node: ast.AST) -> bool:
+    """A body that is only ``pass``/``...`` needs no docstring."""
+    body = getattr(node, "body", [])
+    if len(body) != 1:
+        return False
+    only = body[0]
+    if isinstance(only, ast.Pass):
+        return True
+    return isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant)
+
+
+def missing_in(path: Path) -> list:
+    """(line, kind, name) triples of undocumented public definitions."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append((1, "module", path.stem))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if is_public(node.name) and ast.get_docstring(node) is None:
+                problems.append((node.lineno, "class", node.name))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not is_public(node.name):
+                continue
+            if ast.get_docstring(node) is None and not trivial(node):
+                problems.append((node.lineno, "function", node.name))
+    return problems
+
+
+def main(argv: list) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src/repro")]
+    failures = 0
+    checked = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            checked += 1
+            for lineno, kind, name in missing_in(path):
+                print(f"{path}:{lineno}: undocumented public {kind} {name!r}")
+                failures += 1
+    if failures:
+        print(f"{failures} undocumented public definition(s) in {checked} file(s)")
+        return 1
+    print(f"docstrings ok: {checked} file(s) audited")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
