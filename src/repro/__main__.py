@@ -14,6 +14,11 @@ Commands:
   evaluation engine: an exhaustive TUTMAC mapping sweep (default) or a
   multi-seed fault-campaign sweep, with ``--workers`` process-pool
   fan-out and a ``--cache-dir`` content-addressed result cache;
+* ``checkpoint`` — operate on simulation snapshot stores:
+  ``inspect`` lists a store's snapshots, ``diff`` structurally compares
+  two snapshot files, ``resume`` continues an interrupted ``flow`` run
+  from its latest snapshot (byte-identical artefacts, see
+  ``docs/checkpoint.md``);
 * ``timeline`` — simulate on the TUTWLAN platform and draw a text Gantt
   of the processors;
 * ``trace`` — run the example system under the observability tracer and
@@ -62,9 +67,9 @@ def _cmd_tutmac(args) -> int:
     return 0
 
 
-def _cmd_flow(args) -> int:
+def _flow_inputs(args):
+    """The (application, platform, mapping, faults) quad for ``flow``."""
     from repro.cases.tutwlan import build_tutwlan_system
-    from repro.flow import run_design_flow
 
     faults = None
     if args.fault_rate > 0.0:
@@ -77,6 +82,13 @@ def _cmd_flow(args) -> int:
         faults = build_campaign_plan(seed=args.seed, fault_rate=args.fault_rate)
     else:
         application, platform, mapping = build_tutwlan_system()
+    return application, platform, mapping, faults
+
+
+def _cmd_flow(args) -> int:
+    from repro.flow import run_design_flow
+
+    application, platform, mapping, faults = _flow_inputs(args)
     result = run_design_flow(
         application,
         platform,
@@ -90,6 +102,8 @@ def _cmd_flow(args) -> int:
             "repro.cases.tutwlan:exploration_factory" if args.explore else None
         ),
         explore_cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_events=args.checkpoint_every_events,
     )
     print(result.report_text)
     print()
@@ -125,12 +139,25 @@ def _cmd_explore(args) -> int:
             file=sys.stderr,
         )
 
-    run = run_candidates(
-        specs,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        progress=progress if args.format == "text" else None,
-    )
+    from repro.errors import SimulationInterrupted
+
+    try:
+        run = run_candidates(
+            specs,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=progress if args.format == "text" else None,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_events=args.checkpoint_every_events,
+            interrupt_after_events=args.interrupt_after_events,
+        )
+    except SimulationInterrupted as exc:
+        print(
+            f"interrupted: {exc} — re-run the same command (without "
+            "--interrupt-after-events) to resume",
+            file=sys.stderr,
+        )
+        return 3
 
     if args.format == "json":
         from repro.util.jsonout import render_envelope
@@ -176,6 +203,99 @@ def _cmd_explore(args) -> int:
         f"({run.cache_hits} cache hits) in {run.wall_s:.2f}s "
         f"with workers={run.workers}"
     )
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.checkpoint import CheckpointStore, diff_states
+    from repro.errors import CheckpointError
+
+    if args.action == "inspect":
+        store = CheckpointStore(args.dir)
+        rows = []
+        for path in store.list(args.tag):
+            try:
+                snapshot = store.load(path)
+            except CheckpointError as exc:
+                print(f"unreadable: {path}: {exc}", file=sys.stderr)
+                continue
+            rows.append(
+                {
+                    "tag": snapshot.tag,
+                    "dispatched": snapshot.dispatched,
+                    "now_ps": snapshot.now_ps,
+                    "state_hash": snapshot.digest,
+                    "path": str(path),
+                }
+            )
+        if args.format == "json":
+            from repro.util.jsonout import render_envelope
+
+            print(render_envelope("checkpoint-list", rows, meta={"dir": args.dir}))
+            return 0
+        if not rows:
+            print(f"no snapshots under {args.dir}")
+            return 0
+        from repro.util.tables import render_table
+
+        print(
+            render_table(
+                ["Tag", "Events", "Time (ps)", "Hash", "Path"],
+                [
+                    [
+                        row["tag"],
+                        row["dispatched"],
+                        row["now_ps"],
+                        row["state_hash"][:12],
+                        row["path"],
+                    ]
+                    for row in rows
+                ],
+                title=f"snapshots in {args.dir}",
+            )
+        )
+        return 0
+
+    if args.action == "diff":
+        store = CheckpointStore(".")  # load() only needs the paths
+        left = store.load(args.first)
+        right = store.load(args.second)
+        lines = diff_states(left.state, right.state)
+        if not lines:
+            print("snapshots are identical")
+            return 0
+        for line in lines:
+            print(line)
+        return 1
+
+    # resume: continue an interrupted `flow` run from its latest snapshot
+    store = CheckpointStore(args.checkpoint_dir)
+    if store.latest("flow") is None:
+        print(
+            f"nothing to resume: no 'flow' snapshot under "
+            f"{args.checkpoint_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.flow import run_design_flow
+
+    application, platform, mapping, faults = _flow_inputs(args)
+    result = run_design_flow(
+        application,
+        platform,
+        mapping,
+        args.workdir,
+        duration_us=args.duration_us,
+        faults=faults,
+        trace=args.trace,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_events=args.checkpoint_every_events,
+    )
+    print(result.report_text)
+    print()
+    print("artefacts:")
+    for kind, path in sorted(result.artifacts.items()):
+        print(f"  {kind:<8} {path}")
     return 0
 
 
@@ -410,6 +530,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exploration result cache directory (with --explore)",
     )
+    flow.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="snapshot the simulation here and resume from the latest "
+        "snapshot when one exists (see docs/checkpoint.md)",
+    )
+    flow.add_argument(
+        "--checkpoint-every-events",
+        type=int,
+        default=5_000,
+        help="snapshot stride in dispatched events (with --checkpoint-dir)",
+    )
     flow.set_defaults(handler=_cmd_flow)
 
     explore = subparsers.add_parser(
@@ -449,7 +581,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault-plan seeds (--mode faults)",
     )
     explore.add_argument("--fault-rate", type=_rate, default=0.05)
+    explore.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="snapshot in-flight candidate simulations here; re-running "
+        "the same command resumes the campaign (pair with --cache-dir)",
+    )
+    explore.add_argument(
+        "--checkpoint-every-events",
+        type=int,
+        default=5_000,
+        help="snapshot stride in dispatched kernel events",
+    )
+    explore.add_argument(
+        "--interrupt-after-events",
+        type=int,
+        default=None,
+        help="deterministically interrupt the (serial) campaign after this "
+        "many events — exits 3 with a final snapshot, for resume testing",
+    )
     explore.set_defaults(handler=_cmd_explore)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="inspect, diff or resume simulation snapshots"
+    )
+    checkpoint_actions = checkpoint.add_subparsers(dest="action", required=True)
+    inspect = checkpoint_actions.add_parser(
+        "inspect", help="list the snapshots in a store directory"
+    )
+    inspect.add_argument("--dir", default="./checkpoints")
+    inspect.add_argument("--tag", default=None, help="only this snapshot tag")
+    inspect.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    inspect.set_defaults(handler=_cmd_checkpoint)
+    diff = checkpoint_actions.add_parser(
+        "diff", help="structurally compare two snapshot files"
+    )
+    diff.add_argument("first")
+    diff.add_argument("second")
+    diff.set_defaults(handler=_cmd_checkpoint)
+    resume = checkpoint_actions.add_parser(
+        "resume",
+        help="continue an interrupted flow run from its latest snapshot",
+    )
+    resume.add_argument("--checkpoint-dir", required=True)
+    resume.add_argument(
+        "--checkpoint-every-events",
+        type=int,
+        default=5_000,
+        help="must match the interrupted run's snapshot stride",
+    )
+    resume.add_argument("--workdir", default="./tut_flow_output")
+    resume.add_argument("--duration-us", type=int, default=100_000)
+    resume.add_argument(
+        "--seed", type=int, default=1, help="fault-plan seed (with --fault-rate)"
+    )
+    resume.add_argument(
+        "--fault-rate",
+        type=_rate,
+        default=0.0,
+        help="must match the interrupted run's fault rate",
+    )
+    resume.add_argument(
+        "--trace",
+        action="store_true",
+        help="must match the interrupted run's --trace",
+    )
+    resume.set_defaults(handler=_cmd_checkpoint)
 
     faults = subparsers.add_parser(
         "faults", help="seeded fault-injection campaign on ARQ-enabled TUTMAC"

@@ -1,0 +1,60 @@
+"""State hashing and structural diffing for simulation snapshots.
+
+Every snapshot carries a hash of its state dict, computed over the
+canonical JSON rendering (sorted keys, no whitespace variance).  The hash
+serves two purposes:
+
+* **content addressing** — the store embeds a hash prefix in snapshot
+  file names, so identical states dedupe naturally;
+* **divergence detection** — a resumed run re-reaching a checkpointed
+  instant must reproduce the recorded hash exactly; a mismatch means the
+  replay diverged (model drift, version skew, nondeterminism) and is
+  reported with the structural diff of the two states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List
+
+
+def canonical_json(state: object) -> str:
+    """The canonical (sorted-key, compact) JSON text of ``state``."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def state_hash(state: object) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``state``."""
+    return hashlib.sha256(canonical_json(state).encode("utf-8")).hexdigest()
+
+
+def diff_states(a: object, b: object, path: str = "$") -> List[str]:
+    """Human-readable paths where two JSON-safe states differ.
+
+    Returns one line per difference, deepest mismatching node only (a
+    differing leaf is reported once, not at every ancestor).  Used by
+    ``repro checkpoint diff`` and by divergence errors.
+    """
+    if type(a) is not type(b):
+        return [f"{path}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        lines: List[str] = []
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                lines.append(f"{path}.{key}: only in second")
+            elif key not in b:
+                lines.append(f"{path}.{key}: only in first")
+            else:
+                lines.extend(diff_states(a[key], b[key], f"{path}.{key}"))
+        return lines
+    if isinstance(a, list):
+        lines = []
+        if len(a) != len(b):
+            lines.append(f"{path}: length {len(a)} != {len(b)}")
+        for index, (left, right) in enumerate(zip(a, b)):
+            lines.extend(diff_states(left, right, f"{path}[{index}]"))
+        return lines
+    if a != b:
+        return [f"{path}: {a!r} != {b!r}"]
+    return []

@@ -78,6 +78,28 @@ class InvalidScheduleError(SimulationError, ValueError):
     """
 
 
+class CheckpointError(ReproError):
+    """A simulation snapshot could not be written, read or restored.
+
+    Raised for corrupted or future-schema snapshot files, for restore
+    attempts against a mismatching system (different model, missing
+    tracer, different fault seed), and for replay divergence — a resumed
+    run reaching a checkpointed instant with a different state hash than
+    the original run recorded there."""
+
+
+class SimulationInterrupted(ReproError):
+    """A checkpointing run hit its interrupt budget and stopped mid-flight.
+
+    Carries the ``snapshot`` taken at the interruption point so callers
+    (tests, the CI resume-smoke job) can resume without scanning the
+    store."""
+
+    def __init__(self, message: str, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
 class ExplorationError(ReproError):
     """The design-space exploration engine was misconfigured.
 

@@ -113,21 +113,54 @@ class ExplorationRun:
         }
 
 
-def evaluate_spec(spec: CandidateSpec) -> EvaluationResult:
-    """Evaluate one candidate from scratch (the worker-side entry point)."""
+def evaluate_spec(
+    spec: CandidateSpec, checkpointer=None
+) -> EvaluationResult:
+    """Evaluate one candidate from scratch (the worker-side entry point).
+
+    With a :class:`repro.checkpoint.Checkpointer` the evaluation resumes
+    from the latest snapshot under the checkpointer's tag (if any) and
+    snapshots as it goes — see :func:`repro.exploration.objectives.evaluate`.
+    """
     application, platform, mapping = build_system(spec)
     faults = spec.faults.build_plan() if spec.faults is not None else None
     return evaluate(
-        application, platform, mapping, duration_us=spec.duration_us, faults=faults
+        application,
+        platform,
+        mapping,
+        duration_us=spec.duration_us,
+        faults=faults,
+        checkpointer=checkpointer,
+    )
+
+
+def _make_checkpointer(
+    spec: CandidateSpec,
+    checkpoint_dir: Optional[str],
+    checkpoint_every_events: int,
+    interrupt_after_events: Optional[int] = None,
+):
+    if checkpoint_dir is None:
+        return None
+    from repro.checkpoint import Checkpointer, CheckpointStore, EveryEvents
+
+    return Checkpointer(
+        CheckpointStore(checkpoint_dir),
+        EveryEvents(checkpoint_every_events),
+        tag=spec.digest(),
+        interrupt_after_events=interrupt_after_events,
     )
 
 
 def _pool_evaluate(
-    payload: Tuple[int, CandidateSpec]
+    payload: Tuple[int, CandidateSpec, Optional[str], int]
 ) -> Tuple[int, EvaluationResult, float]:
-    index, spec = payload
+    index, spec, checkpoint_dir, checkpoint_every_events = payload
     started = time.perf_counter()
-    result = evaluate_spec(spec)
+    checkpointer = _make_checkpointer(
+        spec, checkpoint_dir, checkpoint_every_events
+    )
+    result = evaluate_spec(spec, checkpointer=checkpointer)
     return index, result, time.perf_counter() - started
 
 
@@ -143,6 +176,9 @@ def run_candidates(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_events: int = 5_000,
+    interrupt_after_events: Optional[int] = None,
 ) -> ExplorationRun:
     """Evaluate every spec; cache hits are served without simulating.
 
@@ -151,10 +187,46 @@ def run_candidates(
     returned outcomes are in submission order regardless of completion
     order; use :meth:`ExplorationRun.ranking` for the stable best-first
     view.
+
+    With ``checkpoint_dir`` each candidate snapshots its simulation every
+    ``checkpoint_every_events`` dispatched events (tagged by the spec
+    digest), and a re-submitted campaign *resumes*: finished candidates
+    come out of the result cache, the in-flight candidate restores from
+    its latest snapshot and continues — with the engine's determinism
+    contract intact, the resumed campaign's ranking and result hashes are
+    identical to an uninterrupted run's.  Pair it with ``cache_dir`` so
+    completed candidates are not re-simulated (their snapshots are pruned
+    once their result is cached).
+
+    ``interrupt_after_events`` is the deterministic-interruption hook for
+    tests and the CI resume-smoke job: a cumulative event budget across
+    the (serial) campaign; when it runs out the engine takes a final
+    snapshot and raises :class:`~repro.errors.SimulationInterrupted`.
     """
     specs = list(specs)
     if workers < 0:
         raise ExplorationError(f"workers must be >= 0, got {workers}")
+    if checkpoint_dir is not None:
+        undigestable = [spec for spec in specs if spec.digest() is None]
+        if undigestable:
+            raise ExplorationError(
+                "checkpointing needs builders importable by name "
+                "('module:callable') so snapshots can be tagged; got a "
+                "local/lambda builder — drop checkpoint_dir or move the "
+                "builder to module scope"
+            )
+    if interrupt_after_events is not None:
+        if checkpoint_dir is None:
+            raise ExplorationError(
+                "interrupt_after_events needs checkpoint_dir (the budget "
+                "exists to exercise snapshot/resume)"
+            )
+        if workers >= 1:
+            raise ExplorationError(
+                "interrupt_after_events is a serial-mode (workers=0) "
+                "facility; resume the interrupted campaign with any "
+                "worker count afterwards"
+            )
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir else None
     outcomes: List[Optional[CandidateOutcome]] = [None] * len(specs)
@@ -176,6 +248,14 @@ def run_candidates(
         else:
             pending.append((index, spec))
 
+    def candidate_done(spec: CandidateSpec) -> None:
+        # a cached result supersedes the candidate's snapshots: resuming
+        # serves it from the cache, so the per-tag snapshots are pruned
+        if cache is not None and checkpoint_dir is not None:
+            from repro.checkpoint import CheckpointStore
+
+            CheckpointStore(checkpoint_dir).prune(spec.digest())
+
     if workers >= 1 and pending:
         unnamed = [spec for _, spec in pending if spec.digest() is None]
         if unnamed:
@@ -185,21 +265,38 @@ def run_candidates(
                 "workers=0 or move the builder to module scope"
             )
         context = _pool_context()
+        payloads = [
+            (index, spec, checkpoint_dir, checkpoint_every_events)
+            for index, spec in pending
+        ]
         with context.Pool(processes=min(workers, len(pending))) as pool:
             for index, result, elapsed in pool.imap_unordered(
-                _pool_evaluate, pending
+                _pool_evaluate, payloads
             ):
                 outcome = CandidateOutcome(index, specs[index], result, elapsed)
                 if cache is not None:
                     cache.store(specs[index], result, elapsed)
+                candidate_done(specs[index])
                 finish(outcome)
     else:
+        budget = interrupt_after_events
         for index, spec in pending:
             step_started = time.perf_counter()
-            result = evaluate_spec(spec)
+            checkpointer = _make_checkpointer(
+                spec,
+                checkpoint_dir,
+                checkpoint_every_events,
+                interrupt_after_events=(
+                    max(1, budget) if budget is not None else None
+                ),
+            )
+            result = evaluate_spec(spec, checkpointer=checkpointer)
+            if budget is not None:
+                budget -= checkpointer.events_seen
             elapsed = time.perf_counter() - step_started
             if cache is not None:
                 cache.store(spec, result, elapsed)
+            candidate_done(spec)
             finish(CandidateOutcome(index, spec, result, elapsed))
 
     return ExplorationRun(

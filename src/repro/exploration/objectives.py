@@ -89,14 +89,32 @@ def evaluate(
     mapping: MappingModel,
     duration_us: int = 50_000,
     faults: Optional[object] = None,
+    checkpointer: Optional[object] = None,
 ) -> EvaluationResult:
     """Simulate one design point and compute its metrics.
 
     ``faults`` is an optional :class:`repro.faults.FaultPlan`; when it
     injects anything, the result carries the injection/recovery ledger.
+
+    ``checkpointer`` is an optional
+    :class:`repro.checkpoint.Checkpointer`; when its store already holds
+    a snapshot for its tag the run *resumes* from the latest one instead
+    of starting over, and the continued run's metrics are byte-identical
+    to an uninterrupted evaluation (the simulator's resume guarantee).
     """
     simulation = SystemSimulation(application, platform, mapping, faults=faults)
-    result = simulation.run(duration_us)
+    if checkpointer is not None:
+        from repro.checkpoint import resume_simulation
+
+        snapshot = checkpointer.store.latest(checkpointer.tag)
+        if snapshot is not None:
+            resume_simulation(simulation, snapshot)
+        checkpointer.attach(simulation)
+    try:
+        result = simulation.run(duration_us)
+    finally:
+        if checkpointer is not None:
+            checkpointer.detach()
     metrics = summarize(result, application)
     delivered = 0
     if "user" in simulation.executors:

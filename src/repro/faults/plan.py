@@ -85,6 +85,19 @@ class FaultRng:
             raise SimulationError("randint bound must be positive")
         return self._draw(site, time_ps) % bound
 
+    def state_dict(self) -> dict:
+        """The stream position: seed plus the number of draws taken."""
+        return {"seed": self.seed, "draws": self._counter}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the stream position; the seed must match this RNG's."""
+        if int(state["seed"]) != self.seed:
+            raise SimulationError(
+                f"cannot restore RNG seeded {self.seed} from a snapshot "
+                f"seeded {state['seed']}"
+            )
+        self._counter = int(state["draws"])
+
 
 @dataclass(frozen=True)
 class PEWindow:
@@ -228,6 +241,43 @@ class FaultPlan:
             or self.signal_dup_rate > 0.0
             or self.pe_windows
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The plan's mutable state: RNG position, ledger, pending losses.
+
+        The plan *parameters* (rates, signal sets, windows) are not part
+        of the snapshot — the caller reconstructs an identical plan and
+        restores this state onto it, which :meth:`load_state_dict` checks
+        via the RNG seed.
+        """
+        return {
+            "rng": self.rng.state_dict(),
+            "stats": {
+                "injected_by_kind": dict(self.stats.injected_by_kind),
+                "detected": self.stats.detected,
+                "recovered": self.stats.recovered,
+            },
+            "pending": [
+                [signal, identity, count]
+                for (signal, identity), count in sorted(self._pending.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore mutable plan state so fault streams resume mid-sequence."""
+        self.rng.load_state_dict(state["rng"])
+        stats = state["stats"]
+        self.stats.injected_by_kind = dict(stats["injected_by_kind"])
+        self.stats.detected = int(stats["detected"])
+        self.stats.recovered = int(stats["recovered"])
+        self._pending = {
+            (signal, identity): count
+            for signal, identity, count in state["pending"]
+        }
 
     # ------------------------------------------------------------------
     # bus transfer faults

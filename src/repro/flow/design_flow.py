@@ -43,6 +43,7 @@ from repro.simulation.system import SimulationResult, SystemSimulation
 from repro.tutprofile.rules import check_design_rules
 from repro.uml.validation import validate_model
 from repro.uml.xmi import model_to_xml
+from repro.util.fsio import ensure_parent
 
 #: The mandatory Figure 2 steps.  The optional "lint" step (``lint=True``)
 #: runs between validation and XMI export and is not required for
@@ -170,6 +171,8 @@ def run_design_flow(
     explore_factory=None,
     explore_cache_dir: Optional[str] = None,
     explore_duration_us: int = 20_000,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_events: int = 5_000,
 ) -> FlowResult:
     """Run the complete Figure 2 flow; artefacts go to ``work_directory``.
 
@@ -188,6 +191,11 @@ def run_design_flow(
     :mod:`repro.exploration.spec`) appends an optional "explore" step that
     improves the mapping from the profiling feedback and records the move
     history as the ``exploration`` artefact.
+    ``checkpoint_dir`` makes the simulate step resumable: the simulation
+    snapshots every ``checkpoint_every_events`` dispatched events (tag
+    ``flow``) and, when the directory already holds a snapshot, *resumes*
+    from the latest one — the continued run's artefacts are byte-identical
+    to an uninterrupted flow (see ``docs/checkpoint.md``).
     """
     os.makedirs(work_directory, exist_ok=True)
     runner = _FlowRunner(continue_on_error)
@@ -228,7 +236,7 @@ def run_design_flow(
     def _export_xmi() -> str:
         xmi_text = model_to_xml(application.model)
         path = os.path.join(work_directory, "model.xmi")
-        with open(path, "w", encoding="utf-8") as handle:
+        with open(ensure_parent(path), "w", encoding="utf-8") as handle:
             handle.write(xmi_text)
         return xmi_text
 
@@ -273,7 +281,28 @@ def run_design_flow(
         simulation = SystemSimulation(
             application, platform, mapping, faults=faults, tracer=tracer
         )
-        result = simulation.run(duration_us)
+        checkpointer = None
+        if checkpoint_dir is not None:
+            from repro.checkpoint import (
+                Checkpointer,
+                CheckpointStore,
+                EveryEvents,
+                resume_simulation,
+            )
+
+            store = CheckpointStore(checkpoint_dir)
+            snapshot = store.latest("flow")
+            if snapshot is not None:
+                resume_simulation(simulation, snapshot)
+            checkpointer = Checkpointer(
+                store, EveryEvents(checkpoint_every_events), tag="flow"
+            )
+            checkpointer.attach(simulation)
+        try:
+            result = simulation.run(duration_us)
+        finally:
+            if checkpointer is not None:
+                checkpointer.detach()
         result.writer.write(log_path)
         return result
 
@@ -308,7 +337,7 @@ def run_design_flow(
             report = collect_metrics(
                 tracer, result.end_time_ps, group_of=group_of
             )
-            with open(metrics_path, "w", encoding="utf-8") as handle:
+            with open(ensure_parent(metrics_path), "w", encoding="utf-8") as handle:
                 json.dump(
                     envelope("trace-metrics", report.to_dict()),
                     handle,
@@ -330,7 +359,7 @@ def run_design_flow(
         report_text = render_report(
             profiling, title=f"Profiling report: {application.top.name}"
         )
-        with open(report_path, "w", encoding="utf-8") as handle:
+        with open(ensure_parent(report_path), "w", encoding="utf-8") as handle:
             handle.write(report_text + "\n")
         return profiling, report_text
 
@@ -369,7 +398,7 @@ def run_design_flow(
                     for candidate in history
                 ],
             }
-            with open(exploration_path, "w", encoding="utf-8") as handle:
+            with open(ensure_parent(exploration_path), "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             return history

@@ -145,7 +145,9 @@ def write_chrome_trace(
     tracer: Tracer, path: str, metadata: Optional[Dict[str, object]] = None
 ) -> None:
     """Write the Chrome-trace JSON to ``path`` (open it in ui.perfetto.dev)."""
-    with open(path, "w", encoding="utf-8") as handle:
+    from repro.util.fsio import ensure_parent
+
+    with open(ensure_parent(path), "w", encoding="utf-8") as handle:
         handle.write(render_chrome_trace(tracer, metadata))
         handle.write("\n")
 

@@ -271,6 +271,118 @@ class Tracer:
         )
 
     # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full event stream plus open-span book-keeping, JSON-safe.
+
+        Restoring this onto a fresh tracer makes a resumed simulation's
+        trace (and every metric derived from it) byte-identical to an
+        uninterrupted run's.  Span handles are indices into the open-span
+        list, so the list is serialized in order, closed entries included.
+        """
+        encoded = []
+        for event in self.events:
+            if isinstance(event, SpanEvent):
+                encoded.append(
+                    {
+                        "kind": "span",
+                        "name": event.name,
+                        "track": list(event.track),
+                        "start_ps": event.start_ps,
+                        "duration_ps": event.duration_ps,
+                        "category": event.category,
+                        "args": dict(event.args),
+                    }
+                )
+            elif isinstance(event, InstantEvent):
+                encoded.append(
+                    {
+                        "kind": "instant",
+                        "name": event.name,
+                        "track": list(event.track),
+                        "time_ps": event.time_ps,
+                        "category": event.category,
+                        "args": dict(event.args),
+                    }
+                )
+            else:
+                encoded.append(
+                    {
+                        "kind": "counter",
+                        "name": event.name,
+                        "track": list(event.track),
+                        "time_ps": event.time_ps,
+                        "values": dict(event.values),
+                    }
+                )
+        return {
+            "events": encoded,
+            "open": [
+                {
+                    "name": span.name,
+                    "track": list(span.track),
+                    "category": span.category,
+                    "start_ps": span.start_ps,
+                    "args": dict(span.args),
+                    "closed": span.closed,
+                }
+                for span in self._open
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this (fresh) tracer."""
+        if self.events or self._open:
+            raise SimulationError(
+                "load_state_dict needs a fresh tracer (events already "
+                "recorded)"
+            )
+        for data in state["events"]:
+            track = tuple(data["track"])
+            if data["kind"] == "span":
+                self.events.append(
+                    SpanEvent(
+                        name=data["name"],
+                        track=track,
+                        start_ps=data["start_ps"],
+                        duration_ps=data["duration_ps"],
+                        category=data["category"],
+                        args=dict(data["args"]),
+                    )
+                )
+            elif data["kind"] == "instant":
+                self.events.append(
+                    InstantEvent(
+                        name=data["name"],
+                        track=track,
+                        time_ps=data["time_ps"],
+                        category=data["category"],
+                        args=dict(data["args"]),
+                    )
+                )
+            else:
+                self.events.append(
+                    CounterEvent(
+                        name=data["name"],
+                        track=track,
+                        time_ps=data["time_ps"],
+                        values=dict(data["values"]),
+                    )
+                )
+        for data in state["open"]:
+            span = _OpenSpan(
+                data["name"],
+                tuple(data["track"]),
+                data["category"],
+                data["start_ps"],
+                dict(data["args"]),
+            )
+            span.closed = data["closed"]
+            self._open.append(span)
+
+    # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
 

@@ -50,6 +50,10 @@ class _Transfer:
     fault_args: tuple = ()
     on_fault: Optional[Callable[[str, int, tuple], None]] = None
     trace_handle: Optional[int] = None  # open tracer span of the current hop
+    # serializable description of the callbacks (set by the system layer);
+    # a checkpoint restore passes it back through a resolver to rebuild
+    # on_complete/on_fault, since closures themselves cannot be snapshotted
+    payload: Optional[dict] = None
 
 
 class _SegmentRuntime:
@@ -60,6 +64,8 @@ class _SegmentRuntime:
         self.queue: List[tuple] = []  # (wrapper_spec, transfer)
         self.last_served_address = -1
         self.stats = TransferStats()
+        # the granted transfer and its pending _release event, while busy
+        self.active: Optional[tuple] = None
 
 
 class HibiBus:
@@ -98,6 +104,7 @@ class HibiBus:
         signal: str = "",
         args: tuple = (),
         on_fault: Optional[Callable[[str, int, tuple], None]] = None,
+        payload: Optional[dict] = None,
     ) -> None:
         """Start a transfer; ``on_complete(latency_ps)`` fires on delivery.
 
@@ -121,6 +128,7 @@ class HibiBus:
             size_bytes=size_bytes,
             on_complete=on_complete,
             started_ps=self.kernel.now_ps,
+            payload=payload,
         )
         if self.faults is not None:
             kind, fault_args = self.faults.apply_bus_fault(
@@ -210,12 +218,14 @@ class HibiBus:
                 time_ps=self.kernel.now_ps,
                 **args,
             )
-        self.kernel.schedule(
+        event = self.kernel.schedule(
             duration_ps, lambda r=runtime, t=transfer: self._release(r, t)
         )
+        runtime.active = (transfer, event)
 
     def _release(self, runtime: _SegmentRuntime, transfer: _Transfer) -> None:
         runtime.busy = False
+        runtime.active = None
         if self.tracer is not None and transfer.trace_handle is not None:
             self.tracer.end(transfer.trace_handle, time_ps=self.kernel.now_ps)
             transfer.trace_handle = None
@@ -248,6 +258,131 @@ class HibiBus:
                 best_key = key
                 best_index = index
         return best_index
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _transfer_state(transfer: _Transfer) -> dict:
+        if transfer.payload is None:
+            raise SimulationError(
+                "in-flight transfer carries no serializable payload; the "
+                "system layer must pass payload= to transfer() for "
+                "checkpointing to work"
+            )
+        return {
+            "path": list(transfer.path),
+            "agents": list(transfer.agents),
+            "size_bytes": transfer.size_bytes,
+            "started_ps": transfer.started_ps,
+            "enqueued_ps": transfer.enqueued_ps,
+            "fault": transfer.fault,
+            "fault_args": list(transfer.fault_args),
+            "trace_handle": transfer.trace_handle,
+            "payload": transfer.payload,
+        }
+
+    def _restore_transfer(
+        self, data: dict, resolve: Callable[[dict], tuple]
+    ) -> _Transfer:
+        on_complete, on_fault = resolve(data["payload"])
+        return _Transfer(
+            path=list(data["path"]),
+            agents=list(data["agents"]),
+            size_bytes=int(data["size_bytes"]),
+            on_complete=on_complete,
+            started_ps=int(data["started_ps"]),
+            enqueued_ps=int(data["enqueued_ps"]),
+            fault=data["fault"],
+            fault_args=tuple(data["fault_args"]),
+            on_fault=on_fault if data["fault"] is not None else None,
+            trace_handle=data["trace_handle"],
+            payload=dict(data["payload"]),
+        )
+
+    def state_dict(self) -> dict:
+        """Per-segment arbiter state, queues, stats and in-flight transfers.
+
+        Transfer callbacks are not serialized — each transfer's ``payload``
+        (a JSON-safe description the system layer attached) goes into the
+        snapshot instead, and :meth:`load_state_dict` rebuilds the
+        callbacks through a resolver.
+        """
+        segments = {}
+        for name in sorted(self.segments):
+            runtime = self.segments[name]
+            active = None
+            if runtime.active is not None:
+                transfer, event = runtime.active
+                active = {
+                    "transfer": self._transfer_state(transfer),
+                    "release_ps": event.time_ps,
+                    "sequence": event.sequence,
+                }
+            segments[name] = {
+                "busy": runtime.busy,
+                "last_served_address": runtime.last_served_address,
+                "stats": {
+                    "transfers": runtime.stats.transfers,
+                    "words": runtime.stats.words,
+                    "busy_ps": runtime.stats.busy_ps,
+                    "wait_ps": runtime.stats.wait_ps,
+                },
+                "queue": [
+                    self._transfer_state(transfer)
+                    for _, transfer in runtime.queue
+                ],
+                "active": active,
+            }
+        return {"segments": segments}
+
+    def load_state_dict(
+        self, state: dict, resolve: Callable[[dict], tuple]
+    ) -> None:
+        """Restore a snapshot; ``resolve(payload) -> (on_complete, on_fault)``.
+
+        Queued requests get their wrapper specs re-looked-up from the
+        platform; granted transfers re-materialize their pending
+        ``_release`` kernel events with the original sequence numbers.
+        """
+        for runtime in self.segments.values():
+            if runtime.busy or runtime.queue:
+                raise SimulationError(
+                    "load_state_dict needs a fresh bus (transfers already "
+                    "in flight)"
+                )
+        for name, data in state["segments"].items():
+            runtime = self.segments.get(name)
+            if runtime is None:
+                raise SimulationError(
+                    f"snapshot references unknown bus segment {name!r}"
+                )
+            runtime.busy = bool(data["busy"])
+            runtime.last_served_address = int(data["last_served_address"])
+            stats = data["stats"]
+            runtime.stats = TransferStats(
+                transfers=int(stats["transfers"]),
+                words=int(stats["words"]),
+                busy_ps=int(stats["busy_ps"]),
+                wait_ps=int(stats["wait_ps"]),
+            )
+            for transfer_data in data["queue"]:
+                transfer = self._restore_transfer(transfer_data, resolve)
+                wrapper = self._wrapper_between(
+                    transfer.agents[0], transfer.path[0]
+                )
+                runtime.queue.append((wrapper, transfer))
+            if data["active"] is not None:
+                transfer = self._restore_transfer(
+                    data["active"]["transfer"], resolve
+                )
+                event = self.kernel.restore_event(
+                    int(data["active"]["release_ps"]),
+                    int(data["active"]["sequence"]),
+                    lambda r=runtime, t=transfer: self._release(r, t),
+                )
+                runtime.active = (transfer, event)
 
     def _occupancy_cycles(
         self, spec: SegmentSpec, wrapper: WrapperSpec, transfer: _Transfer

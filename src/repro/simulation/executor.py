@@ -35,6 +35,17 @@ class SendIntent:
     args: Tuple[int, ...]
     via: Optional[str]
 
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding (tuples become lists)."""
+        return {"signal": self.signal, "args": list(self.args), "via": self.via}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SendIntent":
+        """Rebuild from :meth:`to_dict` output (restores the args tuple)."""
+        return cls(
+            signal=data["signal"], args=tuple(data["args"]), via=data["via"]
+        )
+
 
 @dataclass
 class StepOutcome:
@@ -51,6 +62,39 @@ class StepOutcome:
     timers_reset: List[str] = field(default_factory=list)
     timer_ops: List[Tuple[str, str, int]] = field(default_factory=list)
     reached_final: bool = False
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding for checkpoints of in-flight steps."""
+        return {
+            "fired": self.fired,
+            "from_state": self.from_state,
+            "to_state": self.to_state,
+            "trigger": self.trigger,
+            "statements": self.statements,
+            "guards_evaluated": self.guards_evaluated,
+            "sends": [intent.to_dict() for intent in self.sends],
+            "timers_set": [list(item) for item in self.timers_set],
+            "timers_reset": list(self.timers_reset),
+            "timer_ops": [list(item) for item in self.timer_ops],
+            "reached_final": self.reached_final,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepOutcome":
+        """Rebuild from :meth:`to_dict` output (restores inner tuples)."""
+        return cls(
+            fired=data["fired"],
+            from_state=data["from_state"],
+            to_state=data["to_state"],
+            trigger=data["trigger"],
+            statements=data["statements"],
+            guards_evaluated=data["guards_evaluated"],
+            sends=[SendIntent.from_dict(item) for item in data["sends"]],
+            timers_set=[tuple(item) for item in data["timers_set"]],
+            timers_reset=list(data["timers_reset"]),
+            timer_ops=[tuple(item) for item in data["timer_ops"]],
+            reached_final=data["reached_final"],
+        )
 
 
 class _StepEnvironment(ActionEnvironment):
@@ -172,6 +216,35 @@ class ProcessExecutor:
                 outcome.guards_evaluated += guards
                 return outcome, None
         return None, "no-transition"
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The EFSM's run-time state: active state, variables, termination."""
+        return {
+            "current": self.current.name if self.current is not None else None,
+            "variables": dict(self.variables),
+            "terminated": self.terminated,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this (fresh) executor."""
+        name = state["current"]
+        if name is None:
+            self.current = None
+        else:
+            found = self.machine.find_state(name)
+            if found is None:
+                raise SimulationError(
+                    f"cannot restore process {self.name!r}: machine "
+                    f"{self.machine.name!r} has no state {name!r}"
+                )
+            self.current = found
+        self.variables.clear()
+        self.variables.update(state["variables"])
+        self.terminated = bool(state["terminated"])
 
     # ------------------------------------------------------------------
     # internals

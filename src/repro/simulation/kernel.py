@@ -30,15 +30,21 @@ def cycles_to_ps(cycles: int, frequency_hz: int) -> int:
 
 
 class Event:
-    """A scheduled callback; cancel by setting ``cancelled``."""
+    """A scheduled callback; cancel via :meth:`Kernel.cancel`."""
 
-    __slots__ = ("time_ps", "sequence", "callback", "cancelled")
+    __slots__ = ("time_ps", "sequence", "callback", "cancelled", "dispatched")
 
     def __init__(self, time_ps: int, sequence: int, callback: Callable[[], None]) -> None:
         self.time_ps = time_ps
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self.dispatched = False
+
+    @property
+    def pending(self) -> bool:
+        """Still in the heap awaiting dispatch (not fired, not cancelled)."""
+        return not self.cancelled and not self.dispatched
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time_ps, self.sequence) < (other.time_ps, other.sequence)
@@ -66,6 +72,11 @@ class Kernel:
         self._heap: list = []
         self._sequence = 0
         self._dispatched = 0
+        self._live = 0  # heap entries that are not cancelled tombstones
+        # called between dispatches (the heap is quiescent there); the
+        # checkpoint subsystem snapshots from this hook.  None keeps the
+        # run loop at a single extra predicate check, like the tracer.
+        self.after_event: Optional[Callable[[], None]] = None
 
     def schedule(self, delay_ps: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay_ps`` after the current time."""
@@ -78,6 +89,7 @@ class Kernel:
         self._sequence += 1
         event = Event(self.now_ps + delay_ps, self._sequence, callback)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
@@ -85,13 +97,31 @@ class Kernel:
         return self.schedule(time_ps - self.now_ps, callback)
 
     def cancel(self, event: Event) -> None:
-        """Mark ``event`` cancelled; it is skipped (and dropped) at dispatch."""
+        """Mark ``event`` cancelled; it is skipped (and dropped) at dispatch.
+
+        Cancelled events stay in the heap as tombstones; once tombstones
+        outnumber live events the heap is compacted in one O(n) pass, so
+        cancel-heavy models (timer resets) keep the heap proportional to
+        the live event count.
+        """
+        if event.cancelled or event.dispatched:
+            return
         event.cancelled = True
+        self._live -= 1
+        tombstones = len(self._heap) - self._live
+        if tombstones > len(self._heap) // 2 and len(self._heap) > 8:
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
 
     @property
     def pending(self) -> int:
-        """Scheduled events not yet dispatched or cancelled."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Scheduled events not yet dispatched or cancelled (O(1))."""
+        return self._live
+
+    @property
+    def dispatched(self) -> int:
+        """Events dispatched over the kernel's whole life (survives restore)."""
+        return self._dispatched
 
     def run(self, until_ps: Optional[int] = None) -> int:
         """Dispatch events in order until the heap drains or ``until_ps``.
@@ -108,6 +138,8 @@ class Kernel:
             if until_ps is not None and event.time_ps > until_ps:
                 break
             heapq.heappop(self._heap)
+            self._live -= 1
+            event.dispatched = True
             self.now_ps = event.time_ps
             event.callback()
             dispatched += 1
@@ -116,10 +148,13 @@ class Kernel:
                 self.tracer is not None
                 and self._dispatched % self.trace_stride == 0
             ):
+                # sample the live count, not len(heap): tombstones are an
+                # implementation detail and would make a restored run's
+                # samples (tombstone-free heap) diverge from the original
                 self.tracer.counter(
                     "events",
                     KERNEL_TRACK,
-                    {"depth": len(self._heap)},
+                    {"depth": self._live},
                     time_ps=self.now_ps,
                 )
             if self._dispatched > self.max_events:
@@ -127,6 +162,63 @@ class Kernel:
                     f"event budget exceeded ({self.max_events} events); "
                     "runaway model?"
                 )
+            if self.after_event is not None:
+                # quiescent point: the event completed, the next has not
+                # started — the checkpoint subsystem snapshots from here
+                self.after_event()
         if until_ps is not None and until_ps > self.now_ps:
             self.now_ps = until_ps
         return dispatched
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The kernel's serializable state (clock, sequence, dispatch count).
+
+        Pending heap events are *not* serialized — they hold raw callbacks.
+        Each owning component records what its events would do and
+        re-materializes them on restore via :meth:`restore_event`.
+        """
+        return {
+            "now_ps": self.now_ps,
+            "sequence": self._sequence,
+            "dispatched": self._dispatched,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore clock/counters; the heap must be empty (fresh kernel)."""
+        if self._heap or self._dispatched:
+            raise SimulationError(
+                "load_state_dict needs a fresh kernel (events already "
+                "scheduled or dispatched)"
+            )
+        self.now_ps = int(state["now_ps"])
+        self._sequence = int(state["sequence"])
+        self._dispatched = int(state["dispatched"])
+
+    def restore_event(
+        self, time_ps: int, sequence: int, callback: Callable[[], None]
+    ) -> Event:
+        """Re-materialize a checkpointed event with its *original* sequence.
+
+        Keeping the original sequence number reproduces same-time dispatch
+        order exactly, so a resumed run replays byte-identically.  Only
+        valid for events from a snapshot: the sequence must already be
+        accounted for by the restored sequence counter.
+        """
+        if sequence > self._sequence:
+            raise SimulationError(
+                f"restored event sequence {sequence} is ahead of the "
+                f"kernel's counter {self._sequence}"
+            )
+        if time_ps < self.now_ps:
+            raise SimulationError(
+                f"restored event at {time_ps} ps is before the restored "
+                f"clock ({self.now_ps} ps)"
+            )
+        event = Event(time_ps, sequence, callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.errors import SimulationError
+from repro.util.fsio import ensure_parent
 
 MAGIC = "TUTLOG 1"
 
@@ -161,9 +162,60 @@ class LogWriter:
         return "\n".join(lines) + "\n"
 
     def write(self, path) -> None:
-        """Render and write the log to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Render and write the log to ``path``, creating parent dirs."""
+        with open(ensure_parent(path), "w", encoding="utf-8") as handle:
             handle.write(self.render())
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    _RECORD_KINDS = {
+        "EXEC": ExecRecord,
+        "SIG": SignalRecord,
+        "DROP": DropRecord,
+        "FAULT": FaultRecord,
+    }
+
+    def state_dict(self) -> dict:
+        """Meta plus every accumulated record, JSON-safe.
+
+        Restoring this onto a fresh writer makes a resumed run's rendered
+        log byte-identical to an uninterrupted run's.
+        """
+        encoded = []
+        for record in self.records:
+            tag = next(
+                name
+                for name, cls in self._RECORD_KINDS.items()
+                if isinstance(record, cls)
+            )
+            # "record" tags the line type; it cannot collide with the
+            # dataclass fields (FaultRecord already claims "kind")
+            encoded.append({"record": tag, **record.__dict__})
+        return {
+            "meta": dict(self.meta),
+            "records": encoded,
+            "end_time_ps": self.end_time_ps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this (fresh) writer.
+
+        The restored meta replaces what the constructor seeded — the
+        snapshot's run is the authoritative one being continued.
+        """
+        if self.records:
+            raise SimulationError(
+                "load_state_dict needs a fresh log writer (records already "
+                "accumulated)"
+            )
+        self.meta = dict(state["meta"])
+        for data in state["records"]:
+            fields = dict(data)
+            cls = self._RECORD_KINDS[fields.pop("record")]
+            self.records.append(cls(**fields))
+        self.end_time_ps = int(state["end_time_ps"])
 
 
 class LogFile:

@@ -37,6 +37,11 @@ from repro.simulation.timing import CostModel, timer_duration_ps
 ENVIRONMENT_PE = "-"
 
 
+def _noop() -> None:
+    """Placeholder callback replaced right after scheduling (see
+    :meth:`SystemSimulation._schedule_deliver`)."""
+
+
 @dataclass
 class _Activation:
     """A pending reason to run a process: start, signal, or timer."""
@@ -59,6 +64,37 @@ class _Activation:
         if self.kind == "timer":
             return f"timer:{self.timer}"
         return "start"
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpoint snapshots."""
+        return {
+            "kind": self.kind,
+            "process": self.process,
+            "signal": self.signal,
+            "args": list(self.args),
+            "timer": self.timer,
+            "sender": self.sender,
+            "sent_ps": self.sent_ps,
+            "transport": self.transport,
+            "bytes": self.bytes,
+            "corrupt": self.corrupt,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "_Activation":
+        """Rebuild an activation from :meth:`to_dict` output."""
+        return _Activation(
+            kind=data["kind"],
+            process=data["process"],
+            signal=data["signal"],
+            args=tuple(data["args"]),
+            timer=data["timer"],
+            sender=data["sender"],
+            sent_ps=int(data["sent_ps"]),
+            transport=data["transport"],
+            bytes=int(data["bytes"]),
+            corrupt=bool(data["corrupt"]),
+        )
 
 
 class _PERuntime:
@@ -88,6 +124,9 @@ class _PERuntime:
         self.busy_ps = 0
         self.last_process: Optional[str] = None
         self._seq = 0
+        # the in-flight step while busy, for checkpointing:
+        # (activation, outcome, cycles, started_ps, completion event)
+        self.active_step: Optional[tuple] = None
 
     def enqueue(self, activation: _Activation, priority: int) -> None:
         """Add an activation to the ready queue (insertion order preserved)."""
@@ -224,22 +263,33 @@ class SystemSimulation:
         self.timers: Dict[Tuple[str, str], object] = {}
         self.dropped = 0
         self._started = False
+        self._restored = False
+        # pending signal/start deliveries keyed by their kernel event
+        # sequence; entries are removed when the event fires, so at any
+        # quiescent instant this is exactly the set of in-flight deliveries
+        # a checkpoint must re-materialize
+        self._pending_deliveries: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
 
     def run(self, duration_us: int) -> SimulationResult:
-        """Run for ``duration_us`` microseconds of simulated time."""
+        """Run for ``duration_us`` microseconds of simulated time.
+
+        After :meth:`load_state_dict` the run continues from the restored
+        clock; the ``duration_us`` horizon is absolute simulated time, so
+        a resumed run passes the *same* duration as the original."""
         if self._started:
             raise SimulationError("a SystemSimulation instance runs only once")
         self._started = True
-        # canonical start order (name-sorted): the same design produces the
-        # same log regardless of model construction or reload order
-        for name in sorted(self.application.processes):
-            activation = _Activation(kind="start", process=name)
-            self.kernel.schedule(0, lambda a=activation: self._deliver(a))
-        dispatched = self.kernel.run(until_ps=duration_us * PS_PER_US)
+        if not self._restored:
+            # canonical start order (name-sorted): the same design produces
+            # the same log regardless of model construction or reload order
+            for name in sorted(self.application.processes):
+                activation = _Activation(kind="start", process=name)
+                self._schedule_deliver(0, activation)
+        self.kernel.run(until_ps=duration_us * PS_PER_US)
         end = self.kernel.now_ps
         self.writer.finish(end)
         fault_stats = None
@@ -249,7 +299,9 @@ class SystemSimulation:
         return SimulationResult(
             writer=self.writer,
             end_time_ps=end,
-            dispatched_events=dispatched,
+            # the kernel's lifetime counter survives checkpoint/restore, so
+            # a resumed run reports the same total as an uninterrupted one
+            dispatched_events=self.kernel.dispatched,
             pe_busy_ps={n: r.busy_ps for n, r in self.pe_runtimes.items()},
             bus_stats=self.bus.stats(),
             dropped_signals=self.dropped,
@@ -260,6 +312,21 @@ class SystemSimulation:
     # ------------------------------------------------------------------
     # activation delivery and execution
     # ------------------------------------------------------------------
+
+    def _schedule_deliver(self, delay_ps: int, activation: _Activation) -> None:
+        """Schedule a delivery and register it for checkpointing.
+
+        The registry entry is keyed by the event's sequence number and
+        removed when the event fires, so the registry always holds exactly
+        the in-flight deliveries a snapshot must capture."""
+        event = self.kernel.schedule(delay_ps, _noop)
+        sequence = event.sequence
+        event.callback = lambda a=activation, s=sequence: self._fire_delivery(a, s)
+        self._pending_deliveries[sequence] = (activation, event)
+
+    def _fire_delivery(self, activation: _Activation, sequence: int) -> None:
+        self._pending_deliveries.pop(sequence, None)
+        self._deliver(activation)
 
     def _deliver(self, activation: _Activation) -> None:
         """An activation arrives at its process (kernel time = arrival)."""
@@ -405,12 +472,13 @@ class SystemSimulation:
             runtime.busy = True
             runtime.last_process = activation.process
             started_ps = self.kernel.now_ps
-            self.kernel.schedule(
+            event = self.kernel.schedule(
                 duration_ps,
                 lambda r=runtime, a=activation, o=outcome, c=cycles, s=started_ps: (
                     self._complete_step(r, a, o, c, s)
                 ),
             )
+            runtime.active_step = (activation, outcome, cycles, started_ps, event)
             return
 
     def _execute(self, executor: ProcessExecutor, activation: _Activation):
@@ -432,6 +500,7 @@ class SystemSimulation:
         started_ps: int,
     ) -> None:
         runtime.busy = False
+        runtime.active_step = None
         # accrue busy time at completion so it equals the sum of logged
         # step durations exactly (steps in flight at the horizon are not
         # logged and not counted)
@@ -581,12 +650,11 @@ class SystemSimulation:
         if sender_pe is None or receiver_pe is None:
             # Environment boundary: no platform transport involved.
             activation.transport = TRANSPORT_ENV
-            self.kernel.schedule(0, lambda a=activation: self._deliver(a))
+            self._schedule_deliver(0, activation)
         elif sender_pe == receiver_pe:
             activation.transport = TRANSPORT_LOCAL
-            self.kernel.schedule(
-                self._receive_delay_ps(receiver_pe),
-                lambda a=activation: self._deliver(a),
+            self._schedule_deliver(
+                self._receive_delay_ps(receiver_pe), activation
             )
         else:
             # Bus transport pays the wire latency plus the same receive
@@ -603,12 +671,17 @@ class SystemSimulation:
                 sender_pe,
                 receiver_pe,
                 activation.bytes,
-                lambda _latency, a=activation, pe=receiver_pe: self.kernel.schedule(
-                    self._receive_delay_ps(pe), lambda: self._deliver(a)
+                lambda _latency, a=activation, pe=receiver_pe: (
+                    self._schedule_deliver(self._receive_delay_ps(pe), a)
                 ),
                 signal=activation.signal,
                 args=activation.args,
                 on_fault=on_fault,
+                # snapshot description: enough to rebuild both callbacks
+                payload={
+                    "activation": activation.to_dict(),
+                    "receiver_pe": receiver_pe,
+                },
             )
 
     def _bus_fault(
@@ -641,10 +714,7 @@ class SystemSimulation:
         # receiver's CRC check is responsible for catching it
         activation.args = tuple(args)
         activation.corrupt = True
-        self.kernel.schedule(
-            self._receive_delay_ps(receiver_pe),
-            lambda a=activation: self._deliver(a),
-        )
+        self._schedule_deliver(self._receive_delay_ps(receiver_pe), activation)
 
     def _receive_delay_ps(self, pe_name: str) -> int:
         runtime = self.pe_runtimes[pe_name]
@@ -652,3 +722,183 @@ class SystemSimulation:
             runtime.cost_model.receive_cost_cycles(),
             runtime.cost_model.spec.frequency_hz,
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore protocol
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full simulation state as a JSON-safe dict.
+
+        Callable only at a quiescent instant (between kernel dispatches —
+        the :attr:`Kernel.after_event` hook, which is where the checkpoint
+        subsystem calls it from).  Pending kernel events are not serialized
+        as callbacks; each owner records what its events would do and
+        :meth:`load_state_dict` re-materializes them with their original
+        sequence numbers, so a resumed run replays byte-identically.
+        """
+        runtimes = {}
+        for name in sorted(self.pe_runtimes):
+            runtime = self.pe_runtimes[name]
+            active = None
+            if runtime.active_step is not None:
+                activation, outcome, cycles, started_ps, event = (
+                    runtime.active_step
+                )
+                active = {
+                    "activation": activation.to_dict(),
+                    "outcome": outcome.to_dict(),
+                    "cycles": cycles,
+                    "started_ps": started_ps,
+                    "time_ps": event.time_ps,
+                    "sequence": event.sequence,
+                }
+            runtimes[name] = {
+                "ready": [
+                    [seq, priority, activation.to_dict()]
+                    for seq, priority, activation in runtime.ready
+                ],
+                "busy": runtime.busy,
+                "busy_ps": runtime.busy_ps,
+                "last_process": runtime.last_process,
+                "seq": runtime._seq,
+                "active_step": active,
+            }
+        return {
+            "kernel": self.kernel.state_dict(),
+            "dropped": self.dropped,
+            "executors": {
+                name: self.executors[name].state_dict()
+                for name in sorted(self.executors)
+            },
+            "runtimes": runtimes,
+            "timers": [
+                {
+                    "process": process,
+                    "timer": timer,
+                    "time_ps": event.time_ps,
+                    "sequence": event.sequence,
+                }
+                for (process, timer), event in sorted(self.timers.items())
+                if event.pending
+            ],
+            "deliveries": [
+                {
+                    "sequence": sequence,
+                    "time_ps": event.time_ps,
+                    "activation": activation.to_dict(),
+                }
+                for sequence, (activation, event) in sorted(
+                    self._pending_deliveries.items()
+                )
+                if event.pending
+            ],
+            "bus": self.bus.state_dict(),
+            "writer": self.writer.state_dict(),
+            "faults": (
+                self.faults.state_dict() if self.faults is not None else None
+            ),
+            "tracer": (
+                self.tracer.state_dict() if self.tracer is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot onto this freshly-constructed simulation.
+
+        The simulation must have been built from the *same* application,
+        platform, mapping and configuration (tracer on/off, fault seed) as
+        the one that produced the snapshot; mismatches raise
+        :class:`SimulationError`.  After restoring, call :meth:`run` with
+        the original duration to continue the run."""
+        if self._started:
+            raise SimulationError(
+                "load_state_dict needs a fresh simulation (already run)"
+            )
+        if (state["tracer"] is not None) != (self.tracer is not None):
+            raise SimulationError(
+                "snapshot/simulation tracer mismatch: both or neither must "
+                "have tracing enabled"
+            )
+        if (state["faults"] is not None) != (self.faults is not None):
+            raise SimulationError(
+                "snapshot/simulation fault-plan mismatch: both or neither "
+                "must have fault injection enabled"
+            )
+        self.kernel.load_state_dict(state["kernel"])
+        self.dropped = int(state["dropped"])
+        for name, executor_state in state["executors"].items():
+            executor = self.executors.get(name)
+            if executor is None:
+                raise SimulationError(
+                    f"snapshot references unknown process {name!r}"
+                )
+            executor.load_state_dict(executor_state)
+        for name, runtime_state in state["runtimes"].items():
+            runtime = self.pe_runtimes.get(name)
+            if runtime is None:
+                raise SimulationError(
+                    f"snapshot references unknown processing element {name!r}"
+                )
+            runtime.ready = [
+                (seq, priority, _Activation.from_dict(activation))
+                for seq, priority, activation in runtime_state["ready"]
+            ]
+            runtime.busy = bool(runtime_state["busy"])
+            runtime.busy_ps = int(runtime_state["busy_ps"])
+            runtime.last_process = runtime_state["last_process"]
+            runtime._seq = int(runtime_state["seq"])
+            step = runtime_state["active_step"]
+            if step is not None:
+                activation = _Activation.from_dict(step["activation"])
+                outcome = StepOutcome.from_dict(step["outcome"])
+                cycles = int(step["cycles"])
+                started_ps = int(step["started_ps"])
+                event = self.kernel.restore_event(
+                    int(step["time_ps"]),
+                    int(step["sequence"]),
+                    lambda r=runtime, a=activation, o=outcome, c=cycles, s=started_ps: (
+                        self._complete_step(r, a, o, c, s)
+                    ),
+                )
+                runtime.active_step = (
+                    activation, outcome, cycles, started_ps, event,
+                )
+        for entry in state["timers"]:
+            activation = _Activation(
+                kind="timer", process=entry["process"], timer=entry["timer"]
+            )
+            event = self.kernel.restore_event(
+                int(entry["time_ps"]),
+                int(entry["sequence"]),
+                lambda a=activation: self._deliver(a),
+            )
+            self.timers[(entry["process"], entry["timer"])] = event
+        for entry in state["deliveries"]:
+            activation = _Activation.from_dict(entry["activation"])
+            sequence = int(entry["sequence"])
+            event = self.kernel.restore_event(
+                int(entry["time_ps"]),
+                sequence,
+                lambda a=activation, s=sequence: self._fire_delivery(a, s),
+            )
+            self._pending_deliveries[sequence] = (activation, event)
+        self.bus.load_state_dict(state["bus"], self._resolve_bus_payload)
+        self.writer.load_state_dict(state["writer"])
+        if self.faults is not None:
+            self.faults.load_state_dict(state["faults"])
+        if self.tracer is not None:
+            self.tracer.load_state_dict(state["tracer"])
+        self._restored = True
+
+    def _resolve_bus_payload(self, payload: dict) -> tuple:
+        """Rebuild an in-flight transfer's callbacks from its payload."""
+        activation = _Activation.from_dict(payload["activation"])
+        receiver_pe = payload["receiver_pe"]
+        on_complete = lambda _latency, a=activation, pe=receiver_pe: (
+            self._schedule_deliver(self._receive_delay_ps(pe), a)
+        )
+        on_fault = lambda kind, _latency, args, a=activation, pe=receiver_pe: (
+            self._bus_fault(kind, args, a, pe)
+        )
+        return on_complete, on_fault

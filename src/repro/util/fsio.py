@@ -1,0 +1,26 @@
+"""Small filesystem helpers shared by every artefact writer.
+
+The design flow, the CLI ``--out`` targets and the checkpoint store all
+write files whose directories may not exist yet (``--out runs/a/b/x.json``
+is a perfectly reasonable request).  Rather than each writer remembering
+to create directories, they all call :func:`ensure_parent` first.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def ensure_parent(path: PathLike) -> Path:
+    """Create ``path``'s parent directory (and ancestors) if missing.
+
+    Returns ``path`` as a :class:`~pathlib.Path` so callers can chain
+    ``ensure_parent(target).write_text(...)``.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return target

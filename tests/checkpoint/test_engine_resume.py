@@ -1,0 +1,122 @@
+"""Resumable exploration campaigns: interrupt, resume, identical ranking."""
+
+import pytest
+
+from repro.checkpoint import CheckpointStore
+from repro.errors import ExplorationError, SimulationInterrupted
+from repro.exploration import mapping_sweep_specs, run_candidates
+
+DURATION_US = 3_000
+STRIDE = 50
+FACTORY = "repro.cases.tutwlan:exploration_factory"
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return mapping_sweep_specs(FACTORY, duration_us=DURATION_US, limit=3)
+
+
+@pytest.fixture(scope="module")
+def reference_ranking(specs):
+    run = run_candidates(specs, workers=0)
+    return [(o.spec.digest(), o.result.stable_hash(), o.cost) for o in run.ranking()]
+
+
+def ranking_key(run):
+    return [(o.spec.digest(), o.result.stable_hash(), o.cost) for o in run.ranking()]
+
+
+def interrupt_campaign(specs, tmp_path, budget=150):
+    """Run until the cumulative event budget trips; returns (cache, store)."""
+    cache_dir = str(tmp_path / "cache")
+    checkpoint_dir = str(tmp_path / "checkpoints")
+    with pytest.raises(SimulationInterrupted):
+        run_candidates(
+            specs,
+            workers=0,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=STRIDE,
+            interrupt_after_events=budget,
+        )
+    return cache_dir, checkpoint_dir
+
+
+@pytest.mark.parametrize("workers", [0, 1, 4])
+class TestResumedCampaign:
+    def test_ranking_identical_to_uninterrupted(
+        self, specs, reference_ranking, tmp_path, workers
+    ):
+        cache_dir, checkpoint_dir = interrupt_campaign(specs, tmp_path)
+        resumed = run_candidates(
+            specs,
+            workers=workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=STRIDE,
+        )
+        assert ranking_key(resumed) == reference_ranking
+        # the candidate finished before the interrupt is served from cache
+        assert resumed.cache_hits >= 1
+        assert resumed.evaluated == len(specs) - resumed.cache_hits
+
+    def test_snapshots_pruned_once_results_cached(
+        self, specs, tmp_path, workers
+    ):
+        cache_dir, checkpoint_dir = interrupt_campaign(specs, tmp_path)
+        run_candidates(
+            specs,
+            workers=workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=STRIDE,
+        )
+        assert CheckpointStore(checkpoint_dir).list() == []
+
+
+class TestRepeatedInterruption:
+    def test_two_interruptions_then_finish(self, specs, reference_ranking, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        checkpoint_dir = str(tmp_path / "checkpoints")
+        interruptions = 0
+        for _ in range(10):
+            try:
+                final = run_candidates(
+                    specs,
+                    workers=0,
+                    cache_dir=cache_dir,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every_events=STRIDE,
+                    interrupt_after_events=120,
+                )
+                break
+            except SimulationInterrupted:
+                interruptions += 1
+        else:
+            pytest.fail("campaign never completed")
+        assert interruptions >= 2
+        assert ranking_key(final) == reference_ranking
+
+
+class TestValidation:
+    def test_interrupt_requires_checkpoint_dir(self, specs):
+        with pytest.raises(ExplorationError, match="checkpoint_dir"):
+            run_candidates(specs, workers=0, interrupt_after_events=10)
+
+    def test_interrupt_is_serial_only(self, specs, tmp_path):
+        with pytest.raises(ExplorationError, match="serial"):
+            run_candidates(
+                specs,
+                workers=2,
+                checkpoint_dir=str(tmp_path),
+                interrupt_after_events=10,
+            )
+
+    def test_checkpointing_needs_digestable_specs(self, specs, tmp_path):
+        import dataclasses
+
+        local = dataclasses.replace(specs[0], builder=lambda: None)
+        with pytest.raises(ExplorationError, match="importable by name"):
+            run_candidates(
+                [local], workers=0, checkpoint_dir=str(tmp_path)
+            )

@@ -1,0 +1,48 @@
+"""State hashing and structural diffing primitives."""
+
+from repro.checkpoint import canonical_json, diff_states, state_hash
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": None}) == '{"a":null,"b":[1,2]}'
+
+
+class TestStateHash:
+    def test_stable_across_key_order(self):
+        assert state_hash({"x": 1, "y": 2}) == state_hash({"y": 2, "x": 1})
+
+    def test_sensitive_to_values(self):
+        assert state_hash({"x": 1}) != state_hash({"x": 2})
+
+    def test_is_sha256_hex(self):
+        digest = state_hash({})
+        assert len(digest) == 64
+        int(digest, 16)  # must be hex
+
+
+class TestDiffStates:
+    def test_identical_states_diff_empty(self):
+        state = {"a": [1, {"b": 2}]}
+        assert diff_states(state, state) == []
+
+    def test_leaf_difference_reported_once_with_path(self):
+        left = {"kernel": {"now_ps": 100, "sequence": 5}}
+        right = {"kernel": {"now_ps": 200, "sequence": 5}}
+        assert diff_states(left, right) == ["$.kernel.now_ps: 100 != 200"]
+
+    def test_missing_keys_reported_by_side(self):
+        lines = diff_states({"a": 1}, {"b": 1})
+        assert "$.a: only in first" in lines
+        assert "$.b: only in second" in lines
+
+    def test_list_length_and_elements(self):
+        lines = diff_states({"q": [1, 2, 3]}, {"q": [1, 9]})
+        assert "$.q: length 3 != 2" in lines
+        assert "$.q[1]: 2 != 9" in lines
+
+    def test_type_mismatch(self):
+        assert diff_states({"v": 1}, {"v": "1"}) == ["$.v: type int != str"]

@@ -1,0 +1,122 @@
+"""Snapshot store: atomic writes, dedupe, strict loading, pruning."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import CheckpointStore, Snapshot, state_hash
+from repro.errors import CheckpointError
+
+
+def make_snapshot(tag="t", now_ps=1_000, dispatched=42, extra=0):
+    state = {"kernel": {"now_ps": now_ps, "dispatched": dispatched}, "x": extra}
+    return Snapshot(
+        tag=tag,
+        now_ps=now_ps,
+        dispatched=dispatched,
+        state=state,
+        digest=state_hash(state),
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        loaded = store.load(path)
+        assert loaded == make_snapshot()
+
+    def test_filename_embeds_position_and_hash(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        snapshot = make_snapshot(dispatched=7)
+        path = store.save(snapshot)
+        assert path.name == f"{7:012d}-{snapshot.digest[:12]}.json"
+        assert path.parent.name == "t"
+
+    def test_resaving_identical_state_is_a_noop(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = store.save(make_snapshot())
+        second = store.save(make_snapshot())
+        assert first == second
+        assert len(store.list("t")) == 1
+
+    def test_divergent_state_at_same_position_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_snapshot(extra=0))
+        with pytest.raises(CheckpointError, match="diverged"):
+            store.save(make_snapshot(extra=1))
+
+    def test_payload_uses_versioned_envelope(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.checkpoint/1"
+
+
+class TestStrictLoading:
+    def test_corrupted_json_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            store.load(path)
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        payload = json.loads(path.read_text())
+        payload["schema"] = "repro.checkpoint/2"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="schema"):
+            store.load(path)
+
+    def test_tampered_state_fails_hash_check(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        payload = json.loads(path.read_text())
+        payload["results"]["state"]["x"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.load(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_snapshot())
+        payload = json.loads(path.read_text())
+        del payload["results"]["state_hash"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="missing field"):
+            store.load(path)
+
+
+class TestListingAndLatest:
+    def test_list_sorts_chronologically(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for dispatched in (300, 5, 40):
+            store.save(make_snapshot(now_ps=dispatched * 10, dispatched=dispatched))
+        positions = [store.load(p).dispatched for p in store.list("t")]
+        assert positions == [5, 40, 300]
+
+    def test_latest_returns_most_advanced(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for dispatched in (5, 300, 40):
+            store.save(make_snapshot(now_ps=dispatched * 10, dispatched=dispatched))
+        assert store.latest("t").dispatched == 300
+
+    def test_latest_skips_unreadable_snapshots(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_snapshot(now_ps=10, dispatched=1))
+        bad = store.save(make_snapshot(now_ps=20, dispatched=2))
+        bad.write_text("{ truncated")
+        assert store.latest("t").dispatched == 1
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path).latest("missing") is None
+
+    def test_prune_removes_tag_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_snapshot(now_ps=10, dispatched=1))
+        store.save(make_snapshot(now_ps=20, dispatched=2))
+        assert store.prune("t") == 2
+        assert store.list("t") == []
+        assert not (tmp_path / "t").exists()

@@ -136,3 +136,117 @@ class TestCyclesToPs:
 
     def test_zero_cycles_ok(self):
         assert cycles_to_ps(0, 50_000_000) == 0
+
+
+class TestPendingCounter:
+    """`Kernel.pending` is a live counter (O(1)), not a heap scan."""
+
+    def test_counts_scheduled_events(self):
+        kernel = Kernel()
+        for delay in (10, 20, 30):
+            kernel.schedule(delay, lambda: None)
+        assert kernel.pending == 3
+
+    def test_cancel_decrements(self):
+        kernel = Kernel()
+        events = [kernel.schedule(d, lambda: None) for d in (10, 20, 30)]
+        kernel.cancel(events[1])
+        assert kernel.pending == 2
+
+    def test_double_cancel_is_idempotent(self):
+        kernel = Kernel()
+        event = kernel.schedule(10, lambda: None)
+        kernel.schedule(20, lambda: None)
+        kernel.cancel(event)
+        kernel.cancel(event)
+        assert kernel.pending == 1
+
+    def test_cancel_after_dispatch_is_a_noop(self):
+        kernel = Kernel()
+        event = kernel.schedule(10, lambda: None)
+        kernel.schedule(20, lambda: None)
+        kernel.run(until_ps=15)
+        kernel.cancel(event)  # already fired: must not corrupt the counter
+        assert kernel.pending == 1
+
+    def test_dispatch_decrements(self):
+        kernel = Kernel()
+        for delay in (10, 20, 30):
+            kernel.schedule(delay, lambda: None)
+        kernel.run(until_ps=25)
+        assert kernel.pending == 1
+
+    def test_tombstones_are_compacted(self):
+        # cancel-heavy models (timer resets) must not grow the heap
+        # unboundedly: once tombstones outnumber live events the heap is
+        # rebuilt with only live entries
+        kernel = Kernel()
+        events = [kernel.schedule(d + 1, lambda: None) for d in range(100)]
+        for event in events[:90]:
+            kernel.cancel(event)
+        assert kernel.pending == 10
+        assert len(kernel._heap) < 30
+        assert kernel.run() == 10
+
+
+class TestStateProtocol:
+    def test_dispatched_counts_lifetime_events(self):
+        kernel = Kernel()
+        for delay in (10, 20):
+            kernel.schedule(delay, lambda: None)
+        kernel.run()
+        assert kernel.dispatched == 2
+
+    def test_state_roundtrip_preserves_clock_and_counters(self):
+        kernel = Kernel()
+        kernel.schedule(10, lambda: None)
+        kernel.schedule(20, lambda: None)
+        kernel.run()
+        state = kernel.state_dict()
+
+        restored = Kernel()
+        restored.load_state_dict(state)
+        assert restored.now_ps == kernel.now_ps
+        assert restored.dispatched == 2
+        # new events get fresh (higher) sequence numbers
+        event = restored.schedule(5, lambda: None)
+        assert event.sequence > 2
+
+    def test_load_requires_fresh_kernel(self):
+        used = Kernel()
+        used.schedule(10, lambda: None)
+        with pytest.raises(SimulationError, match="fresh"):
+            used.load_state_dict({"now_ps": 0, "sequence": 0, "dispatched": 0})
+
+    def test_restore_event_replays_original_order(self):
+        # two same-time events restored out of order must still fire in
+        # original sequence order — the property byte-identical resume
+        # rests on
+        kernel = Kernel()
+        kernel.load_state_dict({"now_ps": 100, "sequence": 7, "dispatched": 5})
+        fired = []
+        kernel.restore_event(150, 6, lambda: fired.append("b"))
+        kernel.restore_event(150, 3, lambda: fired.append("a"))
+        kernel.run()
+        assert fired == ["a", "b"]
+
+    def test_restore_event_rejects_future_sequence(self):
+        kernel = Kernel()
+        kernel.load_state_dict({"now_ps": 0, "sequence": 2, "dispatched": 0})
+        with pytest.raises(SimulationError, match="ahead"):
+            kernel.restore_event(10, 3, lambda: None)
+
+    def test_restore_event_rejects_past_time(self):
+        kernel = Kernel()
+        kernel.load_state_dict({"now_ps": 100, "sequence": 5, "dispatched": 0})
+        with pytest.raises(SimulationError, match="before"):
+            kernel.restore_event(50, 1, lambda: None)
+
+    def test_after_event_hook_fires_per_dispatch(self):
+        kernel = Kernel()
+        calls = []
+        kernel.after_event = lambda: calls.append(kernel.now_ps)
+        kernel.schedule(10, lambda: None)
+        kernel.schedule(20, lambda: None)
+        kernel.run()
+        assert calls == [10, 20]

@@ -1,0 +1,57 @@
+"""ensure_parent: every artefact writer must create missing directories."""
+
+from pathlib import Path
+
+from repro.util.fsio import ensure_parent
+
+
+class TestEnsureParent:
+    def test_creates_nested_ancestors(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c" / "out.json"
+        returned = ensure_parent(target)
+        assert returned == target
+        assert isinstance(returned, Path)
+        assert target.parent.is_dir()
+        assert not target.exists()  # only the parent is created
+
+    def test_idempotent_and_accepts_strings(self, tmp_path):
+        target = str(tmp_path / "x" / "y.txt")
+        ensure_parent(target)
+        result = ensure_parent(target)  # second call must not raise
+        assert result == Path(target)
+
+    def test_chainable_write(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "note.txt"
+        ensure_parent(target).write_text("ok")
+        assert target.read_text() == "ok"
+
+
+class TestWritersCreateNestedDirs:
+    """Regression: artefact writers used to fail on nested --out paths."""
+
+    def test_logwriter_write(self, tmp_path, pingpong_system):
+        from repro.simulation.system import SystemSimulation
+
+        application, platform, mapping = pingpong_system
+        result = SystemSimulation(application, platform, mapping).run(1_000)
+        target = tmp_path / "runs" / "42" / "sim.tutlog"
+        result.writer.write(str(target))
+        assert target.read_text().startswith("TUTLOG")
+
+    def test_write_chrome_trace(self, tmp_path):
+        from repro.observability.export import write_chrome_trace
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        tracer.instant("mark", ("g", "lane"), time_ps=0)
+        target = tmp_path / "traces" / "nested" / "trace.json"
+        write_chrome_trace(tracer, str(target))
+        assert target.read_text().startswith("{")
+
+    def test_checkpoint_store_save(self, tmp_path):
+        from repro.checkpoint import CheckpointStore, Snapshot, state_hash
+
+        state = {"kernel": {"now_ps": 0}}
+        snapshot = Snapshot("tag", 0, 0, state, state_hash(state))
+        path = CheckpointStore(tmp_path / "deep" / "store").save(snapshot)
+        assert path.is_file()
