@@ -10,10 +10,15 @@ Commands:
   ``--fault-rate`` the simulation runs under a seeded fault plan;
 * ``faults`` — run a seeded fault-injection campaign on the ARQ-enabled
   TUTMAC model and print the recovery ledger;
-* ``explore`` — design-space exploration on the parallel candidate-
+* ``explore`` — design-space exploration on the supervised candidate-
   evaluation engine: an exhaustive TUTMAC mapping sweep (default) or a
-  multi-seed fault-campaign sweep, with ``--workers`` process-pool
-  fan-out and a ``--cache-dir`` content-addressed result cache;
+  multi-seed fault-campaign sweep, with ``--workers`` fan-out, a
+  ``--cache-dir`` content-addressed result cache and a fault-tolerance
+  policy (``--timeout``, ``--max-retries``, ``--quarantine-after``).
+  Exit codes: 0 clean, 3 interrupted (Ctrl-C, SIGTERM or
+  ``--interrupt-after-events`` — completed results are flushed to the
+  cache for resume), 4 completed but with quarantined candidates
+  (partial ranking; the failure ledger is in the JSON output);
 * ``checkpoint`` — operate on simulation snapshot stores:
   ``inspect`` lists a store's snapshots, ``diff`` structurally compares
   two snapshot files, ``resume`` continues an interrupted ``flow`` run
@@ -115,8 +120,14 @@ def _cmd_flow(args) -> int:
 
 def _cmd_explore(args) -> int:
     import json as json_module
+    import signal
 
-    from repro.exploration import mapping_sweep_specs, run_candidates
+    from repro.exploration import (
+        SupervisorConfig,
+        mapping_sweep_specs,
+        parse_worker_faults,
+        run_candidates,
+    )
     from repro.faults import fault_sweep_specs
 
     if args.mode == "mappings":
@@ -139,8 +150,26 @@ def _cmd_explore(args) -> int:
             file=sys.stderr,
         )
 
-    from repro.errors import SimulationInterrupted
+    from repro.errors import ExplorationError, SimulationInterrupted
 
+    try:
+        supervisor = SupervisorConfig(
+            timeout_s=args.timeout,
+            max_retries=args.max_retries,
+            quarantine_after=args.quarantine_after,
+        )
+        worker_faults = parse_worker_faults(args.inject_worker_fault)
+    except ExplorationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # a polite SIGTERM (timeout(1), CI job cancellation, kill <pid>) must
+    # take the same clean-shutdown path as Ctrl-C: terminate the pool,
+    # flush completed results to the cache, exit 3
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
     try:
         run = run_candidates(
             specs,
@@ -150,6 +179,8 @@ def _cmd_explore(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every_events=args.checkpoint_every_events,
             interrupt_after_events=args.interrupt_after_events,
+            supervisor=supervisor,
+            worker_faults=worker_faults,
         )
     except SimulationInterrupted as exc:
         print(
@@ -158,12 +189,25 @@ def _cmd_explore(args) -> int:
             file=sys.stderr,
         )
         return 3
+    except KeyboardInterrupt:
+        print(
+            "interrupted: campaign stopped — completed results were "
+            "flushed to the cache; re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 3
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+
+    # exit-code contract: 0 clean, 3 interrupted (above), 4 completed but
+    # with quarantined candidates (partial ranking — see docs/exploration.md)
+    exit_code = 4 if run.quarantined else 0
 
     if args.format == "json":
         from repro.util.jsonout import render_envelope
 
         print(render_envelope("explore", run.to_json_dict(top=args.top)))
-        return 0
+        return exit_code
 
     from repro.util.tables import render_table
 
@@ -203,7 +247,15 @@ def _cmd_explore(args) -> int:
         f"({run.cache_hits} cache hits) in {run.wall_s:.2f}s "
         f"with workers={run.workers}"
     )
-    return 0
+    counters = run.supervisor_counters()
+    if any(counters.values()) or run.quarantined:
+        print(
+            "failures: "
+            f"{counters['timeouts']} timeouts, {counters['crashes']} crashes, "
+            f"{counters['errors']} errors; {counters['retries']} retries, "
+            f"{len(run.quarantined)} quarantined"
+        )
+    return exit_code
 
 
 def _cmd_checkpoint(args) -> int:
@@ -599,6 +651,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deterministically interrupt the (serial) campaign after this "
         "many events — exits 3 with a final snapshot, for resume testing",
+    )
+    explore.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-candidate wall-clock timeout in seconds (parallel "
+        "workers only); a timed-out attempt counts as one failure",
+    )
+    explore.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="failed attempts retried per candidate (with exponential "
+        "backoff) before it is quarantined",
+    )
+    explore.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="total failures after which a candidate is quarantined "
+        "(recorded in the failure ledger, excluded from the ranking)",
+    )
+    explore.add_argument(
+        "--inject-worker-fault",
+        action="append",
+        default=[],
+        metavar="INDEX:MODE[:COUNT]",
+        help="inject a worker fault at candidate INDEX: one of "
+        "crash|hang|slow|flaky|poison, repeated COUNT attempts "
+        "(testing aid; repeatable)",
     )
     explore.set_defaults(handler=_cmd_explore)
 

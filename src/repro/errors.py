@@ -108,6 +108,17 @@ class ExplorationError(ReproError):
     result caching (which must hash it) was requested."""
 
 
+class WorkerFaultError(ExplorationError):
+    """An injected infrastructure fault fired inside a worker.
+
+    Raised by the worker-fault harness
+    (:mod:`repro.exploration.workerfaults`) for ``flaky``/``poison``
+    injections — and for ``crash``/``hang`` injections in serial mode,
+    where a real crash or hang would take the whole campaign down.  The
+    supervisor treats it like any other worker failure: record, retry
+    with backoff, quarantine after the failure budget."""
+
+
 class CodegenError(ReproError):
     """Code generation could not translate a model construct."""
 

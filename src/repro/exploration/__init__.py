@@ -1,8 +1,10 @@
 """Architecture exploration: grouping and mapping optimisation (paper §4.4).
 
 The candidate-evaluation engine (:mod:`repro.exploration.engine`) fans
-design points out over a process pool with content-addressed result
-caching; see ``docs/exploration.md``.
+design points out over supervised worker processes with content-addressed
+result caching and fault-tolerant dispatch (timeouts, retries with
+backoff, poison-candidate quarantine — :mod:`repro.exploration
+.supervisor`); see ``docs/exploration.md``.
 """
 
 from repro.exploration.objectives import EvaluationResult, evaluate, summarize
@@ -12,6 +14,18 @@ from repro.exploration.engine import (
     ExplorationRun,
     evaluate_spec,
     run_candidates,
+)
+from repro.exploration.supervisor import (
+    FailureRecord,
+    QuarantineRecord,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorStats,
+)
+from repro.exploration.workerfaults import (
+    WORKER_FAULT_MODES,
+    WorkerFaultPlan,
+    parse_worker_faults,
 )
 from repro.exploration.spec import (
     CandidateSpec,
@@ -40,9 +54,16 @@ __all__ = [
     "CandidateSpec",
     "EvaluationResult",
     "ExplorationRun",
+    "FailureRecord",
     "FaultSpec",
     "MappingCandidate",
+    "QuarantineRecord",
     "ResultCache",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "WORKER_FAULT_MODES",
+    "WorkerFaultPlan",
     "build_system",
     "builder_ref",
     "communication_minimizing_grouping",
@@ -53,6 +74,7 @@ __all__ = [
     "external_traffic",
     "improvement_loop",
     "mapping_sweep_specs",
+    "parse_worker_faults",
     "per_process_grouping",
     "resolve_builder",
     "round_robin_grouping",

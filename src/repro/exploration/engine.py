@@ -2,18 +2,27 @@
 
 The paper's Figure 2 loop — simulate, profile, regroup, remap — needs
 *many* simulations, and the discrete-event simulator is pure-Python CPU
-work, so candidates fan out over a ``multiprocessing`` **process** pool
+work, so candidates fan out over ``multiprocessing`` **worker processes**
 (threads would serialise on the GIL).  Each worker rebuilds its system
 from a picklable :class:`CandidateSpec`; live UML objects never cross the
 process boundary.
+
+Dispatch is fault-tolerant: the campaign supervisor
+(:mod:`repro.exploration.supervisor`) owns the worker processes, so a
+hung worker is killed at its wall-clock timeout, a crashed worker
+(SIGKILL, OOM) is detected through its closed pipe, failed candidates are
+retried with seeded exponential backoff and a poison candidate is
+quarantined after a bounded failure budget instead of aborting the sweep.
 
 Determinism contract: the simulator is seeded and bit-reproducible, every
 candidate is evaluated independently, and :meth:`ExplorationRun.ranking`
 sorts by the stable key ``(cost, spec canonical JSON)`` — so the ranking
 (and every :meth:`EvaluationResult.stable_hash`) is identical for
-``workers=0``, ``workers=1`` and ``workers=N``, warm or cold cache.
-``workers=0`` evaluates serially in-process (no pool at all), which is the
-fallback for determinism debugging and for builders that cannot be
+``workers=0``, ``workers=1`` and ``workers=N``, warm or cold cache, with
+or without infrastructure faults along the way (a retried candidate
+re-simulates — or checkpoint-resumes — to the byte-identical result).
+``workers=0`` evaluates serially in-process (no pool at all), which is
+the fallback for determinism debugging and for builders that cannot be
 imported by name.
 """
 
@@ -28,6 +37,15 @@ from repro.errors import ExplorationError
 from repro.exploration.cache import ResultCache
 from repro.exploration.objectives import EvaluationResult, evaluate
 from repro.exploration.spec import CandidateSpec, build_system
+from repro.exploration.supervisor import (
+    FailureRecord,
+    QuarantineRecord,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorStats,
+    _Task,
+)
+from repro.exploration.workerfaults import WorkerFaultPlan
 
 #: ``progress`` callbacks receive ``(outcome, done, total)``.
 ProgressCallback = Callable[["CandidateOutcome", int, int], None]
@@ -42,6 +60,12 @@ class CandidateOutcome:
     result: EvaluationResult
     elapsed_s: float              # this run's wall-time (0.0 for cache hits)
     cached: bool = False
+    attempts: int = 1             # evaluation attempts this run (1 = clean)
+    # the candidate's slice of the campaign failure ledger: one record per
+    # failed attempt that preceded this result.  Deliberately *not* part
+    # of EvaluationResult — the result hash describes the design point,
+    # which is identical however bumpy the road to it was.
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @property
     def cost(self) -> float:
@@ -58,6 +82,8 @@ class CandidateOutcome:
             "result_hash": self.result.stable_hash(),
             "elapsed_s": self.elapsed_s,
             "cached": self.cached,
+            "attempts": self.attempts,
+            "failures": [record.to_json_dict() for record in self.failures],
         }
 
 
@@ -69,6 +95,11 @@ class ExplorationRun:
     workers: int
     wall_s: float
     cache_dir: Optional[str] = None
+    # campaign failure ledger: every failed attempt, in the order the
+    # supervisor recorded them, plus the candidates given up on
+    failures: List[FailureRecord] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    supervisor_stats: Optional[SupervisorStats] = None
 
     @property
     def evaluated(self) -> int:
@@ -84,6 +115,23 @@ class ExplorationRun:
         return sorted(
             self.outcomes, key=lambda o: (o.cost, o.spec.sort_key())
         )
+
+    def supervisor_counters(self) -> Dict[str, int]:
+        """Retry/timeout/crash/quarantine counters (all zero when clean).
+
+        This is the dict surfaced through the ``repro explore`` CLI and
+        attachable to :class:`repro.observability.metrics.MetricsReport`
+        as its ``campaign`` section.
+        """
+        if self.supervisor_stats is not None:
+            return self.supervisor_stats.counters()
+        return {
+            "timeouts": 0,
+            "crashes": 0,
+            "errors": 0,
+            "retries": 0,
+            "quarantined": len(self.quarantined),
+        }
 
     def to_json_dict(self, top: Optional[int] = None) -> Dict[str, object]:
         ranking = self.ranking()
@@ -107,9 +155,23 @@ class ExplorationRun:
                     "elapsed_s": outcome.elapsed_s,
                     "cached": outcome.cached,
                     "cost": outcome.cost,
+                    "attempts": outcome.attempts,
                 }
                 for outcome in self.outcomes
             ],
+            # the structured failure ledger (empty on a clean campaign)
+            "supervisor": dict(
+                self.supervisor_counters(),
+                degraded_to_serial=(
+                    self.supervisor_stats.degraded_to_serial
+                    if self.supervisor_stats is not None
+                    else False
+                ),
+                failures=[record.to_json_dict() for record in self.failures],
+                quarantine=[
+                    record.to_json_dict() for record in self.quarantined
+                ],
+            ),
         }
 
 
@@ -152,18 +214,6 @@ def _make_checkpointer(
     )
 
 
-def _pool_evaluate(
-    payload: Tuple[int, CandidateSpec, Optional[str], int]
-) -> Tuple[int, EvaluationResult, float]:
-    index, spec, checkpoint_dir, checkpoint_every_events = payload
-    started = time.perf_counter()
-    checkpointer = _make_checkpointer(
-        spec, checkpoint_dir, checkpoint_every_events
-    )
-    result = evaluate_spec(spec, checkpointer=checkpointer)
-    return index, result, time.perf_counter() - started
-
-
 def _pool_context():
     # fork keeps already-imported modules (and sys.path) in the children;
     # fall back to the platform default where fork does not exist.
@@ -179,14 +229,27 @@ def run_candidates(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every_events: int = 5_000,
     interrupt_after_events: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    worker_faults: Optional[WorkerFaultPlan] = None,
 ) -> ExplorationRun:
     """Evaluate every spec; cache hits are served without simulating.
 
     ``workers=0`` runs serially in-process; ``workers>=1`` fans the
-    uncached candidates out over a pool of that many processes.  The
+    uncached candidates out over supervised worker processes.  The
     returned outcomes are in submission order regardless of completion
     order; use :meth:`ExplorationRun.ranking` for the stable best-first
     view.
+
+    ``supervisor`` is the fault-tolerance policy
+    (:class:`~repro.exploration.supervisor.SupervisorConfig`; None means
+    the defaults: no timeout, 2 retries, quarantine after 3 failures).  A
+    candidate whose worker times out, crashes or raises is retried with
+    seeded exponential backoff and, once its failure budget is spent,
+    quarantined — the campaign completes without it, and every failed
+    attempt is recorded in the run's ``failures``/``quarantined`` ledger.
+    ``worker_faults`` is the injectable infrastructure-fault harness
+    (:class:`~repro.exploration.workerfaults.WorkerFaultPlan`) that makes
+    all of the above deterministically testable.
 
     With ``checkpoint_dir`` each candidate snapshots its simulation every
     ``checkpoint_every_events`` dispatched events (tagged by the spec
@@ -194,18 +257,26 @@ def run_candidates(
     come out of the result cache, the in-flight candidate restores from
     its latest snapshot and continues — with the engine's determinism
     contract intact, the resumed campaign's ranking and result hashes are
-    identical to an uninterrupted run's.  Pair it with ``cache_dir`` so
-    completed candidates are not re-simulated (their snapshots are pruned
-    once their result is cached).
+    identical to an uninterrupted run's.  The same machinery makes
+    retries cheap: a timed-out candidate's next attempt resumes from the
+    snapshots the killed worker left behind.  Pair it with ``cache_dir``
+    so completed candidates are not re-simulated (their snapshots are
+    pruned once their result is cached).
 
     ``interrupt_after_events`` is the deterministic-interruption hook for
     tests and the CI resume-smoke job: a cumulative event budget across
     the (serial) campaign; when it runs out the engine takes a final
     snapshot and raises :class:`~repro.errors.SimulationInterrupted`.
+
+    On ``KeyboardInterrupt`` (or a SIGTERM the caller translates) the
+    engine terminates and joins every live worker before propagating —
+    results already completed are in the cache, and no orphan child
+    processes survive the campaign.
     """
     specs = list(specs)
     if workers < 0:
         raise ExplorationError(f"workers must be >= 0, got {workers}")
+    config = supervisor if supervisor is not None else SupervisorConfig()
     if checkpoint_dir is not None:
         undigestable = [spec for spec in specs if spec.digest() is None]
         if undigestable:
@@ -256,6 +327,21 @@ def run_candidates(
 
             CheckpointStore(checkpoint_dir).prune(spec.digest())
 
+    def on_success(index, result, elapsed, attempts, failures) -> None:
+        if cache is not None:
+            cache.store(specs[index], result, elapsed)
+        candidate_done(specs[index])
+        finish(
+            CandidateOutcome(
+                index,
+                specs[index],
+                result,
+                elapsed,
+                attempts=attempts,
+                failures=list(failures),
+            )
+        )
+
     if workers >= 1 and pending:
         unnamed = [spec for _, spec in pending if spec.digest() is None]
         if unnamed:
@@ -264,44 +350,67 @@ def run_candidates(
                 "('module:callable'); got a local/lambda builder — use "
                 "workers=0 or move the builder to module scope"
             )
-        context = _pool_context()
-        payloads = [
-            (index, spec, checkpoint_dir, checkpoint_every_events)
-            for index, spec in pending
-        ]
-        with context.Pool(processes=min(workers, len(pending))) as pool:
-            for index, result, elapsed in pool.imap_unordered(
-                _pool_evaluate, payloads
-            ):
-                outcome = CandidateOutcome(index, specs[index], result, elapsed)
-                if cache is not None:
-                    cache.store(specs[index], result, elapsed)
-                candidate_done(specs[index])
-                finish(outcome)
+        boss = Supervisor(
+            context=_pool_context(),
+            workers=min(workers, len(pending)),
+            config=config,
+            worker_faults=worker_faults,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=checkpoint_every_events,
+        )
+        stats = boss.run(pending, on_success)
+        run_failures, run_quarantined = boss.failures, boss.quarantines
     else:
+        boss = Supervisor(
+            context=None,
+            workers=0,
+            config=config,
+            worker_faults=worker_faults,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=checkpoint_every_events,
+        )
         budget = interrupt_after_events
         for index, spec in pending:
-            step_started = time.perf_counter()
-            checkpointer = _make_checkpointer(
-                spec,
-                checkpoint_dir,
-                checkpoint_every_events,
-                interrupt_after_events=(
-                    max(1, budget) if budget is not None else None
-                ),
-            )
-            result = evaluate_spec(spec, checkpointer=checkpointer)
-            if budget is not None:
-                budget -= checkpointer.events_seen
-            elapsed = time.perf_counter() - step_started
-            if cache is not None:
-                cache.store(spec, result, elapsed)
-            candidate_done(spec)
-            finish(CandidateOutcome(index, spec, result, elapsed))
+            task = _Task(index=index, spec=spec)
+            while True:
+                wait = task.not_before - time.monotonic()
+                if wait > 0:
+                    time.sleep(wait)
+                seen: List[object] = []
+
+                def factory(spec_, _seen=seen, _budget=lambda: budget):
+                    checkpointer = _make_checkpointer(
+                        spec_,
+                        checkpoint_dir,
+                        checkpoint_every_events,
+                        interrupt_after_events=(
+                            max(1, _budget()) if _budget() is not None else None
+                        ),
+                    )
+                    _seen.append(checkpointer)
+                    return checkpointer
+
+                outcome = boss.attempt_in_process(
+                    task, checkpointer_factory=factory
+                )
+                if outcome == "quarantined":
+                    break
+                if outcome == "retry":
+                    continue
+                result, elapsed = outcome
+                if budget is not None and seen and seen[-1] is not None:
+                    budget -= seen[-1].events_seen
+                on_success(index, result, elapsed, task.attempt, task.failures)
+                break
+        stats = boss.stats
+        run_failures, run_quarantined = boss.failures, boss.quarantines
 
     return ExplorationRun(
         outcomes=[outcome for outcome in outcomes if outcome is not None],
         workers=workers,
         wall_s=time.perf_counter() - started,
         cache_dir=cache_dir,
+        failures=run_failures,
+        quarantined=run_quarantined,
+        supervisor_stats=stats,
     )

@@ -116,15 +116,22 @@ def exhaustive_search(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    supervisor=None,
 ) -> List[MappingCandidate]:
     """Evaluate every assignment; returns candidates sorted by cost.
 
     The ranking is deterministic — same factory and horizon give the
     identical order for any ``workers`` value, warm or cold cache.
+    ``supervisor`` is an optional :class:`~repro.exploration.supervisor
+    .SupervisorConfig` fault-tolerance policy for the underlying engine.
     """
     specs = mapping_sweep_specs(factory, duration_us=duration_us, limit=limit)
     run = run_candidates(
-        specs, workers=workers, cache_dir=cache_dir, progress=progress
+        specs,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        supervisor=supervisor,
     )
     return [
         MappingCandidate(outcome.spec.mapping_dict, outcome.result)
@@ -138,6 +145,7 @@ def improvement_loop(
     duration_us: int = 20_000,
     max_iterations: int = 8,
     cache_dir: Optional[str] = None,
+    runs_out: Optional[list] = None,
 ) -> List[MappingCandidate]:
     """The paper's profile→improve loop.
 
@@ -147,7 +155,10 @@ def improvement_loop(
     Returns the history of accepted candidates (first = initial design).
 
     With ``cache_dir`` the neighbourhood search skips design points a
-    previous run (or the exhaustive sweep) already evaluated.
+    previous run (or the exhaustive sweep) already evaluated.  Pass a
+    list as ``runs_out`` to receive every underlying
+    :class:`~repro.exploration.engine.ExplorationRun` (for the campaign
+    failure ledger and supervisor counters).
     """
     history: List[MappingCandidate] = []
     current = dict(initial_assignment)
@@ -157,7 +168,10 @@ def improvement_loop(
         # one candidate per iteration: a pool would only add fork overhead,
         # so the engine is used serially here — the win is the cache
         spec = CandidateSpec.make(builder, assignment, duration_us=duration_us)
-        outcome = run_candidates([spec], workers=0, cache_dir=cache_dir).outcomes[0]
+        engine_run = run_candidates([spec], workers=0, cache_dir=cache_dir)
+        if runs_out is not None:
+            runs_out.append(engine_run)
+        outcome = engine_run.outcomes[0]
         return MappingCandidate(dict(assignment), outcome.result)
 
     candidate = run(current)

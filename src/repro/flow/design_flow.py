@@ -376,6 +376,7 @@ def run_design_flow(
     exploration_path = None
     if explore_factory is not None:
         exploration_path = os.path.join(work_directory, "exploration.json")
+        engine_runs: list = []
 
         def _explore():
             from repro.exploration import improvement_loop
@@ -385,7 +386,12 @@ def run_design_flow(
                 mapping.assignment(),
                 duration_us=explore_duration_us,
                 cache_dir=explore_cache_dir,
+                runs_out=engine_runs,
             )
+            counters: Dict[str, int] = {}
+            for engine_run in engine_runs:
+                for key, value in engine_run.supervisor_counters().items():
+                    counters[key] = counters.get(key, 0) + value
             payload = {
                 "initial_assignment": mapping.assignment(),
                 "steps": [
@@ -397,6 +403,7 @@ def run_design_flow(
                     }
                     for candidate in history
                 ],
+                "supervisor": counters,
             }
             with open(ensure_parent(exploration_path), "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
@@ -406,6 +413,24 @@ def run_design_flow(
         exploration = runner.run("explore", _explore, requires=("simulate",))
         if exploration is None:
             exploration_path = None
+        elif metrics_report is not None and metrics_path is not None:
+            # surface the campaign's fault-tolerance counters through the
+            # observability report and refresh the already-written artefact
+            from repro.util.jsonout import envelope
+
+            for engine_run in engine_runs:
+                for key, value in engine_run.supervisor_counters().items():
+                    metrics_report.campaign[key] = (
+                        metrics_report.campaign.get(key, 0) + value
+                    )
+            with open(ensure_parent(metrics_path), "w", encoding="utf-8") as handle:
+                json.dump(
+                    envelope("trace-metrics", metrics_report.to_dict()),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
 
     artifacts: Dict[str, str] = {}
     if exploration_path is not None:

@@ -127,6 +127,10 @@ class MetricsReport:
     dropped_signals: int = 0
     transitions: int = 0
     faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    # exploration-campaign fault-tolerance counters (timeouts, crashes,
+    # errors, retries, quarantined) — empty unless a supervised campaign
+    # attached its ledger totals, see ExplorationRun.supervisor_counters()
+    campaign: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """The metrics JSON body (wrapped in the shared envelope by callers)."""
@@ -165,6 +169,7 @@ class MetricsReport:
             "dropped_signals": self.dropped_signals,
             "transitions": self.transitions,
             "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "campaign": dict(sorted(self.campaign.items())),
         }
 
 

@@ -1,0 +1,117 @@
+"""Concurrent writers racing on one cache entry never corrupt it.
+
+The cache's atomicity contract (``docs/exploration.md``): entries are
+written to a unique temp file and published with ``os.replace``, so a
+reader — or a racing writer — sees either no entry or one complete,
+valid entry, never torn JSON, and the store never leaks temp files.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+from repro.exploration import ResultCache, evaluate_spec
+from repro.exploration.cache import CACHE_SCHEMA
+
+from tests.exploration.test_engine import fault_free_specs
+
+
+def _hammer(cache_dir, spec, result_dict, iterations, barrier, failures):
+    """Child body: race store/load on the same digest ``iterations`` times."""
+    from repro.exploration.objectives import EvaluationResult
+
+    cache = ResultCache(cache_dir)
+    result = EvaluationResult.from_dict(result_dict)
+    barrier.wait()
+    for _ in range(iterations):
+        cache.store(spec, result, 0.5)
+        loaded = cache.load(spec)
+        # a racing writer must never make a load fail or change the result
+        if loaded is None or loaded[0] != result:
+            failures.put("load returned a missing or mismatched entry")
+            return
+
+
+class TestConcurrentWriters:
+    def test_racing_stores_never_tear_the_entry(self, tmp_path):
+        spec = fault_free_specs()[0]
+        result = evaluate_spec(spec)
+        cache_dir = str(tmp_path)
+
+        context = multiprocessing.get_context("fork")
+        writers = 4
+        iterations = 50
+        barrier = context.Barrier(writers)
+        failures = context.Queue()
+        processes = [
+            context.Process(
+                target=_hammer,
+                args=(
+                    cache_dir,
+                    spec,
+                    result.to_dict(),
+                    iterations,
+                    barrier,
+                    failures,
+                ),
+            )
+            for _ in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert failures.empty()
+
+        # exactly one entry, valid JSON, correct content
+        cache = ResultCache(cache_dir)
+        assert len(cache) == 1
+        path = cache.path_for(spec.digest())
+        with open(path, encoding="utf-8") as handle:
+            entry = json.load(handle)
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["digest"] == spec.digest()
+        assert entry["result_hash"] == result.stable_hash()
+        loaded, elapsed = cache.load(spec)
+        assert loaded == result
+        assert elapsed == 0.5
+
+        # the atomic-rename path must not leak temp files
+        leftovers = [
+            name
+            for _, _, names in os.walk(cache_dir)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_concurrent_distinct_digests_all_land(self, tmp_path):
+        specs = fault_free_specs()[:3]
+        results = [evaluate_spec(spec) for spec in specs]
+        cache_dir = str(tmp_path)
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(len(specs))
+        failures = context.Queue()
+        processes = [
+            context.Process(
+                target=_hammer,
+                args=(cache_dir, spec, result.to_dict(), 20, barrier, failures),
+            )
+            for spec, result in zip(specs, results)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert failures.empty()
+
+        cache = ResultCache(cache_dir)
+        assert len(cache) == len(specs)
+        for spec, result in zip(specs, results):
+            loaded, _ = cache.load(spec)
+            assert loaded.stable_hash() == result.stable_hash()

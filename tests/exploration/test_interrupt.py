@@ -1,0 +1,219 @@
+"""Interrupting a campaign mid-flight: clean shutdown, no orphans.
+
+Ctrl-C (SIGINT) and a polite SIGTERM must both terminate the worker pool
+cleanly: every completed result already flushed to the cache, every live
+worker terminated and reaped, exit code 3 from the CLI.  Signals cannot
+be delivered to a pytest-internal campaign reliably, so these tests
+drive a real subprocess and interrupt it for real.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+#: Driver: run a 4-candidate campaign whose last candidate hangs forever,
+#: report progress on stdout, and on interrupt report liveness + cache
+#: population.  Exits 3 on a clean interrupt, 0 (wrongly) on completion.
+DRIVER = """\
+import multiprocessing
+import signal
+import sys
+import time
+
+from repro.exploration import (
+    ResultCache,
+    SupervisorConfig,
+    WorkerFaultPlan,
+    run_candidates,
+)
+from tests.exploration.test_engine import fault_free_specs
+
+
+def _sigterm(signum, frame):
+    raise KeyboardInterrupt
+
+
+def progress(outcome, done, total):
+    print(f"DONE {done}/{total}", flush=True)
+
+
+def main():
+    cache_dir = sys.argv[1]
+    specs = fault_free_specs()
+    plan = WorkerFaultPlan.make({len(specs) - 1: ["hang"]}, hang_s=120.0)
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        run_candidates(
+            specs,
+            workers=2,
+            cache_dir=cache_dir,
+            progress=progress,
+            supervisor=SupervisorConfig(),
+            worker_faults=plan,
+        )
+    except KeyboardInterrupt:
+        deadline = time.monotonic() + 5.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        print(f"ALIVE={len(multiprocessing.active_children())}", flush=True)
+        print(f"CACHED={len(ResultCache(cache_dir))}", flush=True)
+        sys.exit(3)
+    sys.exit(0)
+
+
+main()
+"""
+
+
+def _spawn_driver(tmp_path):
+    driver_path = tmp_path / "driver.py"
+    driver_path.write_text(DRIVER, encoding="utf-8")
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+    )
+    process = subprocess.Popen(
+        [sys.executable, str(driver_path), str(cache_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        start_new_session=True,
+    )
+    return process, cache_dir
+
+
+def _wait_for_progress(process, completed, deadline_s=60.0):
+    """Read driver stdout until ``completed`` candidates have finished."""
+    lines = []
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line.strip())
+        if line.startswith(f"DONE {completed}/"):
+            return lines
+    pytest.fail(f"driver never reported {completed} completions: {lines}")
+
+
+def _assert_clean_interrupt(process, cache_dir, expect_cached):
+    stdout, stderr = process.communicate(timeout=30)
+    assert process.returncode == 3, (stdout, stderr)
+    report = dict(
+        line.split("=", 1)
+        for line in stdout.splitlines()
+        if "=" in line
+    )
+    assert report["ALIVE"] == "0", "workers survived the interrupt"
+    assert int(report["CACHED"]) >= expect_cached
+    # the whole session (driver + any forked worker) must be gone
+    _assert_session_dead(process.pid)
+    # and the cache entries it flushed must be readable
+    json_entries = [
+        name
+        for _, _, names in os.walk(cache_dir)
+        for name in names
+        if name.endswith(".json")
+    ]
+    assert len(json_entries) >= expect_cached
+
+
+def _assert_session_dead(session_id, deadline_s=10.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            os.killpg(session_id, 0)
+        except ProcessLookupError:
+            return
+        time.sleep(0.1)
+    pytest.fail(f"process group {session_id} still has live members")
+
+
+class TestInterruptedCampaign:
+    @pytest.mark.parametrize(
+        "signum", [signal.SIGINT, signal.SIGTERM], ids=["sigint", "sigterm"]
+    )
+    def test_interrupt_terminates_pool_and_keeps_cache(self, tmp_path, signum):
+        process, cache_dir = _spawn_driver(tmp_path)
+        try:
+            # 3 of the 4 candidates finish; the 4th hangs its worker forever
+            _wait_for_progress(process, completed=3)
+            os.kill(process.pid, signum)
+            _assert_clean_interrupt(process, cache_dir, expect_cached=3)
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=10)
+
+
+class TestInterruptedCli:
+    def test_sigterm_exits_3_and_flushes_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "explore",
+                "--limit",
+                "8",
+                "--duration-us",
+                "2000",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(cache_dir),
+                "--inject-worker-fault",
+                "7:hang",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            start_new_session=True,
+        )
+        try:
+            # progress lines go to stderr; wait until most candidates are in
+            deadline = time.monotonic() + 60.0
+            seen = []
+            while time.monotonic() < deadline:
+                line = process.stderr.readline()
+                if not line:
+                    break
+                seen.append(line.strip())
+                if line.startswith("[5/"):
+                    break
+            else:
+                pytest.fail(f"no campaign progress before deadline: {seen}")
+            os.kill(process.pid, signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 3, (stdout, stderr)
+            assert "interrupted" in stderr
+            _assert_session_dead(process.pid)
+            cached = [
+                name
+                for _, _, names in os.walk(cache_dir)
+                for name in names
+                if name.endswith(".json")
+            ]
+            assert len(cached) >= 5
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=10)

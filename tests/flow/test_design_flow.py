@@ -192,3 +192,35 @@ class TestFaultsThroughFlow:
         assert result.profiling.fault_stats is not None
         assert result.profiling.fault_stats.injected == plan.stats.injected
         assert "Fault injection" in result.report_text
+
+
+class TestExploreCampaignMetrics:
+    def test_campaign_counters_land_in_metrics_json(self, tmp_path):
+        import json
+
+        app = build_pingpong()
+        platform = build_two_cpu_platform()
+        mapping = MappingModel(app, platform)
+        mapping.map("g1", "cpu1")
+        mapping.map("g2", "cpu2")
+        result = run_design_flow(
+            app, platform, mapping, str(tmp_path), duration_us=2_000,
+            trace=True,
+            explore_factory=lambda: (
+                build_pingpong(), build_two_cpu_platform()
+            ),
+        )
+        assert result.succeeded
+        zeroed = {
+            "crashes": 0, "errors": 0, "quarantined": 0,
+            "retries": 0, "timeouts": 0,
+        }
+        # the metrics artefact is rewritten after the explore step so the
+        # observability report carries the campaign's supervisor counters
+        with open(os.path.join(str(tmp_path), "metrics.json")) as handle:
+            payload = json.load(handle)
+        assert payload["results"]["campaign"] == zeroed
+        with open(os.path.join(str(tmp_path), "exploration.json")) as handle:
+            exploration = json.load(handle)
+        assert exploration["supervisor"] == zeroed
+        assert result.metrics.campaign == zeroed

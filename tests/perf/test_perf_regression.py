@@ -9,21 +9,30 @@ stopped hitting — trips it, not CI noise.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
 import pytest
 
-from repro.exploration import mapping_sweep_specs, run_candidates
+from repro.exploration import SupervisorConfig, mapping_sweep_specs, run_candidates
 from repro.simulation.kernel import Kernel
 
 TUTWLAN_BUILDER = "repro.cases.tutwlan:exploration_factory"
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
 
 #: events/second floor; the kernel currently sustains ~900k on one core.
 KERNEL_EVENTS_PER_S_FLOOR = 100_000
 
 #: wall-clock ceiling for one 20 ms TUTMAC/TUTWLAN evaluation (~0.05 s now).
 SINGLE_EVALUATION_BUDGET_S = 3.0
+
+#: supervised dispatch (ledgering, deadline bookkeeping) may cost at most
+#: this fraction of a campaign's wall clock on top of pure evaluation.
+SUPERVISOR_OVERHEAD_CEILING = 0.05
 
 
 def _measure_kernel_events_per_s(kernel, total=50_000):
@@ -107,6 +116,55 @@ def test_parallel_vs_serial_speedup_smoke():
         f"2 workers ({parallel_wall:.2f}s) not faster than serial "
         f"({serial_wall:.2f}s)"
     )
+
+
+def test_bench_explore_artifact_and_supervisor_overhead():
+    """Record the exploration trajectory in ``BENCH_explore.json``.
+
+    The artefact keeps kernel throughput, campaign wall time and the
+    supervised-dispatch overhead so future re-anchors can see whether a
+    change moved the needle; the asserted floors make it a regression
+    gate at the same time.
+    """
+    kernel_rate = _measure_kernel_events_per_s(Kernel(max_events=10_000_000))
+    assert kernel_rate > KERNEL_EVENTS_PER_S_FLOOR
+
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=5_000, limit=6)
+    started = time.perf_counter()
+    run = run_candidates(specs, workers=0, supervisor=SupervisorConfig())
+    campaign_wall_s = time.perf_counter() - started
+    assert run.evaluated == len(specs)
+
+    evaluation_s = sum(outcome.elapsed_s for outcome in run.outcomes)
+    overhead_frac = max(0.0, campaign_wall_s - evaluation_s) / campaign_wall_s
+    assert overhead_frac <= SUPERVISOR_OVERHEAD_CEILING, (
+        f"supervised dispatch added {overhead_frac:.1%} on top of evaluation "
+        f"(ceiling {SUPERVISOR_OVERHEAD_CEILING:.0%})"
+    )
+
+    payload = {
+        "schema": "repro.bench-explore/1",
+        "kernel": {
+            "events_per_s": round(kernel_rate),
+            "events_per_s_floor": KERNEL_EVENTS_PER_S_FLOOR,
+        },
+        "campaign": {
+            "candidates": len(specs),
+            "duration_us": 5_000,
+            "wall_s": round(campaign_wall_s, 4),
+            "evaluation_s": round(evaluation_s, 4),
+            "per_candidate_s": round(campaign_wall_s / len(specs), 4),
+        },
+        "supervisor": {
+            "overhead_frac": round(overhead_frac, 4),
+            "overhead_ceiling": SUPERVISOR_OVERHEAD_CEILING,
+            "counters": run.supervisor_counters(),
+        },
+    }
+    path = os.path.join(REPO_ROOT, "BENCH_explore.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def test_warm_cache_skips_all_evaluation(tmp_path):
