@@ -13,8 +13,10 @@ Commands:
 * ``explore`` — design-space exploration on the supervised candidate-
   evaluation engine: an exhaustive TUTMAC mapping sweep (default) or a
   multi-seed fault-campaign sweep, with ``--workers`` fan-out, a
-  ``--cache-dir`` content-addressed result cache and a fault-tolerance
-  policy (``--timeout``, ``--max-retries``, ``--quarantine-after``).
+  ``--cache-dir`` content-addressed result cache, static pruning of
+  provably bad candidates (``--prune-static``/``--prune-margin``) and a
+  fault-tolerance policy (``--timeout``, ``--max-retries``,
+  ``--quarantine-after``).
   Exit codes: 0 clean, 3 interrupted (Ctrl-C, SIGTERM or
   ``--interrupt-after-events`` — completed results are flushed to the
   cache for resume), 4 completed but with quarantined candidates
@@ -31,9 +33,11 @@ Commands:
   JSON that loads in ui.perfetto.dev (``--format chrome``);
 * ``validate <model.xmi>`` — parse an XMI file and run UML well-formedness
   plus the TUT-Profile design rules over it;
-* ``lint [model.xmi]`` — run the tutlint behavioural static-analysis
-  engine (EFSM, dataflow and signal-flow passes) over an XMI file or, by
-  default, the built-in TUTMAC/TUTWLAN system.
+* ``lint [model.xmi]`` — run the tutlint static-analysis engine (EFSM,
+  dataflow, interval value-analysis, signal-flow and platform-mapping
+  passes) over an XMI file or, by default, the built-in TUTMAC/TUTWLAN
+  system; ``--rules A001,M002`` restricts the run to listed rules and
+  ``--list-rules`` prints the catalogue.
 
 ``validate`` and ``lint`` share ``--format text|json`` and a
 severity-threshold exit code (``--fail-on``).  Every ``--format json``
@@ -123,6 +127,7 @@ def _cmd_explore(args) -> int:
     import signal
 
     from repro.exploration import (
+        PruneConfig,
         SupervisorConfig,
         mapping_sweep_specs,
         parse_worker_faults,
@@ -159,6 +164,15 @@ def _cmd_explore(args) -> int:
             quarantine_after=args.quarantine_after,
         )
         worker_faults = parse_worker_faults(args.inject_worker_fault)
+        prune = None
+        if args.prune_static:
+            prune = (
+                PruneConfig(margin=args.prune_margin)
+                if args.prune_margin is not None
+                else PruneConfig()
+            )
+        elif args.prune_margin is not None:
+            raise ExplorationError("--prune-margin requires --prune-static")
     except ExplorationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -181,6 +195,7 @@ def _cmd_explore(args) -> int:
             interrupt_after_events=args.interrupt_after_events,
             supervisor=supervisor,
             worker_faults=worker_faults,
+            prune_static=prune,
         )
     except SimulationInterrupted as exc:
         print(
@@ -247,6 +262,14 @@ def _cmd_explore(args) -> int:
         f"({run.cache_hits} cache hits) in {run.wall_s:.2f}s "
         f"with workers={run.workers}"
     )
+    if run.pruned:
+        submitted = len(run.outcomes) + len(run.pruned)
+        infeasible = sum(1 for r in run.pruned if r.reason == "infeasible")
+        print(
+            f"pruned {len(run.pruned)} of {submitted} candidates statically "
+            f"({infeasible} infeasible, {len(run.pruned) - infeasible} "
+            f"dominated; margin {run.prune_margin:g})"
+        )
     counters = run.supervisor_counters()
     if any(counters.values()) or run.quarantined:
         print(
@@ -490,17 +513,33 @@ def _cmd_lint(args) -> int:
         render_matrix,
         render_records,
         render_rule_catalogue,
+        rule_catalogue_records,
         run_lint,
         signal_flow_matrix,
     )
+    from repro.errors import LintConfigError
 
-    if args.rules:
-        print(render_rule_catalogue())
+    if args.list_rules:
+        if args.format == "json":
+            from repro.util.jsonout import render_envelope
+
+            print(render_envelope("lint-rules", rule_catalogue_records()))
+        else:
+            print(render_rule_catalogue())
         return 0
 
+    selected = None
+    if args.rules is not None:
+        selected = [
+            rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()
+        ]
     application, platform, mapping = _load_lint_inputs(args.model)
-    config = LintConfig(fail_on=args.fail_on)
-    report = run_lint(application, platform, mapping, config=config)
+    config = LintConfig(fail_on=args.fail_on, rules=selected)
+    try:
+        report = run_lint(application, platform, mapping, config=config)
+    except LintConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     records = lint_records(report, show_suppressed=args.show_suppressed)
     subject = args.model or "TUTMAC/TUTWLAN (built-in)"
     meta = {"model": subject}
@@ -633,6 +672,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault-plan seeds (--mode faults)",
     )
     explore.add_argument("--fault-rate", type=_rate, default=0.05)
+    explore.add_argument(
+        "--prune-static",
+        action="store_true",
+        help="skip candidates the static mapping estimator proves "
+        "infeasible or dominated, before any simulation (the skipped "
+        "candidates are recorded in the pruned ledger)",
+    )
+    explore.add_argument(
+        "--prune-margin",
+        type=float,
+        default=None,
+        help="dominance factor for --prune-static: keep candidates within "
+        "this multiple of the best static estimate (default 3.0)",
+    )
     explore.add_argument(
         "--checkpoint-dir",
         default=None,
@@ -820,7 +873,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the static signal-flow matrix (Figure 2's static twin)",
     )
     lint.add_argument(
-        "--rules", action="store_true", help="print the rule catalogue and exit"
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. A001,M002); "
+        "unknown ids are rejected with exit code 2",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (text table, or the "
+        "repro.lint-rules/1 envelope with --format json) and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
     return parser

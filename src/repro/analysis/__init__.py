@@ -5,7 +5,10 @@ optionally, the platform and mapping views) without simulating it:
 
 * :mod:`repro.analysis.efsm` — per-machine EFSM structure (E001-E006);
 * :mod:`repro.analysis.dataflow` — action-language dataflow (D001-D007);
-* :mod:`repro.analysis.sigflow` — cross-process signal flow (S001-S004).
+* :mod:`repro.analysis.values` — interval-domain value analysis (A001-A004);
+* :mod:`repro.analysis.sigflow` — cross-process signal flow (S001-S004);
+* :mod:`repro.analysis.mapping` — platform/mapping rules (M001-M005) and
+  the static cost estimator the exploration engine prunes with.
 
 Entry points: :func:`run_lint` for a whole application,
 :func:`lint_machine` for one state machine (the code generator's
@@ -16,7 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis import dataflow, efsm, sigflow
+from repro.analysis import dataflow, efsm, sigflow, values
+from repro.analysis import mapping as mapping_pass
 from repro.analysis.core import (
     RULES,
     Finding,
@@ -63,6 +67,7 @@ def run_lint(
         mapping=mapping,
         config=config if config is not None else LintConfig(),
     )
+    ctx.config.validate()
     findings: List[Finding] = []
     seen = set()
     for _, process in sorted(application.processes.items()):
@@ -72,7 +77,9 @@ def run_lint(
         seen.add(id(machine))
         efsm.check_machine(machine, ctx, findings)
         dataflow.check_machine(machine, ctx, findings, application.signals)
+        values.check_machine(machine, ctx, findings)
     sigflow.check_application(ctx, findings)
+    mapping_pass.check_mapping(ctx, findings)
     return LintReport(_sorted(findings))
 
 
@@ -90,19 +97,34 @@ def lint_machine(
         application=None,
         config=config if config is not None else LintConfig(),
     )
+    ctx.config.validate()
     findings: List[Finding] = []
     efsm.check_machine(machine, ctx, findings)
     dataflow.check_machine(machine, ctx, findings, signal_decls)
+    values.check_machine(machine, ctx, findings)
     return LintReport(_sorted(findings))
 
 
+from repro.analysis.mapping import (
+    StaticEstimate,
+    StaticProfile,
+    static_application_profile,
+    static_mapping_estimate,
+)
+from repro.analysis.report import rule_catalogue_records
+from repro.analysis.values import Interval, analyze_machine
+
 __all__ = [
     "Finding",
+    "Interval",
     "LintConfig",
     "LintContext",
     "LintReport",
     "RULES",
     "Rule",
+    "StaticEstimate",
+    "StaticProfile",
+    "analyze_machine",
     "const_value",
     "group_flow_matrix",
     "lint_machine",
@@ -111,7 +133,10 @@ __all__ = [
     "render_matrix",
     "render_records",
     "render_rule_catalogue",
+    "rule_catalogue_records",
     "run_lint",
     "signal_flow_matrix",
+    "static_application_profile",
+    "static_mapping_estimate",
     "validation_records",
 ]

@@ -96,7 +96,12 @@ class LintConfig:
 
     ``severities`` overrides the default severity of a rule; listing a rule
     in ``disabled`` (or mapping it to ``"off"``) drops its findings
-    entirely.  ``fail_on`` is the exit-code threshold used by the CLI.
+    entirely.  ``rules`` (when not ``None``) restricts the run to exactly
+    those rule ids.  ``fail_on`` is the exit-code threshold used by the
+    CLI.  Every rule id mentioned anywhere is checked against the
+    registered catalogue by :meth:`validate` — unknown ids raise
+    :class:`~repro.errors.LintConfigError` instead of being silently
+    ignored.
     """
 
     FAIL_ON_CHOICES = ("error", "warning", "never")
@@ -106,15 +111,41 @@ class LintConfig:
         severities: Optional[Dict[str, str]] = None,
         disabled: Sequence[str] = (),
         fail_on: str = "error",
+        rules: Optional[Sequence[str]] = None,
     ) -> None:
         if fail_on not in self.FAIL_ON_CHOICES:
             raise ValueError(f"fail_on must be one of {self.FAIL_ON_CHOICES}")
         self.severities = dict(severities or {})
         self.disabled = set(disabled)
         self.fail_on = fail_on
+        self.rules = None if rules is None else list(rules)
+
+    def validate(self) -> None:
+        """Reject rule ids that are not in the registered catalogue.
+
+        Called by the lint entry points *after* the pass modules have
+        populated :data:`RULES`, so a config created before any pass was
+        imported still validates against the full catalogue.
+        """
+        from repro.errors import LintConfigError
+
+        mentioned = set(self.severities) | set(self.disabled)
+        if self.rules is not None:
+            mentioned |= set(self.rules)
+        unknown = sorted(rule_id for rule_id in mentioned if rule_id not in RULES)
+        if unknown:
+            valid = sorted(RULES)
+            raise LintConfigError(
+                f"unknown rule id(s): {', '.join(unknown)}; valid ids are "
+                f"{', '.join(valid)}",
+                unknown=unknown,
+                valid=valid,
+            )
 
     def severity_of(self, rule_id: str) -> Optional[str]:
         """Effective severity of a rule, or ``None`` when it is disabled."""
+        if self.rules is not None and rule_id not in self.rules:
+            return None
         if rule_id in self.disabled:
             return None
         override = self.severities.get(rule_id)

@@ -109,9 +109,22 @@ def render_matrix(matrix: Dict) -> str:
 
 
 def render_rule_catalogue() -> str:
-    """The registered rules as a text table (the CLI's ``lint --rules``)."""
+    """The registered rules as a text table (the CLI's ``lint --list-rules``)."""
     lines = ["tutlint rule catalogue:"]
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
         lines.append(f"  {rule.id}  {rule.default_severity:<8} {rule.title}")
     return "\n".join(lines)
+
+
+def rule_catalogue_records() -> List[Dict]:
+    """The registered rules as records for the ``repro.lint-rules/1`` envelope."""
+    return [
+        {
+            "rule": rule.id,
+            "severity": rule.default_severity,
+            "title": rule.title,
+            "rationale": rule.rationale,
+        }
+        for rule_id, rule in sorted(RULES.items())
+    ]

@@ -62,6 +62,19 @@ class AnalysisError(ReproError):
         self.findings = list(findings) if findings is not None else []
 
 
+class LintConfigError(ReproError):
+    """A lint configuration names rule ids that are not in the catalogue.
+
+    ``unknown`` lists the offending ids, ``valid`` the registered ones, so
+    callers (and the CLI) can print an actionable message.
+    """
+
+    def __init__(self, message: str, unknown=None, valid=None):
+        super().__init__(message)
+        self.unknown = list(unknown) if unknown is not None else []
+        self.valid = list(valid) if valid is not None else []
+
+
 class MappingError(ModelError):
     """A platform mapping is inconsistent (unmapped group, bad target, ...)."""
 

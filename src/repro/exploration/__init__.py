@@ -4,7 +4,9 @@ The candidate-evaluation engine (:mod:`repro.exploration.engine`) fans
 design points out over supervised worker processes with content-addressed
 result caching and fault-tolerant dispatch (timeouts, retries with
 backoff, poison-candidate quarantine — :mod:`repro.exploration
-.supervisor`); see ``docs/exploration.md``.
+.supervisor`); the static pruning oracle
+(:mod:`repro.exploration.pruning`) skips provably infeasible or
+dominated candidates before simulating; see ``docs/exploration.md``.
 """
 
 from repro.exploration.objectives import EvaluationResult, evaluate, summarize
@@ -21,6 +23,13 @@ from repro.exploration.supervisor import (
     Supervisor,
     SupervisorConfig,
     SupervisorStats,
+)
+from repro.exploration.pruning import (
+    DEFAULT_PRUNE_MARGIN,
+    PruneConfig,
+    PrunedRecord,
+    prune_candidates,
+    static_estimates,
 )
 from repro.exploration.workerfaults import (
     WORKER_FAULT_MODES,
@@ -52,11 +61,14 @@ from repro.exploration.mapping import (
 __all__ = [
     "CandidateOutcome",
     "CandidateSpec",
+    "DEFAULT_PRUNE_MARGIN",
     "EvaluationResult",
     "ExplorationRun",
     "FailureRecord",
     "FaultSpec",
     "MappingCandidate",
+    "PruneConfig",
+    "PrunedRecord",
     "QuarantineRecord",
     "ResultCache",
     "Supervisor",
@@ -76,9 +88,11 @@ __all__ = [
     "mapping_sweep_specs",
     "parse_worker_faults",
     "per_process_grouping",
+    "prune_candidates",
     "resolve_builder",
     "round_robin_grouping",
     "run_candidates",
     "single_group_grouping",
+    "static_estimates",
     "summarize",
 ]

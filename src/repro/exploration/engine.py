@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ExplorationError
 from repro.exploration.cache import ResultCache
 from repro.exploration.objectives import EvaluationResult, evaluate
+from repro.exploration.pruning import PruneConfig, PrunedRecord, prune_candidates
 from repro.exploration.spec import CandidateSpec, build_system
 from repro.exploration.supervisor import (
     FailureRecord,
@@ -100,6 +101,10 @@ class ExplorationRun:
     failures: List[FailureRecord] = field(default_factory=list)
     quarantined: List[QuarantineRecord] = field(default_factory=list)
     supervisor_stats: Optional[SupervisorStats] = None
+    # static-pruning ledger: candidates skipped before any simulation,
+    # in submission order (empty when pruning was off)
+    pruned: List[PrunedRecord] = field(default_factory=list)
+    prune_margin: Optional[float] = None
 
     @property
     def evaluated(self) -> int:
@@ -139,10 +144,17 @@ class ExplorationRun:
         return {
             "workers": self.workers,
             "wall_s": self.wall_s,
+            "candidates_submitted": len(self.outcomes) + len(self.pruned),
             "candidates_total": len(self.outcomes),
             "evaluated": self.evaluated,
             "cache_hits": self.cache_hits,
             "cache_dir": self.cache_dir,
+            # candidates skipped by the static estimator, before dispatch
+            "pruned": {
+                "count": len(self.pruned),
+                "margin": self.prune_margin,
+                "records": [record.to_json_dict() for record in self.pruned],
+            },
             "ranking": [
                 dict(outcome.to_json_dict(), rank=rank + 1)
                 for rank, outcome in enumerate(shown)
@@ -231,6 +243,7 @@ def run_candidates(
     interrupt_after_events: Optional[int] = None,
     supervisor: Optional[SupervisorConfig] = None,
     worker_faults: Optional[WorkerFaultPlan] = None,
+    prune_static=None,
 ) -> ExplorationRun:
     """Evaluate every spec; cache hits are served without simulating.
 
@@ -239,6 +252,15 @@ def run_candidates(
     returned outcomes are in submission order regardless of completion
     order; use :meth:`ExplorationRun.ranking` for the stable best-first
     view.
+
+    ``prune_static`` enables the static pruning oracle
+    (:mod:`repro.exploration.pruning`): ``True`` uses the default
+    :class:`~repro.exploration.pruning.PruneConfig`, or pass one
+    directly.  Candidates the mapping estimator proves infeasible or
+    dominated are skipped before any dispatch and recorded in the run's
+    ``pruned`` ledger.  Pruning is computed serially over the full spec
+    list, so the ledger and the surviving candidate set are identical
+    for every worker count.
 
     ``supervisor`` is the fault-tolerance policy
     (:class:`~repro.exploration.supervisor.SupervisorConfig`; None means
@@ -298,9 +320,22 @@ def run_candidates(
                 "facility; resume the interrupted campaign with any "
                 "worker count afterwards"
             )
+    prune_config: Optional[PruneConfig] = None
+    if prune_static:
+        prune_config = (
+            prune_static
+            if isinstance(prune_static, PruneConfig)
+            else PruneConfig()
+        )
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir else None
     outcomes: List[Optional[CandidateOutcome]] = [None] * len(specs)
+    pruned_records: List[PrunedRecord] = []
+    surviving = list(enumerate(specs))
+    if prune_config is not None:
+        kept, pruned_records, _ = prune_candidates(specs, prune_config)
+        surviving = [(index, specs[index]) for index in kept]
+    total = len(surviving)
     done = 0
 
     def finish(outcome: CandidateOutcome) -> None:
@@ -308,10 +343,10 @@ def run_candidates(
         outcomes[outcome.index] = outcome
         done += 1
         if progress is not None:
-            progress(outcome, done, len(specs))
+            progress(outcome, done, total)
 
     pending: List[Tuple[int, CandidateSpec]] = []
-    for index, spec in enumerate(specs):
+    for index, spec in surviving:
         hit = cache.load(spec) if cache is not None else None
         if hit is not None:
             result, _ = hit
@@ -413,4 +448,6 @@ def run_candidates(
         failures=run_failures,
         quarantined=run_quarantined,
         supervisor_stats=stats,
+        pruned=pruned_records,
+        prune_margin=prune_config.margin if prune_config is not None else None,
     )

@@ -167,6 +167,7 @@ def run_design_flow(
     continue_on_error: bool = False,
     faults=None,
     lint: bool = False,
+    lint_config=None,
     trace: bool = False,
     explore_factory=None,
     explore_cache_dir: Optional[str] = None,
@@ -181,7 +182,9 @@ def run_design_flow(
     instead of raising, still running whatever does not depend on them.
     ``lint=True`` inserts a tutlint static-analysis step after validation:
     error-severity findings abort the flow (via :class:`AnalysisError`)
-    before any code is generated or simulated.
+    before any code is generated or simulated; ``lint_config`` (a
+    :class:`repro.analysis.LintConfig`) tunes that step's rule selection
+    and severities.
     ``trace=True`` runs the simulation under an observability tracer and
     adds a "trace" step that writes ``trace.json`` (Chrome-trace JSON,
     loadable in ui.perfetto.dev) and ``metrics.json`` (the aggregated
@@ -221,7 +224,7 @@ def run_design_flow(
             from repro.analysis import run_lint
             from repro.errors import AnalysisError
 
-            report = run_lint(application, platform, mapping)
+            report = run_lint(application, platform, mapping, config=lint_config)
             if report.errors:
                 summary = "; ".join(str(f) for f in report.errors[:5])
                 raise AnalysisError(

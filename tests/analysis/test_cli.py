@@ -195,11 +195,49 @@ class TestBuiltinModelIsClean:
         assert "S004" in out and "2 suppressed" in out
 
 
+class TestRuleSelection:
+    def test_rules_selector_restricts_run(self, tmp_path, capsys):
+        # the fixture seeds one E001; selecting only D-rules must hide it
+        code, out = run_lint_cli(
+            unreachable_app(), tmp_path, capsys, "--rules", "D001,D002"
+        )
+        assert code == 0
+        assert "E001" not in out
+        assert "ok: 0 error(s), 0 warning(s)" in out
+
+    def test_rules_selector_keeps_selected(self, tmp_path, capsys):
+        code, out = run_lint_cli(
+            unreachable_app(), tmp_path, capsys, "--rules", "E001"
+        )
+        assert code == 1
+        assert "[error] E001" in out
+
+    def test_unknown_rule_id_rejected(self, capsys):
+        assert main(["lint", "--rules", "E001,Z999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id(s): Z999" in err
+        assert "A001" in err  # the message lists the valid catalogue
+
+
 class TestAuxiliaryOutput:
     def test_rule_catalogue(self, capsys):
-        assert main(["lint", "--rules"]) == 0
+        assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "E001" in out and "S004" in out and "D006" in out
+        # the new value-analysis and mapping passes are in the catalogue
+        assert "A001" in out and "M005" in out
+
+    def test_rule_catalogue_json(self, capsys):
+        assert main(["lint", "--list-rules", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint-rules/1"
+        records = payload["results"]
+        by_id = {record["rule"]: record for record in records}
+        assert by_id["A004"]["severity"] == "warning"
+        assert by_id["M001"]["severity"] == "error"
+        assert by_id["E001"]["title"] == "unreachable-state"
+        assert all(record["rationale"] for record in records)
+        assert [r["rule"] for r in records] == sorted(r["rule"] for r in records)
 
     def test_matrix(self, tmp_path, capsys):
         _, out = run_lint_cli(arity_mismatch_app(), tmp_path, capsys, "--matrix")

@@ -15,7 +15,14 @@ import time
 
 import pytest
 
-from repro.exploration import SupervisorConfig, mapping_sweep_specs, run_candidates
+from repro.exploration import (
+    DEFAULT_PRUNE_MARGIN,
+    PruneConfig,
+    SupervisorConfig,
+    mapping_sweep_specs,
+    prune_candidates,
+    run_candidates,
+)
 from repro.simulation.kernel import Kernel
 
 TUTWLAN_BUILDER = "repro.cases.tutwlan:exploration_factory"
@@ -142,6 +149,13 @@ def test_bench_explore_artifact_and_supervisor_overhead():
         f"(ceiling {SUPERVISOR_OVERHEAD_CEILING:.0%})"
     )
 
+    full_specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=5_000)
+    kept, pruned_records, _ = prune_candidates(full_specs)
+    assert 0 < len(kept) < len(full_specs), (
+        "the default prune margin should drop part of the TUTMAC sweep "
+        "without emptying it"
+    )
+
     payload = {
         "schema": "repro.bench-explore/1",
         "kernel": {
@@ -160,11 +174,66 @@ def test_bench_explore_artifact_and_supervisor_overhead():
             "overhead_ceiling": SUPERVISOR_OVERHEAD_CEILING,
             "counters": run.supervisor_counters(),
         },
+        "pruning": {
+            "margin": DEFAULT_PRUNE_MARGIN,
+            "candidates_submitted": len(full_specs),
+            "kept": len(kept),
+            "pruned": len(pruned_records),
+            "infeasible": sum(
+                1 for r in pruned_records if r.reason == "infeasible"
+            ),
+            "dominated": sum(
+                1 for r in pruned_records if r.reason == "dominated"
+            ),
+        },
     }
     path = os.path.join(REPO_ROOT, "BENCH_explore.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def test_static_pruning_preserves_top_candidate(tmp_path):
+    """The tentpole acceptance gate for ``--prune-static``.
+
+    On the full TUTMAC mapping sweep the pruned run must evaluate strictly
+    fewer candidates, keep the identical top-ranked candidate, and produce
+    a pruned ledger that is byte-identical for workers in {0, 1, 4}.  A
+    shared cache keeps this at one full sweep's simulation cost.
+    """
+    cache_dir = str(tmp_path / "cache")
+    specs = mapping_sweep_specs(TUTWLAN_BUILDER, duration_us=5_000)
+    baseline = run_candidates(specs, workers=0, cache_dir=cache_dir)
+    assert baseline.evaluated == len(specs)
+    best = baseline.ranking()[0]
+
+    ledgers = []
+    for workers in (0, 1, 4):
+        pruned_run = run_candidates(
+            specs,
+            workers=workers,
+            cache_dir=cache_dir,
+            prune_static=PruneConfig(),
+        )
+        assert len(pruned_run.outcomes) < len(specs), (
+            "pruning must evaluate strictly fewer candidates than the sweep"
+        )
+        assert len(pruned_run.outcomes) + len(pruned_run.pruned) == len(specs)
+        top = pruned_run.ranking()[0]
+        assert top.spec.digest() == best.spec.digest(), (
+            "pruning changed the top-ranked candidate"
+        )
+        assert top.result.stable_hash() == best.result.stable_hash()
+        assert top.result.cost() == best.result.cost()
+        ledgers.append(
+            json.dumps(
+                [record.to_json_dict() for record in pruned_run.pruned],
+                sort_keys=True,
+            )
+        )
+    assert ledgers[0] == ledgers[1] == ledgers[2], (
+        "the pruned ledger must not depend on worker count"
+    )
 
 
 def test_warm_cache_skips_all_evaluation(tmp_path):
