@@ -563,6 +563,81 @@ def _cmd_lint(args) -> int:
     return report.exit_code(args.fail_on)
 
 
+def _cmd_generate_model(args) -> int:
+    from repro.errors import GeneratorError
+    from repro.genmodel import (
+        GeneratorConfig,
+        blueprint_json,
+        builder_token,
+        generate_blueprint,
+        generate_model,
+        known_defects,
+    )
+
+    if args.list_defects:
+        for rule in known_defects():
+            print(rule)
+        return 0
+
+    defects = ()
+    if args.defects:
+        if args.defects.strip() == "all":
+            defects = tuple(known_defects())
+        else:
+            defects = tuple(
+                rule.strip() for rule in args.defects.split(",") if rule.strip()
+            )
+    try:
+        config = GeneratorConfig(
+            seed=args.seed,
+            n_processes=args.processes,
+            efsm_depth=args.depth,
+            fanout=args.fanout,
+            n_variables=args.variables,
+            guard_terms=args.guard_terms,
+            request_reply=args.request_reply,
+            drive_period_us=args.drive_period_us,
+            topology=args.topology,
+            n_segments=args.segments,
+            n_pes=args.pes,
+            heterogeneous=not args.homogeneous,
+            n_groups=args.groups,
+            inject_defects=defects,
+        )
+    except GeneratorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.print_token:
+        print(builder_token(config))
+        return 0
+
+    try:
+        if args.format == "json":
+            text = blueprint_json(generate_blueprint(config))
+            if args.out:
+                with open(args.out, "w", encoding="ascii") as handle:
+                    handle.write(text + "\n")
+                print(f"blueprint written to {args.out}")
+            else:
+                print(text)
+        else:
+            if not args.out:
+                print(
+                    "error: --format xmi requires --out", file=sys.stderr
+                )
+                return 2
+            from repro.uml import write_model
+
+            generated = generate_model(config)
+            write_model(generated.application.model, args.out)
+            print(f"model written to {args.out}")
+    except GeneratorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _rate(text: str) -> float:
     value = float(text)
     if not 0.0 <= value <= 1.0:
@@ -886,6 +961,85 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.lint-rules/1 envelope with --format json) and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    generate = subparsers.add_parser(
+        "generate-model",
+        help="generate a seeded synthetic TUT-Profile model",
+    )
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--processes", type=int, default=4, help="token-ring length"
+    )
+    generate.add_argument(
+        "--depth", type=int, default=2, help="EFSM state-hierarchy depth"
+    )
+    generate.add_argument(
+        "--fanout", type=int, default=2,
+        help="guarded token-handling alternatives per EFSM",
+    )
+    generate.add_argument(
+        "--variables", type=int, default=2, help="scratch variables per EFSM"
+    )
+    generate.add_argument(
+        "--guard-terms", type=int, default=2,
+        help="comparison terms per generated guard",
+    )
+    generate.add_argument(
+        "--request-reply", type=int, default=1,
+        help="client/server request-reply chains",
+    )
+    generate.add_argument(
+        "--drive-period-us", type=int, default=200,
+        help="token-injection timer period (µs)",
+    )
+    generate.add_argument(
+        "--topology",
+        choices=("single", "paper", "chain", "star", "mesh"),
+        default="paper",
+        help="HIBI segment/bridge layout",
+    )
+    generate.add_argument(
+        "--segments", type=int, default=2,
+        help="HIBI segments (chain/star/mesh topologies)",
+    )
+    generate.add_argument(
+        "--pes", type=int, default=3, help="processing elements"
+    )
+    generate.add_argument(
+        "--homogeneous",
+        action="store_true",
+        help="all NiosCPU instead of alternating NiosCPU/NiosDSP",
+    )
+    generate.add_argument(
+        "--groups", type=int, default=3, help="process groups"
+    )
+    generate.add_argument(
+        "--defects",
+        default="",
+        metavar="IDS",
+        help="comma-separated lint rule ids whose defect constructions "
+        "to inject (e.g. E003,A001), or 'all'",
+    )
+    generate.add_argument(
+        "--list-defects",
+        action="store_true",
+        help="print the injectable rule ids and exit",
+    )
+    generate.add_argument(
+        "--format",
+        choices=("json", "xmi"),
+        default="json",
+        help="blueprint JSON (canonical bytes) or an XMI model document",
+    )
+    generate.add_argument(
+        "--out", default=None, help="output path (stdout for json)"
+    )
+    generate.add_argument(
+        "--print-token",
+        action="store_true",
+        help="print the exploration builder token for this configuration",
+    )
+    generate.set_defaults(handler=_cmd_generate_model)
     return parser
 
 

@@ -136,5 +136,28 @@ class CodegenError(ReproError):
     """Code generation could not translate a model construct."""
 
 
+class GeneratorError(ReproError):
+    """The synthetic-model generator was configured out of range.
+
+    Raised by :class:`repro.genmodel.GeneratorConfig` validation, by
+    defect injectors whose preconditions the configuration does not meet
+    (e.g. ``S004`` needs at least two bridged segments), and by the
+    factory module when a builder token does not decode to a
+    configuration."""
+
+
+class InvariantViolation(ReproError):
+    """A cross-subsystem fuzz invariant failed on a generated model.
+
+    Carries the pipeline ``stage`` that failed and the offending
+    :class:`repro.genmodel.GeneratorConfig`, so harnesses can shrink the
+    configuration and print a reproduction command."""
+
+    def __init__(self, stage: str, message: str, config=None):
+        super().__init__(f"[{stage}] {message}")
+        self.stage = stage
+        self.config = config
+
+
 class XmiError(ModelError):
     """An XMI document could not be written or parsed."""

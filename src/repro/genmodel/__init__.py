@@ -1,0 +1,81 @@
+"""Seeded synthetic-model generation and the differential fuzz pipeline.
+
+The TUTWLAN/TUTMAC cases exercise one hand-built shape; this package
+generates *families* of well-formed TUT-Profile systems — EFSM
+applications, HIBI platform topologies and «PlatformMapping» groupings —
+deterministically from a :class:`GeneratorConfig` seed, and drives them
+through the whole flow (validate → lint → simulate → checkpoint/resume →
+explore → prune) checking the cross-subsystem invariants the tools
+promise.  See ``docs/model_generator.md``.
+
+Entry points:
+
+* :func:`generate_model` / ``repro generate-model`` — one seeded system;
+* :func:`repro.genmodel.pipeline.run_pipeline` — the invariant pipeline;
+* :func:`repro.genmodel.shrink.shrink_config` — failing-config minimiser;
+* :func:`config_for_seed` — the fuzz campaign's seed → configuration map.
+"""
+
+from repro.genmodel.build import (
+    BLUEPRINT_SCHEMA,
+    GeneratedModel,
+    blueprint_json,
+    build_from_blueprint,
+    generate_blueprint,
+    generate_model,
+)
+from repro.genmodel.config import KNOB_BOUNDS, TOPOLOGIES, GeneratorConfig
+from repro.genmodel.defects import apply_defects, known_defects
+from repro.genmodel.factory import builder_token, decode_config, encode_config
+from repro.genmodel.pipeline import run_pipeline
+from repro.genmodel.shrink import ShrinkResult, repro_command, shrink_config
+
+__all__ = [
+    "BLUEPRINT_SCHEMA",
+    "GeneratedModel",
+    "GeneratorConfig",
+    "KNOB_BOUNDS",
+    "TOPOLOGIES",
+    "ShrinkResult",
+    "apply_defects",
+    "blueprint_json",
+    "build_from_blueprint",
+    "builder_token",
+    "config_for_seed",
+    "decode_config",
+    "encode_config",
+    "generate_blueprint",
+    "generate_model",
+    "known_defects",
+    "repro_command",
+    "run_pipeline",
+    "shrink_config",
+]
+
+
+def config_for_seed(seed: int) -> GeneratorConfig:
+    """The fuzz campaign's deterministic seed → configuration spread.
+
+    Cycles the knobs so a contiguous seed range covers every topology,
+    several ring sizes, hierarchy depths and request-reply densities —
+    the same function the CI smoke job and a local repro use, so a
+    failing seed number alone identifies the model.
+    """
+    topologies = ("single", "paper", "chain", "star", "mesh")
+    topology = topologies[seed % len(topologies)]
+    n_processes = 2 + (seed % 5)
+    return GeneratorConfig(
+        seed=seed,
+        n_processes=n_processes,
+        efsm_depth=1 + (seed % 3),
+        fanout=1 + (seed % 3),
+        n_variables=1 + (seed % 4),
+        guard_terms=1 + (seed % 3),
+        request_reply=min(seed % 2, n_processes // 2),
+        drive_period_us=100 + 50 * (seed % 4),
+        topology=topology,
+        n_segments=1 if topology == "single" else 2 + (seed % 2),
+        n_pes=2 + (seed % 4),
+        heterogeneous=bool(seed % 2 == 0),
+        n_groups=2 + (seed % 3),
+    )

@@ -1,0 +1,384 @@
+"""Application-view blueprint generation (EFSMs, signals, topology).
+
+The generator never touches UML objects directly: it first draws a plain
+``dict`` blueprint from a :class:`random.Random` seeded by the
+configuration, and the builder (:mod:`repro.genmodel.build`) turns that
+blueprint into model objects.  Canonical-JSON-dumping the blueprint is
+therefore the model's byte identity — two equal configurations yield the
+identical dump in any process.
+
+The generated application is a *token ring* with optional request-reply
+chains layered on top:
+
+* every process periodically injects a token carrying a TTL and forwards
+  incoming tokens while their TTL lasts, so the model is live under any
+  mapping and its traffic is proportional to the simulated duration;
+* each EFSM has a hierarchical ``hub`` state (completion-chained
+  substates to the configured depth), guarded token-handling
+  alternatives (the fan-out knob), and bounded-interval scratch
+  variables, constructed so the model is lint-clean by design;
+* request-reply chains add client/server port pairs where the client
+  blocks in a wait state until the reply arrives.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, List
+
+from repro.genmodel.config import GeneratorConfig
+
+APPLICATION_NAME = "GenApp"
+
+#: Scratch variables are updated modulo this, keeping their interval tight.
+VAR_MODULUS = 7
+
+#: Token payload sizes drawn per ring signal (bits).
+TOKEN_PAYLOADS = (0, 64, 256)
+
+#: Request/reply payload sizes (bits).
+RR_PAYLOADS = (0, 32)
+
+#: Generated groups carry this justification for suppressing S004: the
+#: request-reply FIFO-deadlock heuristic cannot bite because every
+#: generated client blocks in its wait state until the reply arrives, and
+#: ring tokens are consumed by internal transitions without blocking.
+S004_SUPPRESSION = (
+    "tutlint: disable=S004 -- generated request-reply clients block in a "
+    "wait state until the reply arrives (one request in flight per chain) "
+    "and ring tokens never block, so the cross-segment FIFO deadlock "
+    "cannot occur by construction."
+)
+
+
+def _guard(rng: Random, config: GeneratorConfig, param: str) -> str:
+    """A satisfiable guard of ``guard_terms`` comparisons.
+
+    Every term is feasible under the interval domain (``param`` is
+    unbounded from the analysis's view; counters stay in known ranges),
+    so the clean generator never produces an A001 finding.
+    """
+    terms: List[str] = []
+    for _ in range(config.guard_terms):
+        kind = rng.randrange(3)
+        if kind == 0:
+            modulus = rng.randrange(2, 5)
+            terms.append(f"{param} % {modulus} == {rng.randrange(modulus)}")
+        elif kind == 1:
+            modulus = rng.randrange(2, 5)
+            terms.append(f"count % {modulus} == {rng.randrange(modulus)}")
+        else:
+            index = rng.randrange(config.n_variables)
+            terms.append(f"v{index} < {rng.randrange(1, VAR_MODULUS)}")
+    joiner = rng.choice((" && ", " || "))
+    return joiner.join(terms)
+
+
+def _update(rng: Random, config: GeneratorConfig, param: str = "") -> str:
+    """One scratch-variable update statement (reads what it writes)."""
+    index = rng.randrange(config.n_variables)
+    deltas = ["1", "2", "count % 5"]
+    if param:
+        deltas.append(f"{param} % 5")
+    delta = rng.choice(deltas)
+    return f"v{index} = (v{index} + {delta}) % {VAR_MODULUS};"
+
+
+def _machine_blueprint(
+    rng: Random,
+    config: GeneratorConfig,
+    index: int,
+    token_in: str,
+    token_out: str,
+    client_chains: List[int],
+    server_chains: List[int],
+) -> Dict[str, object]:
+    """The EFSM blueprint of process ``index``."""
+    ttl = rng.randrange(1, min(config.n_processes, 4) + 1)
+    entry = [f"set_timer(t_drive, {config.drive_period_us});"]
+    rr_periods = {
+        chain: config.drive_period_us * rng.randrange(2, 5)
+        for chain in client_chains
+    }
+    for chain in client_chains:
+        entry.append(f"set_timer(t_rr{chain}, {rr_periods[chain]});")
+
+    variables = [["count", 0]]
+    for v_index in range(config.n_variables):
+        variables.append([f"v{v_index}", rng.randrange(VAR_MODULUS)])
+
+    states: List[Dict[str, object]] = [
+        {
+            "name": "hub",
+            "initial": True,
+            "parent": None,
+            "entry": " ".join(entry),
+        }
+    ]
+    # hierarchical depth: a completion-chained substate ladder under hub
+    substates = config.efsm_depth - 1
+    for level in range(substates):
+        states.append(
+            {
+                # each ladder state is the initial substate of its parent,
+                # so entering hub descends the whole chain
+                "name": f"d{level}",
+                "initial": True,
+                "parent": "hub" if level == 0 else f"d{level - 1}",
+                "entry": _update(rng, config),
+            }
+        )
+
+    transitions: List[Dict[str, object]] = []
+    # drive timer: external hub self-loop re-arms every timer on re-entry.
+    # It also touches every scratch variable: a variable that is never
+    # assigned keeps a degenerate (constant) interval under the value
+    # analysis, and a drawn guard like "v3 < 2" over it could be provably
+    # infeasible — a spurious A001 on a model meant to be clean.
+    touch = " ".join(
+        f"v{v_index} = (v{v_index} + 1) % {VAR_MODULUS};"
+        for v_index in range(config.n_variables)
+    )
+    transitions.append(
+        {
+            "source": "hub",
+            "target": "hub",
+            "trigger": {"kind": "timer", "timer": "t_drive"},
+            "guard": "",
+            "effect": (
+                f"count = count + 1; send {token_out}({ttl}) via rout; "
+                + touch
+            ),
+            "priority": 0,
+            "internal": False,
+        }
+    )
+    # token forwarding while the TTL lasts (keeps ring traffic bounded)
+    transitions.append(
+        {
+            "source": "hub",
+            "target": "hub",
+            "trigger": {"kind": "signal", "signal": token_in, "params": ["n"]},
+            "guard": "n > 0",
+            "effect": (
+                f"count = count + 1; send {token_out}(n - 1) via rout;"
+            ),
+            "priority": 0,
+            "internal": True,
+        }
+    )
+    # guarded handling alternatives (the fan-out knob), then a fallback
+    for alt in range(config.fanout):
+        transitions.append(
+            {
+                "source": "hub",
+                "target": "hub",
+                "trigger": {
+                    "kind": "signal",
+                    "signal": token_in,
+                    "params": ["n"],
+                },
+                "guard": _guard(rng, config, "n"),
+                "effect": _update(rng, config, "n"),
+                "priority": 1 + alt,
+                "internal": True,
+            }
+        )
+    transitions.append(
+        {
+            "source": "hub",
+            "target": "hub",
+            "trigger": {"kind": "signal", "signal": token_in, "params": ["n"]},
+            "guard": "",
+            "effect": _update(rng, config),
+            "priority": 1 + config.fanout,
+            "internal": True,
+        }
+    )
+    # request-reply client: fire a request, block until the reply arrives
+    for chain in client_chains:
+        states.append(
+            {
+                "name": f"wait{chain}",
+                "initial": False,
+                "parent": None,
+                "entry": _update(rng, config),
+            }
+        )
+        transitions.append(
+            {
+                "source": "hub",
+                "target": f"wait{chain}",
+                "trigger": {"kind": "timer", "timer": f"t_rr{chain}"},
+                "guard": "",
+                "effect": f"send req{chain}(count) via rr{chain};",
+                "priority": 0,
+                "internal": False,
+            }
+        )
+        transitions.append(
+            {
+                "source": f"wait{chain}",
+                "target": "hub",
+                "trigger": {
+                    "kind": "signal",
+                    "signal": f"rep{chain}",
+                    "params": ["x"],
+                },
+                "guard": "",
+                "effect": _update(rng, config, "x"),
+                "priority": 0,
+                "internal": False,
+            }
+        )
+    # request-reply server: answer immediately from the hub
+    for chain in server_chains:
+        transitions.append(
+            {
+                "source": "hub",
+                "target": "hub",
+                "trigger": {
+                    "kind": "signal",
+                    "signal": f"req{chain}",
+                    "params": ["x"],
+                },
+                "guard": "",
+                "effect": (
+                    f"send rep{chain}(x) via rs{chain}; "
+                    + _update(rng, config, "x")
+                ),
+                "priority": 0,
+                "internal": True,
+            }
+        )
+    return {
+        "variables": variables,
+        "states": states,
+        "transitions": transitions,
+    }
+
+
+def application_blueprint(
+    config: GeneratorConfig, rng: Random
+) -> Dict[str, object]:
+    """Draw the application view: signals, components, ring, groups."""
+    count = config.n_processes
+    signals: List[Dict[str, object]] = []
+    for index in range(count):
+        signals.append(
+            {
+                "name": f"tok{index}",
+                "params": [["n", "Int32"]],
+                "payload_bits": rng.choice(TOKEN_PAYLOADS),
+            }
+        )
+
+    # request-reply chains pair disjoint (client, server) processes
+    chain_members = rng.sample(range(count), 2 * config.request_reply)
+    clients_of: Dict[int, List[int]] = {}
+    servers_of: Dict[int, List[int]] = {}
+    for chain in range(config.request_reply):
+        client = chain_members[2 * chain]
+        server = chain_members[2 * chain + 1]
+        clients_of.setdefault(client, []).append(chain)
+        servers_of.setdefault(server, []).append(chain)
+        payload = rng.choice(RR_PAYLOADS)
+        signals.append(
+            {
+                "name": f"req{chain}",
+                "params": [["x", "Int32"]],
+                "payload_bits": payload,
+            }
+        )
+        signals.append(
+            {
+                "name": f"rep{chain}",
+                "params": [["x", "Int32"]],
+                "payload_bits": payload,
+            }
+        )
+
+    components: List[Dict[str, object]] = []
+    processes: List[Dict[str, object]] = []
+    connectors: List[List[List[str]]] = []
+    for index in range(count):
+        token_in = f"tok{(index - 1) % count}"
+        token_out = f"tok{index}"
+        ports = [
+            {"name": "rin", "provided": [token_in], "required": []},
+            {"name": "rout", "provided": [], "required": [token_out]},
+        ]
+        for chain in clients_of.get(index, []):
+            ports.append(
+                {
+                    "name": f"rr{chain}",
+                    "provided": [f"rep{chain}"],
+                    "required": [f"req{chain}"],
+                }
+            )
+        for chain in servers_of.get(index, []):
+            ports.append(
+                {
+                    "name": f"rs{chain}",
+                    "provided": [f"req{chain}"],
+                    "required": [f"rep{chain}"],
+                }
+            )
+        components.append(
+            {
+                "name": f"C{index}",
+                "ports": ports,
+                "machine": _machine_blueprint(
+                    rng,
+                    config,
+                    index,
+                    token_in,
+                    token_out,
+                    clients_of.get(index, []),
+                    servers_of.get(index, []),
+                ),
+            }
+        )
+        processes.append(
+            {
+                "name": f"p{index}",
+                "component": f"C{index}",
+                "priority": rng.randrange(4),
+            }
+        )
+        connectors.append(
+            [[f"p{index}", "rout"], [f"p{(index + 1) % count}", "rin"]]
+        )
+    for chain in range(config.request_reply):
+        client = chain_members[2 * chain]
+        server = chain_members[2 * chain + 1]
+        connectors.append(
+            [[f"p{client}", f"rr{chain}"], [f"p{server}", f"rs{chain}"]]
+        )
+
+    # partition processes into non-empty groups, round-robin on a shuffle
+    group_count = min(config.n_groups, count)
+    order = list(range(count))
+    rng.shuffle(order)
+    members: List[List[str]] = [[] for _ in range(group_count)]
+    for position, process_index in enumerate(order):
+        members[position % group_count].append(f"p{process_index}")
+    groups = [
+        {
+            "name": f"g{group_index}",
+            "process_type": "general",
+            "members": sorted(
+                member_list, key=lambda name: int(name[1:])
+            ),
+            "comments": [S004_SUPPRESSION],
+        }
+        for group_index, member_list in enumerate(members)
+    ]
+    return {
+        "name": APPLICATION_NAME,
+        "signals": signals,
+        "components": components,
+        "processes": processes,
+        "connectors": connectors,
+        "groups": groups,
+    }

@@ -1,0 +1,219 @@
+"""Blueprint → UML model construction, and the top-level generator entry.
+
+:func:`generate_blueprint` draws the plain-dict blueprint (application,
+platform, mapping, plus any injected defects) from the configuration's
+seed; :func:`build_from_blueprint` turns a blueprint into live
+``ApplicationModel`` / ``PlatformModel`` / ``MappingModel`` views sharing
+one UML model (so a single XMI document carries the whole system, like
+the hand-built TUTWLAN case); :func:`generate_model` composes the two.
+
+Byte identity: ``blueprint_json(generate_blueprint(config))`` is the
+model's canonical serialized form.  It depends only on the configuration
+— never on process state, dict ordering or wall-clock — which the
+determinism tests assert across subprocess boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Optional
+
+from repro.application.model import ApplicationModel
+from repro.genmodel.appgen import application_blueprint
+from repro.genmodel.config import GeneratorConfig
+from repro.genmodel.platgen import mapping_blueprint, platform_blueprint
+from repro.mapping.model import MappingModel
+from repro.platform.library import standard_library
+from repro.platform.model import PlatformModel
+from repro.tutprofile import PLATFORM_MAPPING
+from repro.uml import Port
+from repro.uml.dependency import Dependency
+from repro.uml.statemachine import SignalTrigger, TimerTrigger, Trigger
+
+BLUEPRINT_SCHEMA = "repro.genmodel/1"
+
+
+@dataclass
+class GeneratedModel:
+    """One generated system: the three views plus their blueprint."""
+
+    config: GeneratorConfig
+    blueprint: Dict[str, object]
+    application: ApplicationModel
+    platform: PlatformModel
+    mapping: MappingModel
+
+
+def generate_blueprint(config: GeneratorConfig) -> Dict[str, object]:
+    """The complete, deterministic blueprint for ``config``."""
+    rng = Random(config.seed)
+    application = application_blueprint(config, rng)
+    platform = platform_blueprint(config, rng)
+    mapping = mapping_blueprint(config, rng, application, platform)
+    blueprint: Dict[str, object] = {
+        "schema": BLUEPRINT_SCHEMA,
+        "config": config.to_dict(),
+        "application": application,
+        "platform": platform,
+        "mapping": mapping,
+    }
+    if config.inject_defects:
+        from repro.genmodel.defects import apply_defects
+
+        apply_defects(blueprint, config.inject_defects)
+    return blueprint
+
+
+def blueprint_json(blueprint: Dict[str, object]) -> str:
+    """The canonical JSON dump — the model's byte-identical form."""
+    return json.dumps(blueprint, sort_keys=True, separators=(",", ":"))
+
+
+def _trigger_from_dict(data: Optional[Dict[str, object]]) -> Optional[Trigger]:
+    if data is None:
+        return None
+    kind = data["kind"]
+    if kind == "signal":
+        return SignalTrigger(data["signal"], list(data.get("params", [])))
+    if kind == "timer":
+        return TimerTrigger(data["timer"])
+    return None  # "completion"
+
+
+def build_application(blueprint: Dict[str, object]) -> ApplicationModel:
+    """Instantiate the application view of ``blueprint``."""
+    data = blueprint["application"]
+    app = ApplicationModel(data["name"])
+    for signal in data["signals"]:
+        app.signal(
+            signal["name"],
+            [tuple(param) for param in signal["params"]],
+            payload_bits=signal["payload_bits"],
+        )
+    for component_data in data["components"]:
+        component = app.component(component_data["name"])
+        for port in component_data["ports"]:
+            component.add_port(
+                Port(
+                    port["name"],
+                    provided=list(port["provided"]),
+                    required=list(port["required"]),
+                )
+            )
+        machine = app.behavior(component)
+        machine_data = component_data["machine"]
+        for name, initial_value in machine_data["variables"]:
+            machine.variable(name, initial_value)
+        for state in machine_data["states"]:
+            machine.state(
+                state["name"],
+                initial=state["initial"],
+                parent=state["parent"],
+                entry=state.get("entry", ""),
+                exit=state.get("exit", ""),
+            )
+        for transition in machine_data["transitions"]:
+            machine.transition(
+                transition["source"],
+                transition["target"],
+                trigger=_trigger_from_dict(transition["trigger"]),
+                guard=transition.get("guard", ""),
+                effect=transition.get("effect", ""),
+                priority=transition.get("priority", 0),
+                internal=transition.get("internal", False),
+            )
+    for process in data["processes"]:
+        app.process(
+            app.top,
+            process["name"],
+            app.components[process["component"]],
+            priority=process.get("priority", 0),
+        )
+    for (left_part, left_port), (right_part, right_port) in (
+        (tuple(end) for end in connector) for connector in data["connectors"]
+    ):
+        app.connect(
+            app.top, (left_part, left_port), (right_part, right_port)
+        )
+    for group_data in data["groups"]:
+        group = app.group(
+            group_data["name"], process_type=group_data["process_type"]
+        )
+        for comment in group_data.get("comments", []):
+            group.add_comment(comment)
+        for member in group_data["members"]:
+            app.assign(member, group_data["name"])
+    return app
+
+
+def build_platform(
+    blueprint: Dict[str, object], application: ApplicationModel
+) -> PlatformModel:
+    """Instantiate the platform view into the application's UML model."""
+    data = blueprint["platform"]
+    platform = PlatformModel(
+        data["name"],
+        standard_library(profile=application.profile),
+        model=application.model,
+        profile=application.profile,
+    )
+    for pe in data["pes"]:
+        platform.instantiate(pe["name"], pe["type"], priority=pe["priority"])
+    for segment in data["segments"]:
+        platform.segment(segment["name"], segment["type"])
+    for attachment in data["attachments"]:
+        platform.attach(
+            attachment["agent"],
+            attachment["segment"],
+            address=attachment["address"],
+        )
+    return platform
+
+
+def build_mapping(
+    blueprint: Dict[str, object],
+    application: ApplicationModel,
+    platform: PlatformModel,
+) -> MappingModel:
+    """Instantiate the mapping view (including injected M005 duplicates)."""
+    data = blueprint["mapping"]
+    mapping = MappingModel(application, platform)
+    for group_name, pe_name in data["assignments"]:
+        mapping.map(group_name, pe_name)
+    for group_name, pe_name in data.get("duplicates", []):
+        # a second «PlatformMapping» for an already-mapped group; only the
+        # M005 defect injector emits these, bypassing map()'s refusal
+        group = application.groups[group_name]
+        pe = platform.pe(pe_name)
+        duplicate = Dependency(
+            f"{group_name}_to_{pe_name}_dup", client=group, supplier=pe.part
+        )
+        mapping.package.add(duplicate)
+        mapping.profile.apply(duplicate, PLATFORM_MAPPING, Fixed=False)
+    return mapping
+
+
+def build_from_blueprint(
+    blueprint: Dict[str, object],
+    config: Optional[GeneratorConfig] = None,
+) -> GeneratedModel:
+    """All three views of ``blueprint``, sharing one UML model."""
+    if config is None:
+        config = GeneratorConfig.from_dict(blueprint["config"])
+    application = build_application(blueprint)
+    platform = build_platform(blueprint, application)
+    mapping = build_mapping(blueprint, application, platform)
+    return GeneratedModel(
+        config=config,
+        blueprint=blueprint,
+        application=application,
+        platform=platform,
+        mapping=mapping,
+    )
+
+
+def generate_model(config: GeneratorConfig) -> GeneratedModel:
+    """Generate the blueprint for ``config`` and build its model views."""
+    return build_from_blueprint(generate_blueprint(config), config=config)

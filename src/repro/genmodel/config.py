@@ -1,0 +1,153 @@
+"""Generator configuration: the seeded knob set of the synthetic models.
+
+A :class:`GeneratorConfig` is the *complete* input of the generator: the
+same configuration always produces the byte-identical model blueprint
+(see :mod:`repro.genmodel.appgen`).  Every knob is a plain JSON value so
+a configuration round-trips losslessly through :meth:`to_dict` /
+:meth:`from_dict` and the canonical-JSON encoding the factory tokens and
+the determinism tests are built on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Tuple
+
+from repro.errors import GeneratorError
+
+#: Platform topologies the generator can lay out (docs/model_generator.md).
+TOPOLOGIES = ("single", "paper", "chain", "star", "mesh")
+
+#: Inclusive (low, high) bounds per scalar knob, enforced at construction.
+KNOB_BOUNDS: Dict[str, Tuple[int, int]] = {
+    "n_processes": (2, 64),
+    "efsm_depth": (1, 8),
+    "fanout": (1, 8),
+    "n_variables": (1, 16),
+    "guard_terms": (1, 6),
+    "request_reply": (0, 8),
+    "drive_period_us": (10, 100_000),
+    "n_segments": (1, 8),
+    "n_pes": (1, 24),
+    "n_groups": (1, 64),
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """All knobs of one synthetic model; hashable and JSON-round-trippable.
+
+    ``seed`` drives every random choice; the remaining knobs bound the
+    shapes drawn from it.  ``inject_defects`` names lint rules
+    (``E001``…``M005``) whose trigger constructions are spliced into the
+    otherwise-clean model (see :mod:`repro.genmodel.defects`).
+    """
+
+    seed: int = 0
+    # -- application shape --------------------------------------------------
+    n_processes: int = 4       # ring length (one process per component)
+    efsm_depth: int = 2        # state-hierarchy depth of each hub state
+    fanout: int = 2            # guarded token-handling alternatives per EFSM
+    n_variables: int = 2       # scratch variables beyond the token counter
+    guard_terms: int = 2       # comparison terms per generated guard
+    request_reply: int = 1     # client/server request-reply chains
+    drive_period_us: int = 200  # token-injection timer period
+    # -- platform shape -----------------------------------------------------
+    topology: str = "paper"    # one of TOPOLOGIES
+    n_segments: int = 2        # HIBI segments (chain/star/mesh topologies)
+    n_pes: int = 3             # processing elements, round-robin on segments
+    heterogeneous: bool = True  # alternate NiosCPU/NiosDSP vs. all NiosCPU
+    # -- mapping shape ------------------------------------------------------
+    n_groups: int = 3          # process groups (clamped to n_processes)
+    # -- defect injection ---------------------------------------------------
+    inject_defects: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise GeneratorError(f"seed must be an int, got {self.seed!r}")
+        for name, (low, high) in KNOB_BOUNDS.items():
+            value = getattr(self, name)
+            if not isinstance(value, int) or not low <= value <= high:
+                raise GeneratorError(
+                    f"{name} must be an int in [{low}, {high}], got {value!r}"
+                )
+        if self.topology not in TOPOLOGIES:
+            raise GeneratorError(
+                f"topology must be one of {', '.join(TOPOLOGIES)}, "
+                f"got {self.topology!r}"
+            )
+        if self.topology in ("chain", "star", "mesh") and self.n_segments < 2:
+            raise GeneratorError(
+                f"{self.topology!r} topology needs n_segments >= 2"
+            )
+        if self.topology == "mesh" and self.n_segments > 5:
+            raise GeneratorError("mesh topology is bounded to 5 segments")
+        if self.request_reply > self.n_processes // 2:
+            raise GeneratorError(
+                "request_reply chains need two distinct processes each: "
+                f"{self.request_reply} chains exceed {self.n_processes} "
+                "processes"
+            )
+        # normalise the defect tuple so equal configs encode identically
+        object.__setattr__(
+            self, "inject_defects", tuple(self.inject_defects)
+        )
+        for rule in self.inject_defects:
+            if not isinstance(rule, str):
+                raise GeneratorError(f"defect rule ids are strings: {rule!r}")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-JSON encoding carrying every field."""
+        data = asdict(self)
+        data["inject_defects"] = list(self.inject_defects)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GeneratorConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys are rejected."""
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise GeneratorError(
+                f"unknown GeneratorConfig field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "inject_defects" in kwargs:
+            kwargs["inject_defects"] = tuple(kwargs["inject_defects"])
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """The canonical (sorted, separator-free) JSON encoding.
+
+        This string *is* the configuration's identity: factory tokens,
+        cache digests and the byte-identity tests all derive from it.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def replace(self, **changes) -> "GeneratorConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        data = self.to_dict()
+        data.update(changes)
+        return self.from_dict(data)
+
+    def size(self) -> int:
+        """A scalar complexity measure the shrinker minimises."""
+        return (
+            self.n_processes
+            + self.efsm_depth
+            + self.fanout
+            + self.n_variables
+            + self.guard_terms
+            + self.request_reply
+            + self.n_segments
+            + self.n_pes
+            + self.n_groups
+            + (0 if self.topology == "single" else 1)
+        )

@@ -1,0 +1,73 @@
+"""Exploration-builder factory for generated models.
+
+The exploration engine resolves candidate builders by dotted reference
+(``module:attribute``) so worker subprocesses can rebuild systems without
+pickling UML objects.  Generated models get the same treatment through a
+*token*: the configuration's canonical JSON, base32-packed into an
+attribute name this module resolves dynamically via ``__getattr__``.
+
+    token = builder_token(config)          # "repro.genmodel.factory:gen_..."
+    spec = CandidateSpec.make(token, mapping, ...)
+
+Any process that can import ``repro`` can resolve the token — the whole
+model rides inside the reference, so generated candidates work with the
+multiprocess campaign runner and the on-disk result cache unchanged.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.errors import GeneratorError
+from repro.genmodel.config import GeneratorConfig
+
+MODULE = "repro.genmodel.factory"
+PREFIX = "gen_"
+
+
+def encode_config(config: GeneratorConfig) -> str:
+    """Pack a configuration into a base32 attribute suffix."""
+    raw = config.canonical_json().encode("ascii")
+    return base64.b32encode(raw).decode("ascii").rstrip("=").lower()
+
+
+def decode_config(suffix: str) -> GeneratorConfig:
+    """Inverse of :func:`encode_config`."""
+    padded = suffix.upper()
+    padded += "=" * (-len(padded) % 8)
+    try:
+        raw = base64.b32decode(padded).decode("ascii")
+        data = json.loads(raw)
+    except Exception as exc:
+        raise GeneratorError(f"malformed generator token: {exc}") from exc
+    return GeneratorConfig.from_dict(data)
+
+
+def builder_token(config: GeneratorConfig) -> str:
+    """The ``module:attribute`` builder reference for ``config``."""
+    return f"{MODULE}:{PREFIX}{encode_config(config)}"
+
+
+def _make_builder(config: GeneratorConfig):
+    def builder(grouping=None, arq=False):
+        if grouping is not None or arq:
+            raise GeneratorError(
+                "generated builders fix their grouping in the "
+                "GeneratorConfig; grouping/arq overrides are not supported"
+            )
+        from repro.genmodel.build import generate_model
+
+        generated = generate_model(config)
+        return generated.application, generated.platform
+
+    builder.__name__ = f"{PREFIX}{encode_config(config)}"
+    builder.__qualname__ = builder.__name__
+    builder.generator_config = config
+    return builder
+
+
+def __getattr__(name: str):
+    if name.startswith(PREFIX):
+        return _make_builder(decode_config(name[len(PREFIX):]))
+    raise AttributeError(f"module {MODULE!r} has no attribute {name!r}")

@@ -1,0 +1,541 @@
+"""The differential fuzz pipeline: one generated model through the flow.
+
+:func:`run_pipeline` drives a single :class:`GeneratorConfig` through
+generate → validate → lint → simulate → checkpoint/resume → explore →
+prune and checks the cross-subsystem invariants the repo's tools promise:
+
+* **determinism** — generating the same configuration twice yields the
+  byte-identical blueprint;
+* **clean-by-construction** — a model generated without injected defects
+  validates, passes the design rules and lints without errors (and
+  without any value-analysis findings), and simulates with activity;
+* **soundness** — a transition the interval analysis flags as dead
+  (A001/A003) is never taken by the concrete simulation;
+* **resume fidelity** — interrupting mid-run and resuming from the
+  snapshot reproduces the uninterrupted run byte-for-byte (tutlog,
+  Chrome trace, aggregated metrics);
+* **worker invariance** — the exploration ranking (digests, result
+  hashes, costs) is identical for every worker count;
+* **prune safety** — static pruning never drops the candidate the full
+  simulation ranks first.
+
+Any violated invariant raises :class:`repro.errors.InvariantViolation`
+carrying the stage name and the configuration, which the fuzz harness
+feeds to the shrinker (:mod:`repro.genmodel.shrink`) to report the
+smallest configuration that still fails.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint import (
+    Checkpointer,
+    CheckpointStore,
+    EveryEvents,
+    resume_simulation,
+)
+from repro.errors import InvariantViolation, SimulationInterrupted
+from repro.exploration.engine import run_candidates
+from repro.exploration.pruning import PruneConfig, prune_candidates
+from repro.exploration.spec import CandidateSpec
+from repro.genmodel.build import (
+    GeneratedModel,
+    blueprint_json,
+    build_from_blueprint,
+    generate_blueprint,
+)
+from repro.genmodel.config import GeneratorConfig
+from repro.genmodel.factory import builder_token
+from repro.analysis import run_lint
+from repro.observability.export import render_chrome_trace
+from repro.observability.metrics import collect_metrics
+from repro.observability.tracer import Tracer
+from repro.simulation.system import SimulationResult, SystemSimulation
+from repro.tutprofile.rules import check_design_rules
+from repro.uml.statemachine import SignalTrigger, TimerTrigger, Transition
+from repro.uml.validation import validate_model
+
+#: Defect sets the pipeline may still *simulate*: the injected dead-guard
+#: machines (A001/A003) are behaviourally inert by construction, which is
+#: exactly what the soundness invariant replays.  Every other defect is
+#: checked at the lint stage only — e.g. a D006 division by zero would
+#: crash the interpreter by design, and an M001 ungrouped process cannot
+#: even be mapped.
+SIMULATABLE_DEFECTS = frozenset({"A001", "A003"})
+
+#: Default simulated horizon (µs): long enough for hundreds of events at
+#: the default drive period, short enough for a 25-seed CI budget.
+DEFAULT_DURATION_US = 3_000
+
+#: Checkpoint stride (dispatched events between snapshots).
+CHECKPOINT_STRIDE = 100
+
+#: Cap on enumerated exploration candidates per pipeline run.
+MAX_CANDIDATES = 6
+
+
+def _fail(stage: str, message: str, config: GeneratorConfig) -> None:
+    raise InvariantViolation(stage, message, config=config)
+
+
+# ---------------------------------------------------------------------------
+# stages
+# ---------------------------------------------------------------------------
+
+
+def check_determinism(config: GeneratorConfig) -> str:
+    """Generate twice; return the canonical blueprint JSON."""
+    first = blueprint_json(generate_blueprint(config))
+    second = blueprint_json(generate_blueprint(config))
+    if first != second:
+        _fail(
+            "determinism",
+            "two generations of the same configuration produced different "
+            f"blueprints ({len(first)} vs {len(second)} bytes)",
+            config,
+        )
+    return first
+
+
+def check_wellformed(generated: GeneratedModel) -> None:
+    """Validation and design rules must hold even for defect models."""
+    config = generated.config
+    report = validate_model(generated.application.model)
+    errors = [issue for issue in report.issues if issue.severity == "error"]
+    if errors:
+        _fail(
+            "validate",
+            "generated model fails UML well-formedness: "
+            + "; ".join(str(issue) for issue in errors[:3]),
+            config,
+        )
+    rules = check_design_rules(generated.application.model)
+    rule_errors = [
+        issue for issue in rules.issues if issue.severity == "error"
+    ]
+    # M001 deliberately leaves a process ungrouped (R5 warning only); the
+    # M005 duplicate mapping is the one injected design-rule error.
+    expected = "M005" in config.inject_defects
+    if rule_errors and not expected:
+        _fail(
+            "design-rules",
+            "generated model violates TUT-Profile design rules: "
+            + "; ".join(str(issue) for issue in rule_errors[:3]),
+            config,
+        )
+
+
+def check_lint(generated: GeneratedModel):
+    """Run tutlint; clean configs must produce no errors and no A-findings."""
+    config = generated.config
+    report = run_lint(
+        generated.application, generated.platform, generated.mapping
+    )
+    if not config.inject_defects:
+        if report.errors:
+            _fail(
+                "lint",
+                "defect-free generated model has lint errors: "
+                + "; ".join(
+                    f"{f.rule}: {f.message}" for f in report.errors[:3]
+                ),
+                config,
+            )
+        value_findings = [
+            f for f in report.active if f.rule.startswith("A")
+        ]
+        if value_findings:
+            _fail(
+                "lint",
+                "defect-free generated model has value-analysis findings: "
+                + "; ".join(
+                    f"{f.rule}: {f.message}" for f in value_findings[:3]
+                ),
+                config,
+            )
+    return report
+
+
+def simulate(
+    generated: GeneratedModel,
+    duration_us: int,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[SystemSimulation, SimulationResult]:
+    """One fresh simulation of the generated system."""
+    config = generated.config
+    simulation = SystemSimulation(
+        generated.application,
+        generated.platform,
+        generated.mapping,
+        tracer=tracer,
+    )
+    try:
+        result = simulation.run(duration_us)
+    except Exception as exc:
+        _fail(
+            "simulate",
+            f"simulation raised {type(exc).__name__}: {exc}",
+            config,
+        )
+    if not config.inject_defects and result.dispatched_events == 0:
+        _fail("simulate", "simulation dispatched no events", config)
+    return simulation, result
+
+
+def _trigger_label(transition: Transition) -> Optional[str]:
+    trigger = transition.trigger
+    if isinstance(trigger, TimerTrigger):
+        return f"timer:{trigger.timer_name}"
+    if isinstance(trigger, SignalTrigger):
+        return trigger.signal_name
+    return None
+
+
+def _target_leaf(transition: Transition) -> str:
+    return transition.target.enter_target().name
+
+
+def _source_leaves(transition: Transition) -> set:
+    source = transition.source
+    if not source.is_composite:
+        return {source.name}
+    names = set()
+    stack = list(source.substates)
+    while stack:
+        state = stack.pop()
+        if state.is_composite:
+            stack.extend(state.substates)
+        else:
+            names.add(state.name)
+    names.add(source.name)
+    return names
+
+
+def check_soundness(
+    generated: GeneratedModel, report, result: SimulationResult
+) -> int:
+    """No transition flagged dead by A001/A003 may execute concretely.
+
+    Returns the number of flagged transitions checked.
+    """
+    config = generated.config
+    flagged: List[Tuple[str, Transition]] = []
+    for finding in report.findings:
+        if finding.rule not in ("A001", "A003"):
+            continue
+        for element in finding.elements:
+            if isinstance(element, Transition):
+                flagged.append((finding.rule, element))
+    if not flagged:
+        return 0
+
+    # which processes run the machine owning each flagged transition
+    transition_processes: Dict[int, List[str]] = {}
+    for name, process in generated.application.processes.items():
+        machine = process.component.classifier_behavior
+        if machine is None:
+            continue
+        for transition in machine.transitions:
+            transition_processes.setdefault(id(transition), []).append(name)
+
+    from repro.simulation.logfile import ExecRecord
+
+    checked = 0
+    for rule, transition in flagged:
+        checked += 1
+        processes = set(transition_processes.get(id(transition), ()))
+        trigger = _trigger_label(transition)
+        sources = _source_leaves(transition)
+        target = None if transition.internal else _target_leaf(transition)
+        for record in result.log.records:
+            if not isinstance(record, ExecRecord):
+                continue
+            if record.process not in processes:
+                continue
+            if trigger is not None and record.trigger != trigger:
+                continue
+            if record.from_state not in sources:
+                continue
+            if target is not None and record.to_state != target:
+                continue
+            _fail(
+                "soundness",
+                f"{rule} flagged transition {transition.describe()!r} as "
+                f"dead, but process {record.process!r} executed it at "
+                f"{record.time_ps} ps",
+                config,
+            )
+    return checked
+
+
+def check_resume(
+    config: GeneratorConfig,
+    blueprint: Dict[str, object],
+    duration_us: int,
+    work_dir: str,
+) -> int:
+    """Interrupt/resume must replay the uninterrupted run byte-for-byte.
+
+    Returns the interrupt point used (0 = too few events to interrupt).
+    """
+    def checkpointed_run(simulation, store, interrupt=None):
+        checkpointer = Checkpointer(
+            CheckpointStore(store),
+            EveryEvents(CHECKPOINT_STRIDE),
+            tag="fuzz",
+            interrupt_after_events=interrupt,
+        )
+        checkpointer.attach(simulation)
+        try:
+            return simulation.run(duration_us)
+        finally:
+            checkpointer.detach()
+
+    reference_model = build_from_blueprint(blueprint, config=config)
+    reference_sim = SystemSimulation(
+        reference_model.application,
+        reference_model.platform,
+        reference_model.mapping,
+        tracer=Tracer(),
+    )
+    try:
+        reference = checkpointed_run(reference_sim, f"{work_dir}/ref")
+    except Exception as exc:
+        _fail(
+            "resume",
+            f"reference simulation raised {type(exc).__name__}: {exc}",
+            config,
+        )
+    if reference.dispatched_events < 2:
+        return 0
+    interrupt_at = max(1, reference.dispatched_events // 2)
+
+    interrupted_model = build_from_blueprint(blueprint, config=config)
+    interrupted_sim = SystemSimulation(
+        interrupted_model.application,
+        interrupted_model.platform,
+        interrupted_model.mapping,
+        tracer=Tracer(),
+    )
+    snapshot = None
+    try:
+        checkpointed_run(
+            interrupted_sim, f"{work_dir}/interrupted", interrupt=interrupt_at
+        )
+    except SimulationInterrupted as exc:
+        snapshot = exc.snapshot
+    if snapshot is None:
+        _fail(
+            "resume",
+            f"simulation was not interrupted at event {interrupt_at} "
+            f"(reference dispatched {reference.dispatched_events})",
+            config,
+        )
+
+    resumed_model = build_from_blueprint(blueprint, config=config)
+    resumed_sim = SystemSimulation(
+        resumed_model.application,
+        resumed_model.platform,
+        resumed_model.mapping,
+        tracer=Tracer(),
+    )
+    resume_simulation(resumed_sim, snapshot)
+    resumed = checkpointed_run(resumed_sim, f"{work_dir}/interrupted")
+
+    if resumed.writer.render() != reference.writer.render():
+        _fail(
+            "resume",
+            f"resumed tutlog differs from the uninterrupted run "
+            f"(interrupted at event {interrupt_at})",
+            config,
+        )
+    if resumed.dispatched_events != reference.dispatched_events:
+        _fail(
+            "resume",
+            f"resumed run dispatched {resumed.dispatched_events} events, "
+            f"reference {reference.dispatched_events}",
+            config,
+        )
+    if resumed.end_time_ps != reference.end_time_ps:
+        _fail(
+            "resume",
+            f"resumed run ended at {resumed.end_time_ps} ps, reference "
+            f"{reference.end_time_ps} ps",
+            config,
+        )
+    if render_chrome_trace(resumed_sim.tracer) != render_chrome_trace(
+        reference_sim.tracer
+    ):
+        _fail("resume", "resumed Chrome trace differs from reference", config)
+    reference_metrics = collect_metrics(
+        reference_sim.tracer, reference.end_time_ps
+    ).to_dict()
+    resumed_metrics = collect_metrics(
+        resumed_sim.tracer, resumed.end_time_ps
+    ).to_dict()
+    if resumed_metrics != reference_metrics:
+        _fail("resume", "resumed metrics differ from reference", config)
+    return interrupt_at
+
+
+def candidate_specs(
+    config: GeneratorConfig,
+    generated: GeneratedModel,
+    duration_us: int,
+    limit: int = MAX_CANDIDATES,
+) -> List[CandidateSpec]:
+    """A deterministic candidate enumeration over the generated mapping space.
+
+    Varies the assignment of each group over (up to) the two extreme
+    compatible PEs, capped at ``limit`` candidates — enough spread for
+    the ranking/pruning invariants without exploding the budget.
+    """
+    token = builder_token(config)
+    groups = sorted(generated.application.groups)
+    compatible = sorted(
+        name
+        for name, instance in generated.platform.processing_elements.items()
+        if instance.spec.supports("general")
+    )
+    choices = (
+        [compatible[0], compatible[-1]]
+        if len(compatible) > 1
+        else [compatible[0]]
+    )
+    specs: List[CandidateSpec] = []
+    for index, combo in enumerate(
+        itertools.islice(itertools.product(choices, repeat=len(groups)), limit)
+    ):
+        specs.append(
+            CandidateSpec.make(
+                token,
+                dict(zip(groups, combo)),
+                duration_us=duration_us,
+                label=f"gen-c{index}",
+            )
+        )
+    return specs
+
+
+def _ranking_signature(run) -> List[Tuple[Optional[str], str, float]]:
+    return [
+        (o.spec.digest(), o.result.stable_hash(), o.cost)
+        for o in run.ranking()
+    ]
+
+
+def check_exploration(
+    config: GeneratorConfig,
+    specs: Sequence[CandidateSpec],
+    workers: Sequence[int],
+) -> Dict[str, object]:
+    """Ranking must be invariant across worker counts; pruning must keep
+    the simulated winner.  Returns exploration counters."""
+    runs = {count: run_candidates(specs, workers=count) for count in workers}
+    baseline_workers = workers[0]
+    baseline = _ranking_signature(runs[baseline_workers])
+    for count in workers[1:]:
+        signature = _ranking_signature(runs[count])
+        if signature != baseline:
+            _fail(
+                "explore",
+                f"ranking with workers={count} differs from "
+                f"workers={baseline_workers}",
+                config,
+            )
+
+    kept, pruned, _ = prune_candidates(list(specs), PruneConfig())
+    best_digest = baseline[0][0]
+    kept_digests = {specs[index].digest() for index in kept}
+    if best_digest not in kept_digests:
+        dropped = next(
+            (p for p in pruned if p.digest == best_digest), None
+        )
+        _fail(
+            "prune",
+            "static pruning dropped the simulated top-1 candidate: "
+            + (dropped.detail if dropped else best_digest or "<uncached>"),
+            config,
+        )
+    return {
+        "candidates": len(specs),
+        "pruned": len(pruned),
+        "best_cost": baseline[0][2],
+    }
+
+
+# ---------------------------------------------------------------------------
+# the full pipeline
+# ---------------------------------------------------------------------------
+
+
+def run_pipeline(
+    config: GeneratorConfig,
+    duration_us: int = DEFAULT_DURATION_US,
+    workers: Sequence[int] = (0, 1),
+    explore: bool = True,
+    resume: bool = True,
+    work_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Drive one configuration through every stage; return its counters.
+
+    Raises :class:`InvariantViolation` on the first violated invariant.
+    Defect-injecting configurations stop after the lint stage unless
+    their defects are all in :data:`SIMULATABLE_DEFECTS`.
+    """
+    counters: Dict[str, object] = {
+        "config": config.to_dict(),
+        "stages": [],
+    }
+
+    def done(stage: str) -> None:
+        counters["stages"].append(stage)
+
+    blueprint_text = check_determinism(config)
+    counters["blueprint_bytes"] = len(blueprint_text)
+    done("determinism")
+
+    blueprint = generate_blueprint(config)
+    generated = build_from_blueprint(blueprint, config=config)
+    check_wellformed(generated)
+    done("validate")
+
+    report = check_lint(generated)
+    counters["lint_active"] = len(report.active)
+    done("lint")
+
+    simulatable = not config.inject_defects or set(
+        config.inject_defects
+    ) <= SIMULATABLE_DEFECTS
+    if not simulatable:
+        return counters
+
+    _, result = simulate(generated, duration_us)
+    counters["events"] = result.dispatched_events
+    counters["dropped"] = result.dropped_signals
+    done("simulate")
+
+    counters["flagged_checked"] = check_soundness(generated, report, result)
+    done("soundness")
+
+    if resume:
+        if work_dir is None:
+            with tempfile.TemporaryDirectory(prefix="genfuzz-") as tmp:
+                counters["interrupt_at"] = check_resume(
+                    config, blueprint, duration_us, tmp
+                )
+        else:
+            counters["interrupt_at"] = check_resume(
+                config, blueprint, duration_us, work_dir
+            )
+        done("resume")
+
+    if explore:
+        specs = candidate_specs(config, generated, duration_us)
+        counters.update(check_exploration(config, specs, list(workers)))
+        done("explore")
+        done("prune")
+    return counters

@@ -1,0 +1,153 @@
+"""Greedy deterministic shrinking of failing generator configurations.
+
+When a fuzz invariant fails, the raw configuration is rarely the story —
+the interesting question is the *smallest* configuration that still
+fails.  :func:`shrink_config` walks the knobs in a fixed order, trying
+the largest reductions first (jump to the knob's floor, then repeated
+halvings toward it), keeping any reduction under which the caller's
+predicate still reports failure.  The walk is purely a function of the
+starting configuration and the predicate, so a shrink is reproducible
+from a bug report.
+
+:func:`repro_command` renders the one-line ``repro generate-model``
+invocation that regenerates a configuration — the string CI prints next
+to every failing seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+from repro.errors import GeneratorError
+from repro.genmodel.config import KNOB_BOUNDS, GeneratorConfig
+
+#: Knob walk order: structure first (usually the biggest wins), then
+#: behavioural detail, then the platform.
+SHRINK_ORDER = (
+    "n_processes",
+    "request_reply",
+    "efsm_depth",
+    "fanout",
+    "n_variables",
+    "guard_terms",
+    "n_groups",
+    "n_pes",
+    "n_segments",
+    "drive_period_us",
+)
+
+#: Safety valve: predicate invocations per shrink.
+MAX_ATTEMPTS = 200
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal config and the search effort."""
+
+    config: GeneratorConfig
+    attempts: int
+    reductions: int
+
+    def summary(self) -> str:
+        return (
+            f"shrunk to size {self.config.size()} in {self.attempts} "
+            f"attempt(s) ({self.reductions} reduction(s)): "
+            + repro_command(self.config)
+        )
+
+
+def _knob_steps(value: int, floor: int) -> Iterator[int]:
+    """Candidate reductions, most aggressive first, each tried once."""
+    if value <= floor:
+        return
+    yield floor
+    seen = {floor}
+    current = value
+    while current > floor:
+        current = (current + floor) // 2
+        if current not in seen and current < value:
+            seen.add(current)
+            yield current
+
+
+def _candidates(config: GeneratorConfig) -> Iterator[GeneratorConfig]:
+    """Every single-step reduction of ``config``, deterministic order."""
+    if config.topology != "single":
+        yield config.replace(topology="single", n_segments=1)
+    for knob in SHRINK_ORDER:
+        floor = KNOB_BOUNDS[knob][0]
+        for value in _knob_steps(getattr(config, knob), floor):
+            yield config.replace(**{knob: value})
+    for index in range(len(config.inject_defects)):
+        remaining = (
+            config.inject_defects[:index] + config.inject_defects[index + 1:]
+        )
+        yield config.replace(inject_defects=remaining)
+
+
+def shrink_config(
+    config: GeneratorConfig,
+    still_fails: Callable[[GeneratorConfig], bool],
+    max_attempts: int = MAX_ATTEMPTS,
+) -> ShrinkResult:
+    """Minimise ``config`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must treat *any* outcome other than the original
+    failure as success (shrinking chases one bug, not just any bug); it
+    is never called on the starting configuration.
+    """
+    attempts = 0
+    reductions = 0
+    current = config
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            try:
+                candidate = GeneratorConfig.from_dict(candidate.to_dict())
+            except GeneratorError:
+                continue
+            attempts += 1
+            try:
+                failing = still_fails(candidate)
+            except GeneratorError:
+                continue
+            if failing:
+                current = candidate
+                reductions += 1
+                progress = True
+                break
+    return ShrinkResult(config=current, attempts=attempts, reductions=reductions)
+
+
+def repro_command(config: GeneratorConfig) -> str:
+    """The CLI line that regenerates exactly this configuration."""
+    defaults = GeneratorConfig()
+    parts: List[str] = ["python -m repro generate-model"]
+    parts.append(f"--seed {config.seed}")
+    flags: List[Tuple[str, str]] = [
+        ("n_processes", "--processes"),
+        ("efsm_depth", "--depth"),
+        ("fanout", "--fanout"),
+        ("n_variables", "--variables"),
+        ("guard_terms", "--guard-terms"),
+        ("request_reply", "--request-reply"),
+        ("drive_period_us", "--drive-period-us"),
+        ("n_segments", "--segments"),
+        ("n_pes", "--pes"),
+        ("n_groups", "--groups"),
+    ]
+    if config.topology != defaults.topology:
+        parts.append(f"--topology {config.topology}")
+    for field_name, flag in flags:
+        value = getattr(config, field_name)
+        if value != getattr(defaults, field_name):
+            parts.append(f"{flag} {value}")
+    if not config.heterogeneous:
+        parts.append("--homogeneous")
+    if config.inject_defects:
+        parts.append("--defects " + ",".join(config.inject_defects))
+    return " ".join(parts)

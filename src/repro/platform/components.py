@@ -43,6 +43,12 @@ class ProcessingElementSpec:
     internal_memory_bytes: int = 65536
 
     def __post_init__(self) -> None:
+        # defensively copy the dict: callers routinely build several specs
+        # from one cycle table, and a shared reference would let a later
+        # mutation retroactively change every spec's cost model
+        object.__setattr__(
+            self, "cycles_per_statement", dict(self.cycles_per_statement)
+        )
         if self.component_type not in ComponentType.ALL:
             raise ModelError(f"unknown component type {self.component_type!r}")
         if self.frequency_hz <= 0:

@@ -1,0 +1,83 @@
+"""Shared-structure aliasing regressions in the case builders.
+
+The case builders hand module-level dicts (paper grouping/mapping tables,
+cycle tables) to model constructors; a builder that kept a live reference
+would let one build's mutation silently change every later build.  These
+tests pin the copy-on-ingest behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.cases.tutmac import PAPER_GROUPING, TutmacParameters, build_tutmac
+from repro.cases.tutwlan import (
+    PAPER_MAPPING,
+    build_tutwlan_platform,
+    build_tutwlan_system,
+)
+from repro.platform.components import ProcessingElementSpec
+
+
+class TestProcessingElementSpec:
+    def test_cycle_table_is_copied_on_construction(self):
+        """The historical hazard: several specs built from one shared
+        cycle table, then the table mutated in place."""
+        shared = {"general": 10, "dsp": 14}
+        first = ProcessingElementSpec(name="A", cycles_per_statement=shared)
+        second = ProcessingElementSpec(name="B", cycles_per_statement=shared)
+        shared["general"] = 999
+        shared["hardware"] = 1
+        assert first.statement_cycles("general") == 10
+        assert second.statement_cycles("general") == 10
+        assert not first.supports("hardware")
+        assert first.cycles_per_statement is not second.cycles_per_statement
+
+    def test_specs_from_same_literal_are_independent(self):
+        spec = ProcessingElementSpec(name="C")
+        spec.cycles_per_statement["general"] = 1
+        assert ProcessingElementSpec(name="D").statement_cycles("general") == 10
+
+
+class TestTutmacGroupingTable:
+    def test_builder_does_not_mutate_paper_grouping(self):
+        snapshot = dict(PAPER_GROUPING)
+        build_tutmac()
+        assert PAPER_GROUPING == snapshot
+
+    def test_caller_grouping_dict_not_aliased(self):
+        grouping = dict(PAPER_GROUPING)
+        app = build_tutmac(grouping=grouping)
+        grouping["rca"] = "group9"
+        assert app.group_of("rca") == "group1"
+
+    def test_two_builds_share_no_group_objects(self):
+        first = build_tutmac()
+        second = build_tutmac()
+        shared = {
+            id(group) for group in first.groups.values()
+        } & {id(group) for group in second.groups.values()}
+        assert not shared
+
+
+class TestTutwlanMappingTable:
+    def test_system_build_does_not_mutate_paper_mapping(self):
+        snapshot = dict(PAPER_MAPPING)
+        build_tutwlan_system()
+        assert PAPER_MAPPING == snapshot
+
+    def test_mapping_overrides_do_not_leak_back(self):
+        from repro.cases.tutwlan import build_paper_mapping
+
+        application = build_tutmac()
+        platform = build_tutwlan_platform(
+            model=application.model, profile=application.profile
+        )
+        snapshot = dict(PAPER_MAPPING)
+        build_paper_mapping(
+            application, platform, mapping_overrides={"group3": "processor2"}
+        )
+        assert PAPER_MAPPING == snapshot
+
+    def test_parameters_default_instance_unshared_mutable_state(self):
+        """TutmacParameters is frozen and scalar-only; the default
+        instance must equal a fresh one (no accumulated state)."""
+        assert TutmacParameters() == TutmacParameters()

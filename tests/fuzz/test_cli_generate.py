@@ -1,0 +1,106 @@
+"""The ``repro generate-model`` subcommand and its round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.genmodel import (
+    GeneratorConfig,
+    blueprint_json,
+    builder_token,
+    generate_blueprint,
+    known_defects,
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestJsonOutput:
+    def test_stdout_matches_api_bytes(self, capsys):
+        code, out = run_cli(capsys, "generate-model", "--seed", "19")
+        assert code == 0
+        expected = blueprint_json(generate_blueprint(GeneratorConfig(seed=19)))
+        assert out.strip() == expected
+
+    def test_file_output_matches_api_bytes(self, capsys, tmp_path):
+        out_path = tmp_path / "model.json"
+        code, _ = run_cli(
+            capsys,
+            "generate-model",
+            "--seed", "19",
+            "--topology", "star",
+            "--segments", "3",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        expected = blueprint_json(
+            generate_blueprint(
+                GeneratorConfig(seed=19, topology="star", n_segments=3)
+            )
+        )
+        assert out_path.read_text().strip() == expected
+
+    def test_blueprint_parses_and_carries_config(self, capsys):
+        _, out = run_cli(
+            capsys, "generate-model", "--seed", "2", "--defects", "E001"
+        )
+        blueprint = json.loads(out)
+        assert blueprint["schema"] == "repro.genmodel/1"
+        assert blueprint["config"]["seed"] == 2
+        assert blueprint["config"]["inject_defects"] == ["E001"]
+
+
+class TestXmiRoundTrip:
+    def test_xmi_validates_and_lints_clean(self, capsys, tmp_path):
+        """The written XMI must be runnable by the existing subcommands."""
+        xmi = tmp_path / "gen.xmi"
+        code, _ = run_cli(
+            capsys,
+            "generate-model", "--seed", "4", "--format", "xmi",
+            "--out", str(xmi),
+        )
+        assert code == 0
+        assert main(["validate", str(xmi)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(xmi)]) == 0
+
+    def test_xmi_defect_model_fails_lint(self, capsys, tmp_path):
+        xmi = tmp_path / "defect.xmi"
+        code, _ = run_cli(
+            capsys,
+            "generate-model", "--seed", "4", "--defects", "E003,D006",
+            "--format", "xmi", "--out", str(xmi),
+        )
+        assert code == 0
+        assert main(["lint", str(xmi)]) == 1
+
+    def test_xmi_requires_out(self, capsys):
+        code = main(["generate-model", "--format", "xmi"])
+        assert code == 2
+
+
+class TestFlags:
+    def test_list_defects_matches_registry(self, capsys):
+        code, out = run_cli(capsys, "generate-model", "--list-defects")
+        assert code == 0
+        assert out.split() == known_defects()
+
+    def test_print_token(self, capsys):
+        code, out = run_cli(
+            capsys, "generate-model", "--seed", "8", "--print-token"
+        )
+        assert code == 0
+        assert out.strip() == builder_token(GeneratorConfig(seed=8))
+
+    def test_out_of_range_knob_exits_2(self, capsys):
+        assert main(["generate-model", "--pes", "99"]) == 2
+
+    def test_unknown_defect_exits_2(self, capsys):
+        assert main(["generate-model", "--defects", "Z999"]) == 2

@@ -1,0 +1,152 @@
+"""Property-based differential checks over the whole flow.
+
+Each generated configuration is driven through validate → lint →
+simulate → checkpoint/resume → explore → prune by
+:func:`repro.genmodel.pipeline.run_pipeline`, which raises
+:class:`InvariantViolation` on the first broken cross-subsystem
+invariant.  The CI smoke job (``tools/fuzz_smoke.py``) runs the same
+pipeline over a larger seed corpus; these tests keep a representative
+slice in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.genmodel import (
+    GeneratorConfig,
+    config_for_seed,
+    run_pipeline,
+    shrink_config,
+)
+from repro.genmodel.pipeline import (
+    candidate_specs,
+    check_soundness,
+    run_pipeline as _run_pipeline,
+)
+
+#: A slice of the smoke corpus covering all five topologies.
+TIER1_SEEDS = (0, 1, 2, 3, 5)
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+def test_pipeline_invariants_hold(seed, tmp_path):
+    counters = run_pipeline(
+        config_for_seed(seed), workers=(0, 1), work_dir=str(tmp_path)
+    )
+    assert counters["stages"] == [
+        "determinism",
+        "validate",
+        "lint",
+        "simulate",
+        "soundness",
+        "resume",
+        "explore",
+        "prune",
+    ]
+    assert counters["events"] > 0
+    assert counters["interrupt_at"] > 0
+    assert counters["candidates"] >= 2
+
+
+def test_pipeline_worker_four_invariance(tmp_path):
+    """One seed also checks the 4-worker ranking (cheap representative of
+    the smoke job's full (0, 1, 4) sweep)."""
+    counters = run_pipeline(
+        config_for_seed(1), workers=(0, 1, 4), work_dir=str(tmp_path)
+    )
+    assert "explore" in counters["stages"]
+
+
+def test_soundness_checks_flagged_transitions(tmp_path):
+    """A001/A003 defect models carry provably dead transitions; the
+    concrete simulation must never take them."""
+    counters = run_pipeline(
+        GeneratorConfig(seed=11, inject_defects=("A001", "A003")),
+        workers=(0,),
+        work_dir=str(tmp_path),
+    )
+    assert counters["flagged_checked"] >= 2
+    assert "soundness" in counters["stages"]
+
+
+def test_soundness_catches_executed_flagged_transition():
+    """If a lint finding flags a transition the simulation does take,
+    check_soundness must fail — guarding the harness itself."""
+    from repro.analysis.core import Finding
+    from repro.genmodel import generate_model
+    from repro.genmodel.pipeline import simulate
+
+    generated = generate_model(GeneratorConfig(seed=3))
+    _, result = simulate(generated, 3_000)
+    process = generated.application.processes["p0"]
+    machine = process.component.classifier_behavior
+    driver = next(
+        t
+        for t in machine.transitions
+        if t.trigger is not None and "t_drive" in t.trigger.describe()
+    )
+    forged = type(
+        "Report", (), {"findings": [Finding("A001", "warning", "x", "s", (driver,))]}
+    )()
+    with pytest.raises(InvariantViolation, match="soundness"):
+        check_soundness(generated, forged, result)
+
+
+def test_defect_configs_stop_after_lint():
+    counters = run_pipeline(GeneratorConfig(seed=2, inject_defects=("D006",)))
+    assert counters["stages"] == ["determinism", "validate", "lint"]
+
+
+def test_candidate_enumeration_is_deterministic():
+    from repro.genmodel import generate_model
+
+    config = config_for_seed(3)
+    generated = generate_model(config)
+    first = [s.digest() for s in candidate_specs(config, generated, 3_000)]
+    second = [s.digest() for s in candidate_specs(config, generated, 3_000)]
+    assert first == second
+    assert all(digest is not None for digest in first)
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_failing_config(self):
+        """A synthetic predicate ("fails whenever fanout >= 3") must shrink
+        to the smallest configuration still satisfying it."""
+        start = GeneratorConfig(
+            seed=4,
+            n_processes=12,
+            fanout=5,
+            topology="mesh",
+            n_segments=4,
+            n_pes=8,
+        )
+        result = shrink_config(start, lambda cfg: cfg.fanout >= 3)
+        assert result.config.fanout == 3
+        assert result.config.n_processes == 2
+        assert result.config.topology == "single"
+        assert result.reductions > 0
+
+    def test_shrink_is_deterministic(self):
+        start = GeneratorConfig(seed=4, n_processes=10, n_pes=6)
+        predicate = lambda cfg: cfg.n_pes >= 2
+        first = shrink_config(start, predicate)
+        second = shrink_config(start, predicate)
+        assert first.config == second.config
+        assert first.attempts == second.attempts
+
+    def test_summary_names_repro_command(self):
+        result = shrink_config(
+            GeneratorConfig(seed=6, n_processes=8),
+            lambda cfg: cfg.n_processes >= 3,
+        )
+        assert "python -m repro generate-model" in result.summary()
+        assert "--seed 6" in result.summary()
+
+    def test_repro_command_round_trips_defaults(self):
+        from repro.genmodel import repro_command
+
+        assert repro_command(GeneratorConfig()) == (
+            "python -m repro generate-model --seed 0"
+        )

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Bounded fuzz campaign over the synthetic-model generator (CI job).
+
+Runs :func:`repro.genmodel.pipeline.run_pipeline` over a deterministic
+seed corpus (default 25 seeds via ``config_for_seed``), a defect-coverage
+sweep (every lint rule must fire on its injected construction), and the
+A-soundness configurations.  One seed additionally checks 4-worker
+ranking invariance on top of the (0, 1) sweep every seed gets.
+
+On an invariant violation the failing configuration is shrunk to the
+smallest configuration that still fails the same stage, and both the
+original and the shrunk ``repro generate-model`` repro commands are
+printed.  Counters land in ``BENCH_fuzz.json`` and every campaign
+blueprint is written to the corpus directory for artifact upload.
+
+Usage: ``PYTHONPATH=src python tools/fuzz_smoke.py [--seeds N]
+[--corpus DIR] [--bench PATH]``.  Exit code 0 = all invariants held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import run_lint  # noqa: E402
+from repro.errors import InvariantViolation  # noqa: E402
+from repro.genmodel import (  # noqa: E402
+    GeneratorConfig,
+    blueprint_json,
+    config_for_seed,
+    generate_blueprint,
+    generate_model,
+    known_defects,
+    repro_command,
+    run_pipeline,
+    shrink_config,
+)
+
+BENCH_SCHEMA = "repro.bench-fuzz/1"
+
+#: The one corpus seed that also runs the workers=4 ranking check.
+FOUR_WORKER_SEED = 1
+
+
+def _write_corpus_entry(corpus: Path, name: str, config: GeneratorConfig):
+    corpus.mkdir(parents=True, exist_ok=True)
+    (corpus / f"{name}.json").write_text(
+        blueprint_json(generate_blueprint(config)) + "\n", encoding="ascii"
+    )
+
+
+def _report_failure(violation: InvariantViolation) -> None:
+    config = violation.config
+    print(f"FAIL [{violation.stage}] {violation}")
+    if config is None:
+        return
+    print(f"  repro: PYTHONPATH=src {repro_command(config)}")
+
+    def still_fails(candidate: GeneratorConfig) -> bool:
+        try:
+            run_pipeline(candidate, workers=(0, 1))
+        except InvariantViolation as exc:
+            return exc.stage == violation.stage
+        return False
+
+    print("  shrinking...", flush=True)
+    shrunk = shrink_config(config, still_fails)
+    print(f"  {shrunk.summary()}")
+    print(f"  shrunk repro: PYTHONPATH=src {repro_command(shrunk.config)}")
+
+
+def run_seed_campaign(seeds, corpus: Path, counters: dict) -> int:
+    failures = 0
+    for seed in seeds:
+        config = config_for_seed(seed)
+        workers = (0, 1, 4) if seed == FOUR_WORKER_SEED else (0, 1)
+        started = time.time()
+        try:
+            result = run_pipeline(config, workers=workers)
+        except InvariantViolation as violation:
+            failures += 1
+            counters["seeds_failed"].append(seed)
+            _report_failure(violation)
+            continue
+        _write_corpus_entry(corpus, f"seed{seed:03d}", config)
+        counters["seeds_passed"] += 1
+        counters["events"] += result.get("events", 0)
+        counters["candidates"] += result.get("candidates", 0)
+        counters["pruned"] += result.get("pruned", 0)
+        counters["flagged_checked"] += result.get("flagged_checked", 0)
+        print(
+            f"seed {seed:3d}: ok  "
+            f"events={result.get('events', 0):5d}  "
+            f"candidates={result.get('candidates', 0)}  "
+            f"workers={'/'.join(map(str, workers))}  "
+            f"{time.time() - started:5.1f}s",
+            flush=True,
+        )
+    return failures
+
+
+def run_defect_sweep(corpus: Path, counters: dict) -> int:
+    failures = 0
+    for rule in known_defects():
+        config = GeneratorConfig(seed=7, inject_defects=(rule,))
+        generated = generate_model(config)
+        report = run_lint(
+            generated.application, generated.platform, generated.mapping
+        )
+        fired = {finding.rule for finding in report.active}
+        if rule in fired:
+            counters["defect_rules_fired"] += 1
+            _write_corpus_entry(corpus, f"defect_{rule}", config)
+        else:
+            failures += 1
+            counters["defect_rules_missed"].append(rule)
+            print(f"FAIL [defect] injected {rule} did not fire")
+            print(f"  repro: PYTHONPATH=src {repro_command(config)} --defects {rule}")
+    return failures
+
+
+def run_soundness_sweep(corpus: Path, counters: dict) -> int:
+    failures = 0
+    for seed in (11, 29):
+        config = GeneratorConfig(seed=seed, inject_defects=("A001", "A003"))
+        try:
+            result = run_pipeline(config, workers=(0,), explore=False)
+        except InvariantViolation as violation:
+            failures += 1
+            _report_failure(violation)
+            continue
+        counters["flagged_checked"] += result.get("flagged_checked", 0)
+        _write_corpus_entry(corpus, f"soundness_seed{seed}", config)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=25)
+    parser.add_argument("--corpus", default="fuzz-corpus")
+    parser.add_argument("--bench", default="BENCH_fuzz.json")
+    args = parser.parse_args(argv)
+
+    corpus = Path(args.corpus)
+    counters = {
+        "seeds_requested": args.seeds,
+        "seeds_passed": 0,
+        "seeds_failed": [],
+        "events": 0,
+        "candidates": 0,
+        "pruned": 0,
+        "flagged_checked": 0,
+        "defect_rules_fired": 0,
+        "defect_rules_missed": [],
+    }
+    started = time.time()
+    failures = run_seed_campaign(range(args.seeds), corpus, counters)
+    failures += run_defect_sweep(corpus, counters)
+    failures += run_soundness_sweep(corpus, counters)
+    wall = time.time() - started
+
+    bench = {
+        "schema": BENCH_SCHEMA,
+        "campaign": {
+            "seeds": args.seeds,
+            "seeds_passed": counters["seeds_passed"],
+            "seeds_failed": counters["seeds_failed"],
+            "events": counters["events"],
+            "candidates": counters["candidates"],
+            "pruned": counters["pruned"],
+            "wall_s": round(wall, 1),
+        },
+        "defects": {
+            "rules": len(known_defects()),
+            "fired": counters["defect_rules_fired"],
+            "missed": counters["defect_rules_missed"],
+        },
+        "soundness": {
+            "flagged_checked": counters["flagged_checked"],
+        },
+    }
+    Path(args.bench).write_text(
+        json.dumps(bench, indent=2, sort_keys=True) + "\n", encoding="ascii"
+    )
+    print(
+        f"\nfuzz smoke: {counters['seeds_passed']}/{args.seeds} seeds, "
+        f"{counters['defect_rules_fired']}/{len(known_defects())} defect "
+        f"rules fired, {counters['flagged_checked']} flagged transitions "
+        f"checked, {wall:.0f}s -> {args.bench}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
