@@ -19,7 +19,10 @@ Definitions (``T`` = simulated end time in ps):
   enqueue→grant delay (the span's ``wait_ps`` argument).
 * **Queue high-water marks** — the maximum sampled depth of each PE
   ready queue, each segment request queue (the wrapper FIFO), and the
-  kernel event heap.
+  kernel scheduler queue.  Kernel samples are matched by track, not by
+  counter name, so traces recorded before the calendar-queue kernel
+  (counter ``events``) aggregate identically to current ones
+  (``queue_depth``).
 * **Signal latency histograms** — send→delivery latency, bucketed by
   powers of two (bucket key ``2**k`` holds latencies in
   ``(2**(k-1), 2**k]`` ps), keyed by sender→receiver process group when

@@ -36,7 +36,10 @@ group       lane                     carries
 ``bus``     HIBI segment             occupancy spans, request-queue depth
 ``efsm``    application process      transition instants
 ``system``  ``dispatch``             send/deliver/drop/fault instants
-``kernel``  ``scheduler``            event-heap depth samples
+``kernel``  ``scheduler``            scheduler queue-depth samples (the
+                                     ``queue_depth`` counter; traces
+                                     recorded before the calendar-queue
+                                     kernel named it ``events``)
 ==========  =======================  ===================================
 """
 

@@ -6,7 +6,16 @@ workstation reference PE) and produces the simulation log-file consumed by
 the profiling tool.
 """
 
-from repro.simulation.kernel import Kernel, PS_PER_MS, PS_PER_US, cycles_to_ps
+from repro.simulation.kernel import (
+    HeapKernel,
+    Kernel,
+    PS_PER_MS,
+    PS_PER_US,
+    QUEUE_DEPTH_COUNTER,
+    cycles_to_ps,
+    event_pending,
+    select_backend,
+)
 from repro.simulation.logfile import (
     DropRecord,
     ExecRecord,
@@ -41,6 +50,7 @@ __all__ = [
     "DropRecord",
     "ExecRecord",
     "FaultRecord",
+    "HeapKernel",
     "HibiBus",
     "Kernel",
     "LogFile",
@@ -48,6 +58,7 @@ __all__ = [
     "PS_PER_MS",
     "PS_PER_US",
     "ProcessExecutor",
+    "QUEUE_DEPTH_COUNTER",
     "REFERENCE_PE",
     "SendIntent",
     "SignalRecord",
@@ -63,8 +74,10 @@ __all__ = [
     "build_reference_mapping",
     "build_reference_platform",
     "cycles_to_ps",
+    "event_pending",
     "parse_log",
     "read_log",
     "run_reference_simulation",
+    "select_backend",
     "timer_duration_ps",
 ]

@@ -23,7 +23,7 @@ from repro.errors import SimulationError
 from repro.observability.tracer import Tracer, bus_track
 from repro.platform.components import SegmentSpec, WrapperSpec
 from repro.platform.model import PlatformModel
-from repro.simulation.kernel import Kernel, cycles_to_ps
+from repro.simulation.kernel import EV_SEQ, EV_TIME, Kernel, cycles_to_ps
 
 
 @dataclass
@@ -317,8 +317,8 @@ class HibiBus:
                 transfer, event = runtime.active
                 active = {
                     "transfer": self._transfer_state(transfer),
-                    "release_ps": event.time_ps,
-                    "sequence": event.sequence,
+                    "release_ps": event[EV_TIME],
+                    "sequence": event[EV_SEQ],
                 }
             segments[name] = {
                 "busy": runtime.busy,

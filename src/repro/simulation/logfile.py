@@ -26,6 +26,7 @@ logs are byte-identical to the pre-fault format.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from sys import intern as _intern
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.errors import SimulationError
@@ -212,7 +213,13 @@ class LogWriter:
             )
         self.meta = dict(state["meta"])
         for data in state["records"]:
-            fields = dict(data)
+            fields = {
+                # intern restored names for the same reason parse_log
+                # does: a resumed run re-materializes millions of records
+                # drawn from a tiny name vocabulary
+                key: _intern(value) if isinstance(value, str) else value
+                for key, value in data.items()
+            }
             cls = self._RECORD_KINDS[fields.pop("record")]
             self.records.append(cls(**fields))
         self.end_time_ps = int(state["end_time_ps"])
@@ -275,10 +282,16 @@ class LogFile:
 
 
 def _parse_fields(line: str, start: int) -> Dict[str, str]:
+    # intern both keys and values: a log holds a handful of distinct
+    # field names, process/PE/signal/state names and transports repeated
+    # across millions of lines, so interning collapses them to shared
+    # objects — dict lookups and downstream grouping become identity
+    # comparisons, and parsed-log memory stays proportional to the name
+    # vocabulary instead of the record count (output bytes unchanged)
     fields: Dict[str, str] = {}
     for token in line.split()[start:]:
         key, _, value = token.partition("=")
-        fields[key] = value
+        fields[_intern(key)] = _intern(value)
     return fields
 
 

@@ -23,7 +23,15 @@ from repro.observability.tracer import SYSTEM_TRACK, Tracer, pe_track
 from repro.platform.model import PlatformModel
 from repro.simulation.bus import HibiBus, TransferStats
 from repro.simulation.executor import ProcessExecutor, SendIntent, StepOutcome
-from repro.simulation.kernel import Kernel, PS_PER_US, cycles_to_ps
+from repro.simulation.kernel import (
+    EV_CALLBACK,
+    EV_SEQ,
+    EV_TIME,
+    PS_PER_US,
+    cycles_to_ps,
+    event_pending,
+    select_backend,
+)
 from repro.simulation.logfile import (
     LogFile,
     LogWriter,
@@ -210,6 +218,7 @@ class SystemSimulation:
         max_events: int = 5_000_000,
         faults=None,
         tracer: Optional[Tracer] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         mapping.check_complete()
         self.application = application
@@ -219,7 +228,11 @@ class SystemSimulation:
         # None check, so an untraced run is byte-identical (log and all)
         # to the pre-observability simulator.
         self.tracer = tracer
-        self.kernel = Kernel(max_events=max_events, tracer=tracer)
+        # kernel_backend=None defers to REPRO_KERNEL_BACKEND / "auto";
+        # every backend honours the same ordering and checkpoint
+        # contract, so the choice never changes simulation output
+        kernel_cls = select_backend(kernel_backend)
+        self.kernel = kernel_cls(max_events=max_events, tracer=tracer)
         if tracer is not None:
             tracer.bind_clock(lambda: self.kernel.now_ps)
         # A disabled plan (all rates zero, no windows) is treated exactly
@@ -320,8 +333,10 @@ class SystemSimulation:
         removed when the event fires, so the registry always holds exactly
         the in-flight deliveries a snapshot must capture."""
         event = self.kernel.schedule(delay_ps, _noop)
-        sequence = event.sequence
-        event.callback = lambda a=activation, s=sequence: self._fire_delivery(a, s)
+        sequence = event[EV_SEQ]
+        event[EV_CALLBACK] = (
+            lambda a=activation, s=sequence: self._fire_delivery(a, s)
+        )
         self._pending_deliveries[sequence] = (activation, event)
 
     def _fire_delivery(self, activation: _Activation, sequence: int) -> None:
@@ -750,8 +765,8 @@ class SystemSimulation:
                     "outcome": outcome.to_dict(),
                     "cycles": cycles,
                     "started_ps": started_ps,
-                    "time_ps": event.time_ps,
-                    "sequence": event.sequence,
+                    "time_ps": event[EV_TIME],
+                    "sequence": event[EV_SEQ],
                 }
             runtimes[name] = {
                 "ready": [
@@ -776,22 +791,22 @@ class SystemSimulation:
                 {
                     "process": process,
                     "timer": timer,
-                    "time_ps": event.time_ps,
-                    "sequence": event.sequence,
+                    "time_ps": event[EV_TIME],
+                    "sequence": event[EV_SEQ],
                 }
                 for (process, timer), event in sorted(self.timers.items())
-                if event.pending
+                if event_pending(event)
             ],
             "deliveries": [
                 {
                     "sequence": sequence,
-                    "time_ps": event.time_ps,
+                    "time_ps": event[EV_TIME],
                     "activation": activation.to_dict(),
                 }
                 for sequence, (activation, event) in sorted(
                     self._pending_deliveries.items()
                 )
-                if event.pending
+                if event_pending(event)
             ],
             "bus": self.bus.state_dict(),
             "writer": self.writer.state_dict(),

@@ -63,7 +63,7 @@ def build_trace() -> Tracer:
     tracer.counter("ready", pe_track("cpu"), {"depth": 4}, time_ps=50)
     tracer.counter("ready", pe_track("cpu"), {"depth": 2}, time_ps=60)
     tracer.counter("requests", bus_track("seg"), {"depth": 3}, time_ps=70)
-    tracer.counter("events", KERNEL_TRACK, {"depth": 9}, time_ps=80)
+    tracer.counter("queue_depth", KERNEL_TRACK, {"depth": 9}, time_ps=80)
     return tracer
 
 

@@ -1,0 +1,373 @@
+"""Kernel micro-benchmark: before/after the calendar-queue rewrite.
+
+Produces ``BENCH_kernel.json`` (schema ``repro.bench-kernel/1``, see
+``docs/benchmarks.md``) and asserts the rewrite's speedup.  The
+"before" measurement runs ``_SeedKernel`` — a pinned, verbatim copy of
+the pre-calendar kernel (class-based events with a Python ``__lt__``
+per heap comparison) — on the same host and harness as the "after"
+measurement, so the ratio is hardware-independent even though absolute
+events/s are not.  The recorded pre-rewrite baseline from
+``BENCH_explore.json`` (1,623,269 events/s on the original anchor host)
+is carried in the artefact for cross-host context.
+
+Three workloads bracket the simulator's real event-time distributions:
+
+* ``chain`` — one self-rescheduling event (the tier-2 harness shape):
+  worst case for the calendar queue, since every schedule lands in the
+  already-active bucket and takes the spill-heap path.
+* ``cluster`` — fan-out ticks (a batch of deliveries per tick): the
+  shape the bucket batching is built for.
+* ``timers`` — tens of thousands of pre-scheduled timers across a wide
+  horizon: deep-heap territory, where the seed kernel pays
+  ``O(log n)`` Python comparisons per operation.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import json
+import os
+import time
+from heapq import heappop as _heappop, heappush as _heappush
+
+from repro.simulation.kernel import Kernel
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+#: the pre-rewrite throughput recorded in BENCH_explore.json on the
+#: original anchor host (events/s) — context only, never compared
+#: against locally measured numbers
+RECORDED_BASELINE_EVENTS_PER_S = 1_623_269
+
+#: required speedup vs the pinned seed kernel, geometric-mean across
+#: workloads, measured on the same host/harness
+SPEEDUP_TARGET = 3.0
+
+#: design target for the fused hook gate's idle cost per dispatch...
+GATE_OVERHEAD_TARGET = 0.02
+#: ...and the noise-tolerant ceiling this test asserts (shared-runner
+#: wall clocks jitter far more than 2%; the best-of-N measurement below
+#: still reports the typical value in the artefact)
+GATE_OVERHEAD_CEILING = 0.10
+
+#: the cluster workload must serve at least this fraction of pops from
+#: the pre-sorted active bucket (the no-comparison batched path)
+BATCHING_HIT_RATE_FLOOR = 0.5
+
+
+class _SeedEvent:
+    """Verbatim pre-rewrite event: attribute slots + Python ``__lt__``."""
+
+    __slots__ = ("time_ps", "sequence", "callback", "cancelled", "dispatched")
+
+    def __init__(self, time_ps, sequence, callback):
+        self.time_ps = time_ps
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self.dispatched = False
+
+    def __lt__(self, other):
+        return (self.time_ps, self.sequence) < (other.time_ps, other.sequence)
+
+
+class _SeedKernel:
+    """Pinned copy of the pre-calendar kernel's hot path (the "before").
+
+    Kept byte-for-byte faithful to the seed implementation's run loop —
+    per-event heap push/pop over ``_SeedEvent`` objects and per-event
+    ``None`` checks for tracer/budget/after_event — so the benchmark's
+    speedup ratio means "this rewrite vs the kernel it replaced", not
+    "this host vs the host the baseline was recorded on".
+    """
+
+    def __init__(self, max_events=5_000_000):
+        self.now_ps = 0
+        self.max_events = max_events
+        self.tracer = None
+        self.trace_stride = 64
+        self._heap = []
+        self._sequence = 0
+        self._dispatched = 0
+        self._live = 0
+        self.after_event = None
+
+    def schedule(self, delay_ps, callback):
+        """Schedule ``callback`` after ``delay_ps`` (seed hot path)."""
+        self._sequence += 1
+        event = _SeedEvent(self.now_ps + delay_ps, self._sequence, callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def run(self, until_ps=None):
+        """The seed dispatch loop, verbatim."""
+        dispatched = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ps is not None and event.time_ps > until_ps:
+                break
+            heapq.heappop(self._heap)
+            self._live -= 1
+            event.dispatched = True
+            self.now_ps = event.time_ps
+            event.callback()
+            dispatched += 1
+            self._dispatched += 1
+            if (
+                self.tracer is not None
+                and self._dispatched % self.trace_stride == 0
+            ):
+                pass
+            if self._dispatched > self.max_events:
+                raise RuntimeError("budget")
+            if self.after_event is not None:
+                self.after_event()
+        if until_ps is not None and until_ps > self.now_ps:
+            self.now_ps = until_ps
+        return dispatched
+
+
+class _GateFreeKernel(Kernel):
+    """:class:`Kernel` with the fused hook gate compiled out.
+
+    The idle-overhead reference: ``_run_idle`` minus the per-event
+    ``_hooks_active`` check (and the mid-run hook handover it guards).
+    Hooks registered mid-run are ignored — benchmark use only.
+    """
+
+    __slots__ = ()
+
+    def _run_idle(self, until):
+        """The fast loop with no hook gate (see :class:`Kernel`)."""
+        drain = self._drain
+        spill = self._spill
+        heappop = _heappop
+        budget = self.max_events - self._dispatched
+        n = 0
+        drained = 0
+        spilled = 0
+        try:
+            while True:
+                if drain:
+                    if spill and spill[0] < drain[-1]:
+                        event = heappop(spill)
+                        spilled += 1
+                    else:
+                        event = drain.pop()
+                        drained += 1
+                elif spill:
+                    event = heappop(spill)
+                    spilled += 1
+                else:
+                    if not self._advance():
+                        break
+                    continue
+                time_ps = event[0]
+                if time_ps > until:
+                    _heappush(spill, event)
+                    break
+                if event[3]:
+                    self._size -= 1
+                    self._tombstones -= 1
+                    continue
+                self._size -= 1
+                event[4] = True
+                self.now_ps = time_ps
+                event[2]()
+                n += 1
+                if n > budget:
+                    raise RuntimeError("budget")
+        finally:
+            self._dispatched += n
+            self._drained += drained
+            self._spilled += spilled
+        return n, True
+
+
+# ---------------------------------------------------------------------------
+# workloads — each returns (events_per_s, kernel)
+# ---------------------------------------------------------------------------
+
+
+def _chain(kernel_cls, total=120_000):
+    kernel = kernel_cls(max_events=10_000_000)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        if fired[0] < total:
+            kernel.schedule(10, tick)
+
+    kernel.schedule(0, tick)
+    started = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - started
+    assert fired[0] == total
+    return total / elapsed, kernel
+
+
+def _cluster(kernel_cls, ticks=1_200, fan=100):
+    kernel = kernel_cls(max_events=10_000_000)
+    fired = [0]
+
+    def work():
+        fired[0] += 1
+
+    def tick():
+        if fired[0] < ticks * fan:
+            for _ in range(fan):
+                kernel.schedule(100_000, work)
+            kernel.schedule(100_000, tick)
+
+    kernel.schedule(0, tick)
+    started = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - started
+    return fired[0] / elapsed, kernel
+
+
+def _timers(kernel_cls, total=60_000):
+    kernel = kernel_cls(max_events=10_000_000)
+    fired = [0]
+
+    def pop():
+        fired[0] += 1
+
+    # a deterministic pseudo-random spread over a ~60 ms horizon keeps
+    # the heap deep for the whole drain
+    t = 0
+    for index in range(total):
+        t = (t + 1_000_003 * (index % 97) + 11) % 60_000_000_000
+        kernel.schedule(t, pop)
+    started = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - started
+    assert fired[0] == total
+    return total / elapsed, kernel
+
+
+WORKLOADS = (("chain", _chain), ("cluster", _cluster), ("timers", _timers))
+
+
+def _measure_pair(measure, repeats=5):
+    """Best-of-``repeats`` events/s for seed and calendar kernels.
+
+    The two kernels run interleaved (seed, calendar, seed, ...) with the
+    cyclic garbage collector off, so host noise and collection pauses
+    hit both sides alike and cancel in the ratio.
+    """
+    best_before = 0.0
+    best_after = 0.0
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            best_before = max(best_before, measure(_SeedKernel)[0])
+            best_after = max(best_after, measure(Kernel)[0])
+    finally:
+        gc.enable()
+    return best_before, best_after
+
+
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def test_bench_kernel_artifact_speedup_batching_and_gate_overhead():
+    """One measurement pass produces ``BENCH_kernel.json`` and gates it.
+
+    Before/after pairs run interleaved (seed then calendar per
+    workload, best-of-repeats) so host noise cancels in the ratio; the
+    gate-idle overhead compares interleaved bests for the same reason.
+    """
+    results = {}
+    ratios = []
+    for name, measure in WORKLOADS:
+        before, after = _measure_pair(measure)
+        ratio = after / before
+        ratios.append(ratio)
+        results[name] = {
+            "events_per_s_before": round(before),
+            "events_per_s_after": round(after),
+            "speedup": round(ratio, 3),
+        }
+    speedup = _geomean(ratios)
+
+    # batching hit rate: the cluster shape must drain from pre-sorted
+    # buckets, not the spill heap
+    _, cluster_kernel = _cluster(Kernel)
+    stats = cluster_kernel.queue_stats()
+    served = stats["drained"] + stats["spilled"]
+    hit_rate = stats["drained"] / served if served else 0.0
+
+    # fused-gate idle cost: interleaved best-of-7 per kernel; comparing
+    # bests filters the scheduler noise that single runs (and even
+    # per-pair medians) carry on a shared host
+    best_gated = 0.0
+    best_free = 0.0
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(7):
+            best_gated = max(best_gated, _cluster(Kernel)[0])
+            best_free = max(best_free, _cluster(_GateFreeKernel)[0])
+    finally:
+        gc.enable()
+    gate_overhead = (best_free - best_gated) / best_free
+
+    payload = {
+        "schema": "repro.bench-kernel/1",
+        "workloads": results,
+        "speedup": {
+            "geometric_mean": round(speedup, 3),
+            "target": SPEEDUP_TARGET,
+            "recorded_baseline_events_per_s": RECORDED_BASELINE_EVENTS_PER_S,
+        },
+        "batching": {
+            "hit_rate": round(hit_rate, 4),
+            "floor": BATCHING_HIT_RATE_FLOOR,
+            "queue_stats": stats,
+        },
+        "gate": {
+            "idle_overhead": round(gate_overhead, 4),
+            "target": GATE_OVERHEAD_TARGET,
+            "ceiling": GATE_OVERHEAD_CEILING,
+        },
+    }
+    path = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"calendar kernel is only {speedup:.2f}x the seed kernel "
+        f"(target {SPEEDUP_TARGET}x; per-workload {results})"
+    )
+    assert hit_rate >= BATCHING_HIT_RATE_FLOOR, (
+        f"cluster workload served only {hit_rate:.1%} of pops from the "
+        f"batched drain path ({stats})"
+    )
+    assert gate_overhead <= GATE_OVERHEAD_CEILING, (
+        f"fused hook gate costs {gate_overhead:.1%} idle "
+        f"(ceiling {GATE_OVERHEAD_CEILING:.0%})"
+    )
+
+
+def test_backends_agree_on_bench_workloads():
+    """The speedup is not bought with divergence: per-workload dispatch
+    counts and final clocks match between seed and calendar kernels."""
+    for name, measure in WORKLOADS:
+        _, seed_kernel = measure(_SeedKernel)
+        _, calendar_kernel = measure(Kernel)
+        assert seed_kernel._dispatched == calendar_kernel.dispatched, name
+        assert seed_kernel.now_ps == calendar_kernel.now_ps, name

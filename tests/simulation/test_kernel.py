@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simulation import Kernel, cycles_to_ps
-from repro.simulation.kernel import PS_PER_US
+from repro.simulation.kernel import EV_SEQ, PS_PER_US
 
 
 class TestScheduling:
@@ -177,15 +177,16 @@ class TestPendingCounter:
         assert kernel.pending == 1
 
     def test_tombstones_are_compacted(self):
-        # cancel-heavy models (timer resets) must not grow the heap
-        # unboundedly: once tombstones outnumber live events the heap is
-        # rebuilt with only live entries
+        # cancel-heavy models (timer resets) must not grow the queue
+        # unboundedly: once tombstones outnumber live events every
+        # structure is rebuilt with only live entries
         kernel = Kernel()
         events = [kernel.schedule(d + 1, lambda: None) for d in range(100)]
         for event in events[:90]:
             kernel.cancel(event)
         assert kernel.pending == 10
-        assert len(kernel._heap) < 30
+        assert kernel._size - kernel._tombstones == 10
+        assert kernel._size < 30
         assert kernel.run() == 10
 
 
@@ -210,7 +211,7 @@ class TestStateProtocol:
         assert restored.dispatched == 2
         # new events get fresh (higher) sequence numbers
         event = restored.schedule(5, lambda: None)
-        assert event.sequence > 2
+        assert event[EV_SEQ] > 2
 
     def test_load_requires_fresh_kernel(self):
         used = Kernel()

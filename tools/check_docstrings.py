@@ -25,6 +25,17 @@ def is_public(name: str) -> bool:
     return not name.startswith("_")
 
 
+def is_property_companion(node: ast.AST) -> bool:
+    """True for ``@x.setter``/``@x.deleter`` defs: the getter documents them."""
+    for decorator in getattr(node, "decorator_list", []):
+        if (
+            isinstance(decorator, ast.Attribute)
+            and decorator.attr in ("setter", "deleter")
+        ):
+            return True
+    return False
+
+
 def trivial(node: ast.AST) -> bool:
     """A body that is only ``pass``/``...`` needs no docstring."""
     body = getattr(node, "body", [])
@@ -47,7 +58,7 @@ def missing_in(path: Path) -> list:
             if is_public(node.name) and ast.get_docstring(node) is None:
                 problems.append((node.lineno, "class", node.name))
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if not is_public(node.name):
+            if not is_public(node.name) or is_property_companion(node):
                 continue
             if ast.get_docstring(node) is None and not trivial(node):
                 problems.append((node.lineno, "function", node.name))
