@@ -87,6 +87,24 @@ class CandidateOutcome:
             "failures": [record.to_json_dict() for record in self.failures],
         }
 
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "CandidateOutcome":
+        """Rebuild an outcome from :meth:`to_json_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            spec=CandidateSpec.from_json_dict(
+                data["spec"], label=str(data.get("label", ""))
+            ),
+            result=EvaluationResult.from_dict(data["result"]),
+            elapsed_s=float(data["elapsed_s"]),
+            cached=bool(data["cached"]),
+            attempts=int(data.get("attempts", 1)),
+            failures=[
+                FailureRecord.from_json_dict(record)
+                for record in data.get("failures", [])
+            ],
+        )
+
 
 @dataclass
 class ExplorationRun:
@@ -137,6 +155,58 @@ class ExplorationRun:
             "retries": 0,
             "quarantined": len(self.quarantined),
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ExplorationRun":
+        """Rebuild a run from an **untruncated** :meth:`to_json_dict` dump.
+
+        This is the service client's deserialisation path: a remote
+        campaign's result JSON comes back as a live :class:`ExplorationRun`
+        whose :meth:`ranking`, ledgers and re-serialisation are
+        byte-identical to the producer's (``from_json_dict(d)
+        .to_json_dict() == d``).  The dump must have been produced with
+        ``top=None`` — a truncated ranking cannot reproduce the outcome
+        list and is rejected.
+        """
+        ranking = data.get("ranking", [])
+        records = data.get("records", [])
+        if len(ranking) != len(records):
+            raise ExplorationError(
+                f"cannot rebuild a run from a truncated dump: ranking has "
+                f"{len(ranking)} entries but {len(records)} candidates ran "
+                "(re-export with top=None)"
+            )
+        outcomes = sorted(
+            (CandidateOutcome.from_json_dict(entry) for entry in ranking),
+            key=lambda outcome: outcome.index,
+        )
+        supervisor = data.get("supervisor", {})
+        pruned_block = data.get("pruned") or {}
+        return cls(
+            outcomes=outcomes,
+            workers=int(data["workers"]),
+            wall_s=float(data["wall_s"]),
+            cache_dir=data.get("cache_dir"),
+            failures=[
+                FailureRecord.from_json_dict(record)
+                for record in supervisor.get("failures", [])
+            ],
+            quarantined=[
+                QuarantineRecord.from_json_dict(record)
+                for record in supervisor.get("quarantine", [])
+            ],
+            supervisor_stats=SupervisorStats.from_counters(
+                supervisor,
+                degraded_to_serial=bool(
+                    supervisor.get("degraded_to_serial", False)
+                ),
+            ),
+            pruned=[
+                PrunedRecord.from_json_dict(record)
+                for record in pruned_block.get("records", [])
+            ],
+            prune_margin=pruned_block.get("margin"),
+        )
 
     def to_json_dict(self, top: Optional[int] = None) -> Dict[str, object]:
         ranking = self.ranking()

@@ -149,6 +149,21 @@ class FailureRecord:
             "exitcode": self.exitcode,
         }
 
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "FailureRecord":
+        """Rebuild a ledger line from :meth:`to_json_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            label=str(data["label"]),
+            digest=data.get("digest"),
+            attempt=int(data["attempt"]),
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+            elapsed_s=float(data["elapsed_s"]),
+            backoff_s=float(data.get("backoff_s", 0.0)),
+            exitcode=data.get("exitcode"),
+        )
+
 
 @dataclass
 class QuarantineRecord:
@@ -169,6 +184,17 @@ class QuarantineRecord:
             "failures": self.failures,
             "reason": self.reason,
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "QuarantineRecord":
+        """Rebuild a quarantine entry from :meth:`to_json_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            label=str(data["label"]),
+            digest=data.get("digest"),
+            failures=int(data["failures"]),
+            reason=str(data["reason"]),
+        )
 
 
 @dataclass
@@ -194,6 +220,25 @@ class SupervisorStats:
             "retries": self.retries,
             "quarantined": self.quarantined,
         }
+
+    @classmethod
+    def from_counters(
+        cls, counters: Dict[str, int], degraded_to_serial: bool = False
+    ) -> "SupervisorStats":
+        """Rebuild stats from a :meth:`counters` dict (JSON deserialisation).
+
+        Only the ledger totals survive the round trip; process-local
+        bookkeeping (``spawn_failures``, ``spawned_pids``) is not part of
+        the campaign JSON and comes back zeroed.
+        """
+        return cls(
+            timeouts=int(counters.get("timeouts", 0)),
+            crashes=int(counters.get("crashes", 0)),
+            errors=int(counters.get("errors", 0)),
+            retries=int(counters.get("retries", 0)),
+            quarantined=int(counters.get("quarantined", 0)),
+            degraded_to_serial=degraded_to_serial,
+        )
 
     def note(self, kind: str) -> None:
         """Count one failure of ``kind``."""

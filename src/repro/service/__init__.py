@@ -1,0 +1,66 @@
+"""Exploration farm service: async job queue over the campaign engine.
+
+Turns the in-process exploration engine into a shared service: an HTTP
+frontend (:mod:`repro.service.server`) accepts campaign submissions as
+``repro.job/1`` records into a crash-safe filesystem spool
+(:mod:`repro.service.jobstore`); worker loops
+(:mod:`repro.service.worker`) — in-server threads, ``repro work``
+processes, or whole extra machines sharing the spool and the
+content-addressed result cache — claim jobs under heartbeat leases and
+run them through the unchanged engine stack; the stdlib client
+(:mod:`repro.service.client`) round-trips results byte-identically, so
+``repro explore --remote URL`` is a transport swap, not a semantics
+change.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, submit_specs
+from repro.service.jobs import (
+    ALL_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    MAX_JOB_WORKERS,
+    QUEUED,
+    RUNNING,
+    SERVED_CACHE,
+    SERVED_EVALUATED,
+    TERMINAL_STATES,
+    JobRecord,
+    JobRequest,
+)
+from repro.service.jobstore import JobStore
+from repro.service.metrics import service_metrics
+from repro.service.server import DEFAULT_MAX_QUEUE, ExplorationService
+from repro.service.worker import (
+    DEFAULT_LEASE_S,
+    WorkerPool,
+    execute_job,
+    fully_cached,
+    run_worker_loop,
+)
+
+__all__ = [
+    "ALL_STATES",
+    "CANCELLED",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_QUEUE",
+    "DONE",
+    "ExplorationService",
+    "FAILED",
+    "JobRecord",
+    "JobRequest",
+    "JobStore",
+    "MAX_JOB_WORKERS",
+    "QUEUED",
+    "RUNNING",
+    "SERVED_CACHE",
+    "SERVED_EVALUATED",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "WorkerPool",
+    "execute_job",
+    "fully_cached",
+    "run_worker_loop",
+    "service_metrics",
+    "submit_specs",
+]

@@ -1,0 +1,171 @@
+"""Thin stdlib client for the exploration farm HTTP API.
+
+Wraps ``urllib.request`` with the service's envelope conventions: every
+call returns the envelope's ``results`` body (plus ``meta`` where it
+matters), HTTP errors become :class:`~repro.errors.ServiceError` with
+the status attached, and :meth:`ServiceClient.result_run` reconstructs a
+first-class :class:`~repro.exploration.ExplorationRun` from the wire —
+byte-identical to the run an in-process campaign would have produced,
+which is what makes ``repro explore --remote`` a drop-in transport.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ServiceError
+from repro.exploration import ExplorationRun
+from repro.service.jobs import TERMINAL_STATES, JobRequest
+
+#: Default per-request socket timeout (server handlers never block on
+#: campaign execution, so responses are prompt even under load).
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceClient:
+    """One farm endpoint, e.g. ``ServiceClient("http://127.0.0.1:8753")``."""
+
+    def __init__(self, base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = "http://" + self.base_url
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _call(
+        self,
+        verb: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=verb,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                envelope = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = f"HTTP {exc.code}"
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                detail = payload.get("results", {}).get("error", detail)
+            except Exception:
+                pass
+            raise ServiceError(detail, status=exc.code)
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            )
+        except (ValueError, OSError) as exc:
+            raise ServiceError(f"bad response from {self.base_url}: {exc}")
+        if not isinstance(envelope, dict) or "results" not in envelope:
+            raise ServiceError(
+                f"response from {self.base_url} is not a repro envelope"
+            )
+        return envelope
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> Dict[str, object]:
+        """Submit a campaign; returns the job's public record (its
+        ``state`` is ``done`` when the cache fast path served it)."""
+        return self._call("POST", "/v1/jobs", request.to_json_dict())["results"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._call("GET", f"/v1/jobs/{job_id}")["results"]
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, object]]:
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        return self._call("GET", path)["results"]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The finished campaign's full ``repro.explore/1`` envelope."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_run(self, job_id: str) -> ExplorationRun:
+        """The finished campaign as a live :class:`ExplorationRun`."""
+        return ExplorationRun.from_json_dict(self.result(job_id)["results"])
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        envelope = self._call("POST", f"/v1/jobs/{job_id}/cancel")
+        record = dict(envelope["results"])
+        record["cancel"] = (envelope.get("meta") or {}).get("cancel")
+        return record
+
+    def metrics(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/metrics")["results"]
+
+    def health(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/health")["results"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.25,
+        on_poll=None,
+    ) -> Dict[str, object]:
+        """Poll until the job is terminal; returns its final record.
+
+        ``on_poll`` (record -> None), when given, fires after every
+        status read — the CLI uses it for progress lines.  Raises
+        ``ServiceError`` on timeout with the last seen state attached.
+        """
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            record = self.job(job_id)
+            if on_poll is not None:
+                on_poll(record)
+            if record.get("state") in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state: {record.get('state')})"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(
+        self,
+        request: JobRequest,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.25,
+        on_poll=None,
+    ) -> Dict[str, object]:
+        """Submit, then :meth:`wait`; fast-path results skip the poll."""
+        record = self.submit(request)
+        if record.get("state") in TERMINAL_STATES:
+            return record
+        return self.wait(
+            record["id"], timeout_s=timeout_s, poll_s=poll_s, on_poll=on_poll
+        )
+
+
+def submit_specs(
+    base_url: str,
+    specs: Iterable,
+    **request_fields,
+) -> Dict[str, object]:
+    """Convenience one-shot: build a request from specs and submit it."""
+    client = ServiceClient(base_url)
+    return client.submit(JobRequest(specs=tuple(specs), **request_fields))
+
+
+__all__ = ["DEFAULT_TIMEOUT_S", "ServiceClient", "submit_specs"]

@@ -1,0 +1,352 @@
+"""Job model of the exploration service: requests, records, states.
+
+A **job** is one exploration campaign submitted to the service: a list
+of candidate specs plus the campaign policy (worker fan-out, fault
+tolerance, injected worker faults, static pruning, checkpointing).  The
+request is encoded entirely by value — the same canonical JSON that the
+in-process engine hashes — so a job's :meth:`JobRequest.digest` is a
+content address: two identical submissions share one digest, and the
+service evaluates the campaign once while every other submission is
+served from the content-addressed result cache.
+
+The on-disk/over-the-wire shape is the ``repro.job/1`` envelope body
+(see ``docs/service.md``): a :class:`JobRecord` with the lifecycle state
+machine ``queued -> running -> done | failed | cancelled``.  Records are
+deliberately small — the full campaign result JSON lives in a separate
+spool file — so listing and polling stay cheap at thousands of jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.exploration import (
+    CandidateSpec,
+    PruneConfig,
+    SupervisorConfig,
+    WorkerFaultPlan,
+    parse_worker_faults,
+    resolve_builder,
+)
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+#: Every valid state, for validation of spool records.
+ALL_STATES = frozenset({QUEUED, RUNNING}) | TERMINAL_STATES
+
+#: How a finished job's result was produced (the ``served`` field):
+#: ``evaluated`` — at least one candidate was simulated for this job;
+#: ``cache`` — every candidate came out of the content-addressed cache
+#: (including the submit-time fast path that never queues the job).
+SERVED_EVALUATED = "evaluated"
+SERVED_CACHE = "cache"
+
+#: Ceiling on per-job campaign fan-out accepted over the wire.
+MAX_JOB_WORKERS = 16
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submitted campaign, by value.
+
+    ``specs`` carry their presentation labels separately from the
+    canonical spec encoding (labels are excluded from spec digests, so
+    they ride alongside).  ``mode`` is presentation-only metadata for
+    result rendering (``mappings`` or ``faults`` — which extra columns
+    the text table shows).
+    """
+
+    specs: tuple                      # Tuple[CandidateSpec, ...]
+    workers: int = 0
+    mode: str = "mappings"
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    quarantine_after: int = 3
+    worker_faults: tuple = ()         # Tuple[str, ...] "INDEX:MODE[:COUNT]"
+    prune_static: bool = False
+    prune_margin: Optional[float] = None
+    checkpoint_every_events: Optional[int] = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ServiceError("a job needs at least one candidate spec")
+        if not 0 <= self.workers <= MAX_JOB_WORKERS:
+            raise ServiceError(
+                f"workers must be in [0, {MAX_JOB_WORKERS}], "
+                f"got {self.workers}"
+            )
+        if self.mode not in ("mappings", "faults"):
+            raise ServiceError(f"unknown job mode {self.mode!r}")
+        for spec in self.specs:
+            if spec.digest() is None:
+                raise ServiceError(
+                    "service jobs need builders importable by name "
+                    "('module:callable'); got an unnamed builder"
+                )
+
+    # -- canonical encoding / hashing ----------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The wire shape (the body of a ``POST /v1/jobs``)."""
+        return {
+            "specs": [
+                {"spec": spec.to_json_dict(), "label": spec.label}
+                for spec in self.specs
+            ],
+            "workers": self.workers,
+            "mode": self.mode,
+            "supervisor": {
+                "timeout_s": self.timeout_s,
+                "max_retries": self.max_retries,
+                "quarantine_after": self.quarantine_after,
+            },
+            "worker_faults": list(self.worker_faults),
+            "prune": (
+                {"margin": self.prune_margin} if self.prune_static else None
+            ),
+            "checkpoint_every_events": self.checkpoint_every_events,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: object) -> "JobRequest":
+        """Parse and validate a submission body (raises ServiceError)."""
+        if not isinstance(data, dict):
+            raise ServiceError("job request body must be a JSON object")
+        entries = data.get("specs")
+        if not isinstance(entries, list) or not entries:
+            raise ServiceError("job request needs a non-empty 'specs' list")
+        specs = []
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "spec" not in entry:
+                raise ServiceError(
+                    f"specs[{position}] must be an object with a 'spec' key"
+                )
+            try:
+                specs.append(
+                    CandidateSpec.from_json_dict(
+                        entry["spec"], label=str(entry.get("label", ""))
+                    )
+                )
+            except Exception as exc:
+                raise ServiceError(f"specs[{position}]: {exc}")
+        supervisor = data.get("supervisor") or {}
+        if not isinstance(supervisor, dict):
+            raise ServiceError("'supervisor' must be an object")
+        prune = data.get("prune")
+        if prune is not None and not isinstance(prune, dict):
+            raise ServiceError("'prune' must be an object or null")
+        faults = data.get("worker_faults") or []
+        if not isinstance(faults, list):
+            raise ServiceError("'worker_faults' must be a list of strings")
+        try:
+            request = cls(
+                specs=tuple(specs),
+                workers=int(data.get("workers", 0)),
+                mode=str(data.get("mode", "mappings")),
+                timeout_s=(
+                    float(supervisor["timeout_s"])
+                    if supervisor.get("timeout_s") is not None
+                    else None
+                ),
+                max_retries=int(supervisor.get("max_retries", 2)),
+                quarantine_after=int(supervisor.get("quarantine_after", 3)),
+                worker_faults=tuple(str(entry) for entry in faults),
+                prune_static=prune is not None,
+                prune_margin=(
+                    float(prune["margin"])
+                    if prune is not None and prune.get("margin") is not None
+                    else None
+                ),
+                checkpoint_every_events=(
+                    int(data["checkpoint_every_events"])
+                    if data.get("checkpoint_every_events") is not None
+                    else None
+                ),
+                label=str(data.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job request: {exc}")
+        # fail fast on policy the engine would reject at run time
+        try:
+            request.supervisor_config()
+            request.worker_fault_plan()
+            request.prune_config()
+        except Exception as exc:
+            raise ServiceError(f"invalid campaign policy: {exc}", status=400)
+        return request
+
+    def digest(self) -> str:
+        """Content address of the campaign (labels excluded).
+
+        Two submissions with the same digest evaluate the same design
+        points under the same policy, so the service runs one of them and
+        serves the rest from the shared result cache.
+        """
+        body = self.to_json_dict()
+        del body["label"]
+        for entry in body["specs"]:
+            del entry["label"]
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- engine-side materialisation -----------------------------------
+
+    def validate_builders(self) -> None:
+        """Resolve every builder reference now (submission-time 400s)."""
+        for spec in self.specs:
+            resolve_builder(spec.builder)
+
+    def supervisor_config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+            quarantine_after=self.quarantine_after,
+        )
+
+    def worker_fault_plan(self) -> Optional[WorkerFaultPlan]:
+        return parse_worker_faults(list(self.worker_faults))
+
+    def prune_config(self) -> Optional[PruneConfig]:
+        if not self.prune_static:
+            return None
+        if self.prune_margin is not None:
+            return PruneConfig(margin=self.prune_margin)
+        return PruneConfig()
+
+
+@dataclass
+class JobRecord:
+    """One job's spool record — the ``repro.job/1`` envelope body.
+
+    The record is the source of truth for the job's lifecycle; the full
+    campaign result JSON lives next to it in the spool's ``results/``
+    directory and is only referenced here by the ``summary`` block
+    (evaluated/cache-hit counters and wall time) so ``GET /v1/jobs`` and
+    ``/v1/metrics`` never have to read result files.
+    """
+
+    id: str
+    state: str
+    request: Dict[str, object]        # JobRequest.to_json_dict() echo
+    digest: str
+    submitted: float                  # unix timestamps (0.0 = not yet)
+    started: float = 0.0
+    finished: float = 0.0
+    attempts: int = 0
+    owner: str = ""                   # worker identity while running
+    served: Optional[str] = None      # SERVED_EVALUATED | SERVED_CACHE
+    error: Optional[str] = None       # failure detail (state == failed)
+    summary: Optional[Dict[str, object]] = None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "request": self.request,
+            "digest": self.digest,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "owner": self.owner,
+            "served": self.served,
+            "error": self.error,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        state = data.get("state")
+        if state not in ALL_STATES:
+            raise ServiceError(f"job record has unknown state {state!r}")
+        return cls(
+            id=str(data["id"]),
+            state=str(state),
+            request=dict(data["request"]),
+            digest=str(data["digest"]),
+            submitted=float(data["submitted"]),
+            started=float(data.get("started", 0.0)),
+            finished=float(data.get("finished", 0.0)),
+            attempts=int(data.get("attempts", 0)),
+            owner=str(data.get("owner", "")),
+            served=data.get("served"),
+            error=data.get("error"),
+            summary=data.get("summary"),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def public_dict(self) -> Dict[str, object]:
+        """The status-endpoint view (request echoed without spec bodies)."""
+        body = self.to_json_dict()
+        request = dict(self.request)
+        request["specs"] = len(self.request.get("specs", []))
+        body["request"] = request
+        return body
+
+
+def run_summary(run_json: Dict[str, object]) -> Dict[str, object]:
+    """The small per-job counters block kept on the record.
+
+    Everything ``/v1/metrics`` aggregates across jobs comes from here, so
+    computing service-wide cache-hit ratios never opens a result file.
+    """
+    supervisor = run_json.get("supervisor", {})
+    return {
+        "candidates": run_json.get("candidates_total", 0),
+        "evaluated": run_json.get("evaluated", 0),
+        "cache_hits": run_json.get("cache_hits", 0),
+        "pruned": (run_json.get("pruned") or {}).get("count", 0),
+        "quarantined": len(supervisor.get("quarantine", [])),
+        "wall_s": run_json.get("wall_s", 0.0),
+    }
+
+
+def job_sort_key(record: JobRecord):
+    """Submission order: timestamp, then id (ids embed a creation nonce)."""
+    return (record.submitted, record.id)
+
+
+def validate_job_id(job_id: str) -> str:
+    """Reject ids that could escape the spool directory."""
+    if (
+        not job_id
+        or len(job_id) > 64
+        or not all(ch.isalnum() or ch in "-_" for ch in job_id)
+    ):
+        raise ServiceError(f"malformed job id {job_id!r}", status=400)
+    return job_id
+
+
+__all__ = [
+    "ALL_STATES",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobRequest",
+    "MAX_JOB_WORKERS",
+    "QUEUED",
+    "RUNNING",
+    "SERVED_CACHE",
+    "SERVED_EVALUATED",
+    "TERMINAL_STATES",
+    "job_sort_key",
+    "run_summary",
+    "validate_job_id",
+]

@@ -1,0 +1,103 @@
+"""Service-level observability: the ``/v1/metrics`` snapshot.
+
+Everything here is computed from the spool's job *records* (the small
+``summary`` blocks written at finish time) plus the in-memory counters a
+server accumulates — result files are never opened, so the endpoint
+stays O(jobs) with a tiny constant and is safe to poll aggressively.
+
+The snapshot is the body of the ``repro.service-metrics/1`` envelope
+(see ``docs/service.md``): queue depth and in-flight counts, terminal
+state counts, the campaign-level cache-hit ratio, and nearest-rank
+p50/p99 turnaround latency over finished jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SERVED_CACHE,
+    SERVED_EVALUATED,
+    JobRecord,
+)
+from repro.service.jobstore import JobStore
+
+#: Schema kind of the metrics envelope.
+METRICS_SCHEMA = "service-metrics"
+
+
+def percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Returns None for an empty sample so JSON consumers can tell "no
+    finished jobs yet" from "instant turnaround".
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return round(ordered[rank], 6)
+
+
+def service_metrics(
+    store: JobStore,
+    counters: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """One metrics snapshot over the spool (plus server ``counters``).
+
+    ``counters`` carries the ephemeral per-server tallies (submissions
+    accepted, rejected with 429, served by the submit-time fast path);
+    they reset when the server restarts, unlike the spool-derived
+    numbers, and are echoed under ``"server"``.
+    """
+    records: List[JobRecord] = store.list()
+    by_state = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+    served = {SERVED_EVALUATED: 0, SERVED_CACHE: 0}
+    evaluated = 0
+    cache_hits = 0
+    pruned = 0
+    latencies: List[float] = []
+    for record in records:
+        by_state[record.state] = by_state.get(record.state, 0) + 1
+        if record.served in served:
+            served[record.served] += 1
+        if record.summary:
+            evaluated += int(record.summary.get("evaluated", 0))
+            cache_hits += int(record.summary.get("cache_hits", 0))
+            pruned += int(record.summary.get("pruned", 0))
+        if record.terminal and record.finished and record.submitted:
+            latencies.append(max(0.0, record.finished - record.submitted))
+    lookups = evaluated + cache_hits
+    return {
+        "jobs": {
+            "total": len(records),
+            "by_state": by_state,
+            "served": served,
+        },
+        "queue": {
+            "depth": store.queued_count(),
+            "in_flight": store.running_count(),
+        },
+        "cache": {
+            "evaluated": evaluated,
+            "cache_hits": cache_hits,
+            "hit_ratio": (
+                round(cache_hits / lookups, 6) if lookups else None
+            ),
+        },
+        "pruned": pruned,
+        "latency_s": {
+            "p50": percentile(latencies, 0.50),
+            "p99": percentile(latencies, 0.99),
+            "samples": len(latencies),
+        },
+        "server": dict(counters or {}),
+    }
+
+
+__all__ = ["METRICS_SCHEMA", "percentile", "service_metrics"]

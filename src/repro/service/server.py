@@ -1,0 +1,409 @@
+"""The exploration farm's HTTP frontend (``repro serve``).
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` whose handler
+speaks the same JSON envelope as every other ``repro`` surface
+(:mod:`repro.util.jsonout`).  The server owns a :class:`JobStore` spool
+and an in-process :class:`WorkerPool`; any number of additional
+``repro work`` processes (or whole machines, over a shared filesystem)
+can drain the same spool concurrently.
+
+Routes (all under ``/v1``)::
+
+    POST /v1/jobs             submit a campaign  -> 202 queued | 200 fast
+    GET  /v1/jobs[?state=s]   job ledger (public records, no spec bodies)
+    GET  /v1/jobs/<id>        one job's status
+    GET  /v1/jobs/<id>/result finished campaign (repro.explore/1)
+    POST /v1/jobs/<id>/cancel cancel queued / request cancel of running
+    GET  /v1/metrics          repro.service-metrics/1 snapshot
+    GET  /v1/health           liveness + queue depth
+
+Submission semantics: a request whose every candidate is already in the
+content-addressed cache is served *synchronously* (HTTP 200, job born
+``done``/``cache``) without touching the queue; otherwise it is spooled
+(HTTP 202) unless the queue is at ``max_queue``, which is a 429 with
+``Retry-After`` — bounded saturation instead of unbounded memory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.exploration import run_candidates
+from repro.service.jobs import DONE, FAILED, SERVED_CACHE, JobRequest
+from repro.service.jobstore import JobStore
+from repro.service.metrics import METRICS_SCHEMA, service_metrics
+from repro.service.worker import WorkerPool, fully_cached
+from repro.util.fsio import ensure_parent
+from repro.util.jsonout import envelope
+
+#: Largest accepted request body; campaigns are spec lists, not data.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Default submission-queue bound (tune with ``repro serve --max-queue``).
+DEFAULT_MAX_QUEUE = 256
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ExplorationService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-farm/1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def service(self) -> "ExplorationService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:
+        self.service.log(f"{self.address_string()} {fmt % args}")
+
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   retry_after: Optional[int] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _send_error(self, status: int, message: str,
+                    retry_after: Optional[int] = None) -> None:
+        self._send_json(
+            status,
+            envelope("service-error", {"error": message, "status": status}),
+            retry_after=retry_after,
+        )
+
+    def _read_body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request needs a JSON body", status=400)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body over {MAX_BODY_BYTES} bytes", status=413
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"body is not valid JSON: {exc}", status=400)
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].strip("/")
+        return tuple(part for part in path.split("/") if part)
+
+    def _query(self) -> Dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        pairs = {}
+        for chunk in self.path.split("?", 1)[1].split("&"):
+            if "=" in chunk:
+                key, value = chunk.split("=", 1)
+                pairs[key] = value
+        return pairs
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, verb: str) -> None:
+        try:
+            parts = self._route()
+            if not parts or parts[0] != "v1":
+                raise ServiceError(f"unknown path {self.path!r}", status=404)
+            parts = parts[1:]
+            if verb == "POST" and parts == ("jobs",):
+                return self._submit()
+            if verb == "GET" and parts == ("jobs",):
+                return self._list()
+            if verb == "GET" and len(parts) == 2 and parts[0] == "jobs":
+                return self._status(parts[1])
+            if (
+                verb == "GET"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "result"
+            ):
+                return self._result(parts[1])
+            if (
+                verb == "POST"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "cancel"
+            ):
+                return self._cancel(parts[1])
+            if verb == "GET" and parts == ("metrics",):
+                return self._metrics()
+            if verb == "GET" and parts == ("health",):
+                return self._health()
+            raise ServiceError(
+                f"no route for {verb} {self.path!r}", status=404
+            )
+        except ServiceError as exc:
+            self._send_error(exc.status or 500, str(exc))
+        except Exception as exc:  # never kill the connection thread
+            self._send_error(500, f"internal error: {exc}")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _submit(self) -> None:
+        service = self.service
+        try:
+            request = JobRequest.from_json_dict(self._read_body())
+        except ServiceError as exc:
+            # model-level validation errors default to "your fault"
+            raise ServiceError(str(exc), status=exc.status or 400)
+        try:
+            request.validate_builders()
+        except Exception as exc:
+            raise ServiceError(f"unresolvable builder: {exc}", status=400)
+        if fully_cached(request, service.cache_dir):
+            # serve warm campaigns synchronously; nothing to schedule
+            run = run_candidates(
+                list(request.specs),
+                workers=0,
+                cache_dir=service.cache_dir,
+                supervisor=request.supervisor_config(),
+            )
+            record = service.store.submit_finished(
+                request, DONE, run_json=run.to_json_dict(), served=SERVED_CACHE
+            )
+            service.count("fast_path")
+            return self._send_json(
+                200, envelope("job", record.public_dict())
+            )
+        if service.store.queued_count() >= service.max_queue:
+            service.count("rejected")
+            raise ServiceError(
+                f"queue is full ({service.max_queue} jobs); retry later",
+                status=429,
+            )
+        record = service.store.submit(request)
+        service.count("submitted")
+        service.pool.notify()
+        self._send_json(202, envelope("job", record.public_dict()))
+
+    def _list(self) -> None:
+        state = self._query().get("state")
+        records = self.service.store.list(state=state)
+        self._send_json(
+            200,
+            envelope(
+                "job-list",
+                [record.public_dict() for record in records],
+                meta={"count": len(records)},
+            ),
+        )
+
+    def _status(self, job_id: str) -> None:
+        record = self.service.store.get(job_id)
+        self._send_json(200, envelope("job", record.public_dict()))
+
+    def _result(self, job_id: str) -> None:
+        record = self.service.store.get(job_id)
+        if record.state == FAILED:
+            raise ServiceError(
+                f"job {job_id} failed: {record.error}", status=409
+            )
+        run_json = self.service.store.result(job_id)
+        self._send_json(
+            200,
+            envelope(
+                "explore",
+                run_json,
+                meta={"job": job_id, "served": record.served},
+            ),
+        )
+
+    def _cancel(self, job_id: str) -> None:
+        record, disposition = self.service.store.cancel(job_id)
+        if disposition == "cancelled":
+            self.service.count("cancelled")
+        self._send_json(
+            200,
+            envelope(
+                "job",
+                record.public_dict(),
+                meta={"cancel": disposition},
+            ),
+        )
+
+    def _metrics(self) -> None:
+        service = self.service
+        self._send_json(
+            200,
+            envelope(
+                METRICS_SCHEMA,
+                service_metrics(service.store, service.counters_snapshot()),
+            ),
+        )
+
+    def _health(self) -> None:
+        store = self.service.store
+        self._send_json(
+            200,
+            envelope(
+                "service-health",
+                {
+                    "ok": True,
+                    "queued": store.queued_count(),
+                    "running": store.running_count(),
+                    "uptime_s": round(self.service.uptime_s(), 3),
+                },
+            ),
+        )
+
+
+class ExplorationService:
+    """One farm instance: spool + worker pool + HTTP frontend.
+
+    ``pool_size=0`` runs a frontend-only server (submissions are drained
+    by external ``repro work`` processes sharing the spool).
+    """
+
+    def __init__(
+        self,
+        spool_dir,
+        cache_dir: Optional[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: int = 1,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        lease_s: float = 60.0,
+        log_path=None,
+    ) -> None:
+        if max_queue < 1:
+            raise ServiceError(f"max queue must be >= 1, got {max_queue}")
+        self.store = JobStore(spool_dir)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.pool = WorkerPool(
+            self.store,
+            self.cache_dir,
+            pool_size=max(1, pool_size),
+            lease_s=lease_s,
+        )
+        self._pool_enabled = pool_size > 0
+        self._log_path = Path(log_path) if log_path is not None else None
+        self._log_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "submitted": 0,
+            "rejected": 0,
+            "fast_path": 0,
+            "cancelled": 0,
+        }
+        self._counter_lock = threading.Lock()
+        self.lease_s = lease_s
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
+        self._reaper: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+        self.recovery: Dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Recover the spool, start workers, bind and serve; returns the
+        bound ``(host, port)`` (port 0 picks a free one)."""
+        self.recovery = self.store.recover()
+        if self._pool_enabled:
+            self.pool.start()
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        # maintenance: jobs orphaned by a worker that died *after* this
+        # server recovered (or whose lease was fresh at recovery time)
+        # are requeued as soon as the lease goes two periods stale
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="repro-serve-reaper", daemon=True
+        )
+        self._reaper.start()
+        self._started = time.monotonic()
+        host, bound = self._httpd.server_address[:2]
+        self.port = int(bound)
+        self.log(
+            f"serving on {host}:{self.port} "
+            f"(spool={self.store.root}, cache={self.cache_dir}, "
+            f"pool={self.pool.pool_size if self._pool_enabled else 0}, "
+            f"max_queue={self.max_queue}, recovered={self.recovery})"
+        )
+        return str(host), self.port
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful shutdown: stop accepting, abort in-flight campaigns
+        at the next candidate boundary (jobs return to ``queued`` with
+        their leases released), and stop the HTTP loop.  Spool state is
+        durable throughout, so a restart resumes exactly here."""
+        self._reaper_stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        clean = self.pool.drain(timeout_s=timeout_s) if self._pool_enabled else True
+        self.log(f"drained (clean={clean})")
+        return clean
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def _reap_loop(self) -> None:
+        period = max(1.0, self.lease_s / 2.0)
+        while not self._reaper_stop.wait(timeout=period):
+            try:
+                requeued = self.store.reap_expired(grace_s=self.lease_s)
+            except Exception as exc:  # keep the maintenance loop alive
+                self.log(f"reaper error: {exc}")
+                continue
+            if requeued:
+                self.log(f"requeued {requeued} expired-lease job(s)")
+                self.pool.notify()
+
+    # -- counters and logging -----------------------------------------
+
+    def count(self, key: str) -> None:
+        with self._counter_lock:
+            self._counters[key] = self._counters.get(key, 0) + 1
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self._counters)
+
+    def log(self, message: str) -> None:
+        if self._log_path is None:
+            return
+        line = f"{time.strftime('%Y-%m-%dT%H:%M:%S')} {message}\n"
+        with self._log_lock:
+            ensure_parent(self._log_path)
+            with open(self._log_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE",
+    "MAX_BODY_BYTES",
+    "ExplorationService",
+]

@@ -1,0 +1,269 @@
+"""Worker side of the exploration farm: claim, evaluate, finish.
+
+A worker is a loop over the spool: claim the oldest runnable job, turn
+its :class:`~repro.service.jobs.JobRequest` back into a campaign, run it
+through the existing engine (:func:`repro.exploration.run_candidates` —
+the same supervisor, cache, pruning and fault-injection stack the
+in-process CLI uses), and publish the result.  The engine's progress
+callback doubles as the worker's control plane: between candidate
+completions it extends the job's lease, honours cooperative cancel
+requests, and aborts cleanly when the pool is draining.
+
+:class:`WorkerPool` runs N such loops as daemon threads inside a server
+process (``repro serve``); ``repro work`` runs one against a shared
+spool from any machine.  The actual simulation fan-out still happens in
+supervised *processes* under the engine, so pool threads spend their
+time blocked in ``os`` waits, not holding the GIL.
+"""
+
+from __future__ import annotations
+
+import socket
+import os
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import JobCancelled, ServiceError
+from repro.exploration import ResultCache, run_candidates
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    SERVED_CACHE,
+    SERVED_EVALUATED,
+    JobRecord,
+    JobRequest,
+)
+from repro.service.jobstore import JobStore
+
+#: Default lease duration; a worker heartbeats at candidate boundaries
+#: and the lease must outlive the slowest single candidate (which is
+#: itself bounded by the supervisor timeout when one is set).
+DEFAULT_LEASE_S = 60.0
+
+
+class DrainRequested(Exception):
+    """Internal: the pool is shutting down; put the job back unfinished."""
+
+
+def worker_identity(tag: str = "") -> str:
+    """Stable-enough owner string: host, pid, and an optional pool tag."""
+    host = socket.gethostname() or "unknown"
+    return f"{host}:{os.getpid()}" + (f":{tag}" if tag else "")
+
+
+def fully_cached(request: JobRequest, cache_dir: Optional[str]) -> bool:
+    """True when every candidate of the request is already in the cache.
+
+    This powers the submit-time fast path: a fully cached campaign is
+    evaluated synchronously (serving only cache lookups) and never
+    queued.  Campaigns with static pruning enabled are conservatively
+    treated as not-fully-cached — pruning changes which candidates are
+    even looked up, and deciding that here would duplicate the oracle.
+    """
+    if cache_dir is None or request.prune_static or request.worker_faults:
+        return False
+    cache = ResultCache(cache_dir)
+    return all(cache.load(spec) is not None for spec in request.specs)
+
+
+def execute_job(
+    store: JobStore,
+    record: JobRecord,
+    cache_dir: Optional[str],
+    owner: str,
+    lease_s: float = DEFAULT_LEASE_S,
+    stop: Optional[threading.Event] = None,
+    checkpoint_root: Optional[Path] = None,
+) -> JobRecord:
+    """Run one claimed job to a terminal state (or release it on drain).
+
+    The caller must already own the job's claim (via
+    :meth:`JobStore.claim_next`).  Returns the final record; on drain the
+    returned record is back in ``queued``.
+    """
+    try:
+        request = JobRequest.from_json_dict(record.request)
+    except ServiceError as exc:
+        return store.finish(record.id, FAILED, error=f"bad request replay: {exc}")
+
+    def control(outcome, done, total) -> None:
+        if stop is not None and stop.is_set():
+            raise DrainRequested()
+        if store.cancel_requested(record.id):
+            raise JobCancelled(f"job {record.id} cancelled by request")
+        store.heartbeat(record.id, owner, lease_s)
+
+    checkpoint_dir = None
+    if request.checkpoint_every_events is not None and checkpoint_root is not None:
+        # shared per-spool checkpoint area: a restarted worker resumes
+        # the campaign's event checkpoints instead of re-simulating
+        checkpoint_dir = str(checkpoint_root / record.digest[:16])
+    try:
+        run = run_candidates(
+            list(request.specs),
+            workers=request.workers,
+            cache_dir=cache_dir,
+            progress=control,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_events=(
+                request.checkpoint_every_events
+                if request.checkpoint_every_events is not None
+                else 5_000
+            ),
+            supervisor=request.supervisor_config(),
+            worker_faults=request.worker_fault_plan(),
+            prune_static=request.prune_config(),
+        )
+    except DrainRequested:
+        return store.release(record.id)
+    except JobCancelled:
+        return store.finish(record.id, CANCELLED)
+    except KeyboardInterrupt:
+        return store.release(record.id)
+    except Exception:
+        return store.finish(
+            record.id, FAILED, error=traceback.format_exc(limit=8)
+        )
+    if store.cancel_requested(record.id):
+        # cancel arrived after the last candidate boundary; honour it
+        return store.finish(record.id, CANCELLED)
+    served = SERVED_EVALUATED if run.evaluated else SERVED_CACHE
+    return store.finish(
+        record.id, DONE, run_json=run.to_json_dict(), served=served
+    )
+
+
+class WorkerPool:
+    """N claim-execute loops over one spool, drainable as a unit."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache_dir: Optional[str],
+        pool_size: int = 1,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = 0.2,
+    ) -> None:
+        if pool_size < 1:
+            raise ServiceError(f"pool size must be >= 1, got {pool_size}")
+        self.store = store
+        self.cache_dir = cache_dir
+        self.pool_size = pool_size
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.checkpoint_root = store.root / "checkpoints"
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._threads = []
+        self.completed = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        for slot in range(self.pool_size):
+            thread = threading.Thread(
+                target=self._loop,
+                args=(worker_identity(f"w{slot}"),),
+                name=f"repro-worker-{slot}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def notify(self) -> None:
+        """Poke idle loops after a submission (cuts poll latency)."""
+        self._wake.set()
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Stop claiming, abort in-flight jobs at the next candidate
+        boundary (releasing them back to the queue), and join the loops.
+        Returns True when every loop exited within the timeout."""
+        self._stop.set()
+        self._wake.set()
+        deadline = time.monotonic() + timeout_s
+        alive = False
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            thread.join(timeout=max(0.0, remaining))
+            alive = alive or thread.is_alive()
+        return not alive
+
+    def _loop(self, owner: str) -> None:
+        while not self._stop.is_set():
+            try:
+                record = self.store.claim_next(owner, self.lease_s)
+            except ServiceError:
+                record = None
+            if record is None:
+                self._wake.wait(timeout=self.poll_s)
+                self._wake.clear()
+                continue
+            execute_job(
+                self.store,
+                record,
+                self.cache_dir,
+                owner,
+                lease_s=self.lease_s,
+                stop=self._stop,
+                checkpoint_root=self.checkpoint_root,
+            )
+            with self._lock:
+                self.completed += 1
+
+
+def run_worker_loop(
+    store: JobStore,
+    cache_dir: Optional[str],
+    lease_s: float = DEFAULT_LEASE_S,
+    poll_s: float = 0.5,
+    max_jobs: Optional[int] = None,
+    stop: Optional[threading.Event] = None,
+) -> int:
+    """Foreground claim-execute loop for ``repro work``.
+
+    Processes jobs until ``max_jobs`` is reached (None = forever) or
+    ``stop`` is set; returns the number of jobs driven to a terminal
+    state.  KeyboardInterrupt between jobs exits cleanly; during a job
+    it releases the job back to the queue first (see
+    :func:`execute_job`).
+    """
+    owner = worker_identity("cli")
+    done = 0
+    last_reap = time.monotonic()
+    while (max_jobs is None or done < max_jobs) and (
+        stop is None or not stop.is_set()
+    ):
+        record = store.claim_next(owner, lease_s)
+        if record is None:
+            # idle maintenance so a worker-only farm (no `repro serve`
+            # reaper) still recovers jobs orphaned by dead peers
+            if time.monotonic() - last_reap >= max(lease_s, 5.0):
+                store.reap_expired(grace_s=lease_s)
+                last_reap = time.monotonic()
+            time.sleep(poll_s)
+            continue
+        final = execute_job(
+            store,
+            record,
+            cache_dir,
+            owner,
+            lease_s=lease_s,
+            stop=stop,
+            checkpoint_root=store.root / "checkpoints",
+        )
+        if final.terminal:
+            done += 1
+    return done
+
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "WorkerPool",
+    "execute_job",
+    "fully_cached",
+    "run_worker_loop",
+    "worker_identity",
+]

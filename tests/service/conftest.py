@@ -1,0 +1,49 @@
+"""Shared fixtures for the exploration-farm service tests.
+
+The ``farm`` fixture runs a real :class:`ExplorationService` — HTTP
+frontend, spool, in-process worker pool — inside the test process on an
+ephemeral port, with a fresh spool and cache per test.  Campaigns use
+the 4-candidate ping-pong sweep from the exploration tests, so a full
+submit-evaluate-serve cycle is tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ExplorationService, JobRequest, ServiceClient
+from tests.exploration.test_engine import fault_free_specs, pingpong_factory
+
+
+@pytest.fixture
+def farm(tmp_path):
+    """(service, client) for a live single-process farm."""
+    service = ExplorationService(
+        tmp_path / "spool",
+        str(tmp_path / "cache"),
+        pool_size=2,
+        lease_s=5.0,
+        log_path=tmp_path / "logs" / "service.log",
+    )
+    host, port = service.start()
+    client = ServiceClient(f"http://{host}:{port}")
+    yield service, client
+    service.drain(timeout_s=10.0)
+
+
+@pytest.fixture
+def sweep_request():
+    """A 4-candidate ping-pong campaign request (fixed digest)."""
+    return JobRequest(specs=tuple(fault_free_specs()), workers=0)
+
+
+def request_with_duration(duration_us: int) -> JobRequest:
+    """A campaign whose digest varies with ``duration_us``."""
+    from repro.exploration import mapping_sweep_specs
+
+    return JobRequest(
+        specs=tuple(
+            mapping_sweep_specs(pingpong_factory, duration_us=duration_us)
+        ),
+        workers=0,
+    )

@@ -1,0 +1,97 @@
+"""Concurrent identical submissions: one evaluation, N cache serves.
+
+The dedupe contract of the farm: when N clients race to submit the same
+campaign digest, exactly one job evaluates candidates; every other job
+is served from the shared content-addressed cache (either by the
+submit-time fast path or by running against the warm cache after the
+primary finishes).  And however the race interleaves, the spool must
+never contain a torn JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.service import ServiceClient, TERMINAL_STATES
+
+
+class TestConcurrentIdenticalSubmissions:
+    N = 8
+
+    def test_one_evaluation_n_cache_serves(self, farm, sweep_request):
+        service, client = farm
+        records, errors = [], []
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.N)
+
+        def submit():
+            worker_client = ServiceClient(client.base_url)
+            try:
+                barrier.wait(timeout=10.0)
+                record = worker_client.submit(sweep_request)
+                if record["state"] not in TERMINAL_STATES:
+                    record = worker_client.wait(record["id"], timeout_s=60.0)
+                with lock:
+                    records.append(record)
+            except Exception as exc:  # surface thread failures to pytest
+                with lock:
+                    errors.append(repr(exc))
+
+        threads = [threading.Thread(target=submit) for _ in range(self.N)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=90.0)
+
+        assert not errors
+        assert len(records) == self.N
+        assert all(record["state"] == "done" for record in records)
+        # every submission produced its own job...
+        assert len({record["id"] for record in records}) == self.N
+        # ...but the campaign was evaluated exactly once
+        evaluated = [
+            record for record in records if record["served"] == "evaluated"
+        ]
+        cached = [record for record in records if record["served"] == "cache"]
+        assert len(evaluated) == 1
+        assert len(cached) == self.N - 1
+        total = sum(record["summary"]["evaluated"] for record in records)
+        assert total == len(sweep_request.specs)
+        assert all(
+            record["summary"]["cache_hits"] == len(sweep_request.specs)
+            for record in cached
+        )
+
+    def test_no_torn_spool_entries(self, farm, sweep_request):
+        service, client = farm
+        threads = [
+            threading.Thread(
+                target=lambda: ServiceClient(client.base_url).submit_and_wait(
+                    sweep_request, timeout_s=60.0
+                )
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=90.0)
+        spool_files = list(service.store.root.rglob("*.json"))
+        assert spool_files
+        for path in spool_files:
+            json.loads(path.read_text(encoding="utf-8"))  # must not raise
+
+    def test_results_are_byte_identical_across_serves(
+        self, farm, sweep_request
+    ):
+        _, client = farm
+        first = client.submit_and_wait(sweep_request, timeout_s=60.0)
+        second = client.submit(sweep_request)  # fast path
+        run_a = client.result(first["id"])["results"]
+        run_b = client.result(second["id"])["results"]
+        project = lambda run: [  # noqa: E731
+            (entry["digest"], entry["result_hash"], entry["cost"])
+            for entry in run["ranking"]
+        ]
+        assert project(run_a) == project(run_b)

@@ -1,0 +1,174 @@
+"""``repro serve`` shutdown contract: SIGTERM drains cleanly, exit 3.
+
+Mirrors the exploration interrupt contract (``docs/exploration.md``):
+a polite SIGTERM — CI job cancellation, ``timeout(1)``, ``kill <pid>``
+— must leave the spool consistent and exit 3, and a restarted server
+must resume the queue exactly where it stopped.  Signals cannot be
+delivered reliably inside pytest, so these tests drive real
+subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import JobRequest, JobStore, ServiceClient
+from tests.exploration.test_engine import fault_free_specs
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+def spawn_server(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--spool",
+            str(tmp_path / "spool"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--port",
+            "0",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        start_new_session=True,
+    )
+    banner = process.stdout.readline()
+    assert "http://" in banner, f"server failed to start: {banner!r}"
+    url = "http://" + banner.split("http://", 1)[1].split()[0]
+    return process, url
+
+
+def terminate(process, timeout_s=30.0):
+    process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        pytest.fail("server did not drain within the timeout")
+
+
+class TestServeDrain:
+    def test_sigterm_exits_3(self, tmp_path):
+        process, url = spawn_server(tmp_path, "--pool", "1")
+        assert ServiceClient(url).health()["ok"] is True
+        assert terminate(process) == 3
+        tail = process.stdout.read()
+        assert "drained" in tail
+
+    def test_queued_jobs_survive_restart(self, tmp_path):
+        # frontend-only server: the submission must stay queued
+        process, url = spawn_server(tmp_path, "--pool", "0")
+        record = ServiceClient(url).submit(
+            JobRequest(specs=tuple(fault_free_specs()), workers=0)
+        )
+        assert record["state"] == "queued"
+        assert terminate(process) == 3
+
+        # the spool survived the shutdown, bit-exact and parseable
+        store = JobStore(tmp_path / "spool")
+        assert store.get(record["id"]).state == "queued"
+        for path in store.root.rglob("*.json"):
+            json.loads(path.read_text(encoding="utf-8"))
+
+        # a restarted server with workers drains the backlog
+        process2, url2 = spawn_server(tmp_path, "--pool", "2")
+        try:
+            final = ServiceClient(url2).wait(record["id"], timeout_s=60.0)
+            assert final["state"] == "done"
+            assert final["served"] == "evaluated"
+        finally:
+            assert terminate(process2) == 3
+
+    def test_sigint_matches_sigterm(self, tmp_path):
+        process, url = spawn_server(tmp_path, "--pool", "1")
+        assert ServiceClient(url).health()["ok"] is True
+        process.send_signal(signal.SIGINT)
+        try:
+            assert process.wait(timeout=30.0) == 3
+        except subprocess.TimeoutExpired:
+            process.kill()
+            pytest.fail("server ignored SIGINT")
+
+
+class TestWorkDrain:
+    def test_work_processes_the_backlog_and_exits_cleanly(self, tmp_path):
+        # spool a job without any server, then drain it with `repro work`
+        store = JobStore(tmp_path / "spool")
+        record = store.submit(
+            JobRequest(specs=tuple(fault_free_specs()), workers=0)
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+        )
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "work",
+                "--spool",
+                str(tmp_path / "spool"),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--max-jobs",
+                "1",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert store.get(record.id).state == "done"
+
+    def test_work_sigterm_exits_3(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "work",
+                "--spool",
+                str(tmp_path / "spool"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            start_new_session=True,
+        )
+        time.sleep(1.0)  # let it reach the idle poll loop
+        process.send_signal(signal.SIGTERM)
+        try:
+            assert process.wait(timeout=30.0) == 3
+        except subprocess.TimeoutExpired:
+            process.kill()
+            pytest.fail("worker ignored SIGTERM")

@@ -1,0 +1,174 @@
+"""JobRequest/JobRecord model: wire round trips, digests, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobRecord, JobRequest
+from repro.service.jobs import run_summary, validate_job_id
+from tests.exploration.test_engine import fault_free_specs
+
+
+def make_request(**overrides) -> JobRequest:
+    fields = dict(specs=tuple(fault_free_specs()), workers=0)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+class TestJobRequest:
+    def test_wire_round_trip_is_exact(self):
+        request = make_request(
+            workers=2,
+            timeout_s=30.0,
+            worker_faults=("1:flaky",),
+            prune_static=True,
+            prune_margin=2.5,
+            label="round-trip",
+        )
+        body = request.to_json_dict()
+        rebuilt = JobRequest.from_json_dict(body)
+        assert rebuilt.to_json_dict() == body
+        assert rebuilt.digest() == request.digest()
+        assert rebuilt == request
+
+    def test_digest_ignores_labels(self):
+        plain = make_request()
+        labelled = make_request(label="whatever")
+        assert plain.digest() == labelled.digest()
+        specs = fault_free_specs()
+        relabelled = tuple(
+            type(spec).make(
+                spec.builder,
+                mapping=dict(spec.mapping),
+                duration_us=spec.duration_us,
+                label=f"alias-{index}",
+            )
+            for index, spec in enumerate(specs)
+        )
+        assert make_request(specs=relabelled).digest() == plain.digest()
+
+    def test_digest_covers_policy(self):
+        assert make_request().digest() != make_request(workers=2).digest()
+        assert (
+            make_request().digest() != make_request(prune_static=True).digest()
+        )
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ServiceError):
+            JobRequest(specs=())
+        with pytest.raises(ServiceError):
+            make_request(workers=-1)
+        with pytest.raises(ServiceError):
+            make_request(workers=99)
+        with pytest.raises(ServiceError):
+            make_request(mode="nonsense")
+
+    def test_rejects_unnamed_builders(self):
+        from repro.exploration import CandidateSpec
+
+        spec = CandidateSpec.make(
+            lambda: None, mapping={"g": "pe"}, duration_us=10
+        )
+        with pytest.raises(ServiceError, match="importable by name"):
+            JobRequest(specs=(spec,))
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "not a dict",
+            {},
+            {"specs": []},
+            {"specs": [{"nope": 1}]},
+            {"specs": [{"spec": {"schema": "bogus"}}]},
+        ],
+    )
+    def test_from_json_dict_rejects_malformed(self, body):
+        with pytest.raises(ServiceError):
+            JobRequest.from_json_dict(body)
+
+    def test_from_json_dict_rejects_bad_policy(self):
+        body = make_request().to_json_dict()
+        body["worker_faults"] = ["0:not-a-mode"]
+        with pytest.raises(ServiceError):
+            JobRequest.from_json_dict(body)
+        body = make_request().to_json_dict()
+        body["prune"] = {"margin": 0.5}  # below the >= 1.0 floor
+        with pytest.raises(ServiceError):
+            JobRequest.from_json_dict(body)
+
+
+class TestJobRecord:
+    def test_round_trip(self, sweep_request):
+        record = JobRecord(
+            id="j1",
+            state="running",
+            request=sweep_request.to_json_dict(),
+            digest=sweep_request.digest(),
+            submitted=100.0,
+            started=101.0,
+            attempts=2,
+            owner="host:1:w0",
+        )
+        body = record.to_json_dict()
+        assert JobRecord.from_json_dict(body).to_json_dict() == body
+
+    def test_rejects_unknown_state(self, sweep_request):
+        body = JobRecord(
+            id="j1",
+            state="queued",
+            request=sweep_request.to_json_dict(),
+            digest="d",
+            submitted=0.0,
+        ).to_json_dict()
+        body["state"] = "exploded"
+        with pytest.raises(ServiceError):
+            JobRecord.from_json_dict(body)
+
+    def test_public_dict_elides_spec_bodies(self, sweep_request):
+        record = JobRecord(
+            id="j1",
+            state="queued",
+            request=sweep_request.to_json_dict(),
+            digest="d",
+            submitted=0.0,
+        )
+        public = record.public_dict()
+        assert public["request"]["specs"] == len(sweep_request.specs)
+        # the record itself is untouched
+        assert isinstance(record.request["specs"], list)
+
+
+class TestHelpers:
+    def test_run_summary_counts(self):
+        summary = run_summary(
+            {
+                "candidates_total": 4,
+                "evaluated": 3,
+                "cache_hits": 1,
+                "wall_s": 0.5,
+                "pruned": {"count": 2},
+                "supervisor": {"quarantine": [{"index": 0}]},
+            }
+        )
+        assert summary == {
+            "candidates": 4,
+            "evaluated": 3,
+            "cache_hits": 1,
+            "pruned": 2,
+            "quarantined": 1,
+            "wall_s": 0.5,
+        }
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a" * 65, "../escape", "a/b", "a b", "j\x00"]
+    )
+    def test_validate_job_id_rejects(self, bad):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_job_id(bad)
+        assert excinfo.value.status == 400
+
+    def test_validate_job_id_accepts_generated_ids(self):
+        from repro.service.jobstore import JobStore
+
+        assert validate_job_id(JobStore.new_job_id())

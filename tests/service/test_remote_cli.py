@@ -1,0 +1,156 @@
+"""``repro explore --remote``: a transport swap, not a different tool.
+
+Differential tests: the same ``explore`` invocation run in-process and
+through a live farm must produce identical ranking JSON (modulo wall
+clocks), honour the same flags (``--prune-static``, ``--timeout``,
+``--inject-worker-fault``), and keep the same exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+BASE = ["explore", "--limit", "3", "--duration-us", "2000", "--format", "json"]
+
+#: Per-outcome fields that legitimately differ between transports.
+VOLATILE_OUTCOME = ("elapsed_s",)
+#: Top-level fields that legitimately differ between transports.
+VOLATILE_RUN = ("wall_s", "cache_dir")
+
+
+def run_json(capsys, argv):
+    """Run the CLI, parse its envelope, return (exit_code, results)."""
+    code = main(argv)
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.explore/1"
+    return code, payload["results"]
+
+
+def normalize(run):
+    run = json.loads(json.dumps(run))  # deep copy
+    for field in VOLATILE_RUN:
+        run.pop(field, None)
+    run.get("supervisor", {}).pop("backoff_s", None)
+    for failure in run.get("supervisor", {}).get("failures", []):
+        failure.pop("elapsed_s", None)
+    for entry in run.get("ranking", []) + run.get("records", []):
+        for field in VOLATILE_OUTCOME:
+            entry.pop(field, None)
+        for failure in entry.get("failures", []):
+            failure.pop("elapsed_s", None)
+    return run
+
+
+@pytest.fixture
+def farm_url(farm):
+    _, client = farm
+    return client.base_url
+
+
+class TestDifferentialIdentity:
+    def test_remote_ranking_json_is_identical(
+        self, capsys, tmp_path, farm_url
+    ):
+        local_code, local = run_json(
+            capsys, BASE + ["--cache-dir", str(tmp_path / "local-cache")]
+        )
+        remote_code, remote = run_json(capsys, BASE + ["--remote", farm_url])
+        assert (local_code, remote_code) == (0, 0)
+        assert normalize(local) == normalize(remote)
+        # and both actually evaluated (cold caches on both sides)
+        assert local["evaluated"] == remote["evaluated"] == 3
+
+    def test_prune_static_travels_through_the_service(
+        self, capsys, tmp_path, farm_url
+    ):
+        flags = ["--prune-static", "--prune-margin", "1.5"]
+        local_code, local = run_json(
+            capsys,
+            BASE + flags + ["--cache-dir", str(tmp_path / "local-cache")],
+        )
+        remote_code, remote = run_json(
+            capsys, BASE + flags + ["--remote", farm_url]
+        )
+        assert (local_code, remote_code) == (0, 0)
+        assert local["pruned"] == remote["pruned"]
+        assert normalize(local) == normalize(remote)
+
+    def test_worker_faults_and_timeout_travel_through(
+        self, capsys, tmp_path, farm_url
+    ):
+        # a flaky candidate must retry identically on both transports
+        flags = [
+            "--workers",
+            "1",
+            "--timeout",
+            "60",
+            "--inject-worker-fault",
+            "0:flaky:1",
+        ]
+        local_code, local = run_json(
+            capsys,
+            BASE + flags + ["--cache-dir", str(tmp_path / "local-cache")],
+        )
+        remote_code, remote = run_json(
+            capsys, BASE + flags + ["--remote", farm_url]
+        )
+        assert (local_code, remote_code) == (0, 0)
+        attempts = {
+            entry["digest"]: entry["attempts"]
+            for entry in remote["ranking"]
+        }
+        assert max(attempts.values()) == 2  # the injected flake retried
+        assert normalize(local) == normalize(remote)
+
+
+class TestRemoteContract:
+    def test_local_only_flags_are_rejected(self, capsys, farm_url, tmp_path):
+        code = main(
+            BASE
+            + [
+                "--remote",
+                farm_url,
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--checkpoint-dir" in captured.err
+
+    def test_unreachable_farm_is_a_clean_error(self, capsys):
+        code = main(BASE + ["--remote", "http://127.0.0.1:9"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot reach" in captured.err
+
+    def test_remote_text_mode_renders_the_same_table(self, capsys, farm_url):
+        argv = ["explore", "--limit", "3", "--duration-us", "2000"]
+        local_code = main(argv)
+        local_out = capsys.readouterr().out
+        remote_code = main(argv + ["--remote", farm_url])
+        remote_out = capsys.readouterr().out
+
+        def table_lines(text):
+            return [
+                line
+                for line in text.splitlines()
+                if line.startswith((" ", "-")) and "|" in line or "----" in line
+            ]
+
+        assert (local_code, remote_code) == (0, 0)
+        # identical ranking rows modulo the Time column
+        def rows(text):
+            out = []
+            for line in text.splitlines():
+                if "|" not in line or "Rank" in line:
+                    continue
+                cells = [cell.strip() for cell in line.split("|")]
+                out.append([c for i, c in enumerate(cells) if i != 4])
+            return out
+
+        assert rows(local_out) == rows(remote_out)

@@ -1,0 +1,142 @@
+"""The HTTP frontend: endpoints, envelopes, backpressure, fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ExplorationService, ServiceClient
+from tests.service.conftest import request_with_duration
+
+
+class TestEndpoints:
+    def test_health(self, farm):
+        _, client = farm
+        health = client.health()
+        assert health["ok"] is True
+        assert health["queued"] == 0
+
+    def test_submit_runs_to_done(self, farm, sweep_request):
+        _, client = farm
+        record = client.submit(sweep_request)
+        assert record["state"] == "queued"
+        assert record["request"]["specs"] == len(sweep_request.specs)
+        final = client.wait(record["id"], timeout_s=60.0)
+        assert final["state"] == "done"
+        assert final["served"] == "evaluated"
+        assert final["summary"]["evaluated"] == len(sweep_request.specs)
+
+    def test_result_envelope(self, farm, sweep_request):
+        _, client = farm
+        record = client.submit_and_wait(sweep_request, timeout_s=60.0)
+        envelope = client.result(record["id"])
+        assert envelope["schema"] == "repro.explore/1"
+        assert envelope["meta"]["job"] == record["id"]
+        run_json = envelope["results"]
+        assert len(run_json["ranking"]) == len(sweep_request.specs)
+        # and the client can rebuild a live run from it
+        run = client.result_run(record["id"])
+        assert run.to_json_dict() == run_json
+
+    def test_repeat_submission_is_served_from_cache(self, farm, sweep_request):
+        service, client = farm
+        client.submit_and_wait(sweep_request, timeout_s=60.0)
+        repeat = client.submit(sweep_request)
+        # fast path: born terminal, never queued, zero evaluations
+        assert repeat["state"] == "done"
+        assert repeat["served"] == "cache"
+        assert repeat["summary"]["evaluated"] == 0
+        assert service.counters_snapshot()["fast_path"] == 1
+
+    def test_job_listing_and_state_filter(self, farm, sweep_request):
+        _, client = farm
+        record = client.submit_and_wait(sweep_request, timeout_s=60.0)
+        assert [r["id"] for r in client.jobs()] == [record["id"]]
+        assert client.jobs(state="done")[0]["id"] == record["id"]
+        assert client.jobs(state="queued") == []
+
+    def test_cancel_terminal_job_reports_terminal(self, farm, sweep_request):
+        _, client = farm
+        record = client.submit_and_wait(sweep_request, timeout_s=60.0)
+        cancelled = client.cancel(record["id"])
+        assert cancelled["cancel"] == "terminal"
+        assert cancelled["state"] == "done"
+
+    def test_metrics_snapshot(self, farm, sweep_request):
+        _, client = farm
+        client.submit_and_wait(sweep_request, timeout_s=60.0)
+        client.submit(sweep_request)  # cache fast path
+        metrics = client.metrics()
+        assert metrics["jobs"]["total"] == 2
+        assert metrics["jobs"]["served"] == {"evaluated": 1, "cache": 1}
+        assert metrics["cache"]["evaluated"] == len(sweep_request.specs)
+        assert metrics["cache"]["cache_hits"] == len(sweep_request.specs)
+        assert metrics["cache"]["hit_ratio"] == 0.5
+        assert metrics["latency_s"]["samples"] == 2
+        assert metrics["latency_s"]["p50"] is not None
+        assert metrics["server"]["submitted"] == 1
+        assert metrics["server"]["fast_path"] == 1
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, farm):
+        _, client = farm
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("j0000000000000000-deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_is_400(self, farm):
+        _, client = farm
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("POST", "/v1/jobs", {"specs": "nope"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, farm):
+        _, client = farm
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("GET", "/v2/anything")
+        assert excinfo.value.status == 404
+
+    def test_result_before_done_is_409(self, tmp_path, sweep_request):
+        # frontend-only farm: the job is guaranteed to stay queued
+        service = ExplorationService(
+            tmp_path / "spool", str(tmp_path / "cache"), pool_size=0
+        )
+        host, port = service.start()
+        client = ServiceClient(f"http://{host}:{port}")
+        try:
+            record = client.submit(sweep_request)
+            with pytest.raises(ServiceError) as excinfo:
+                client.result(record["id"])
+            assert excinfo.value.status == 409
+        finally:
+            service.drain(timeout_s=5.0)
+
+    def test_unreachable_server(self, tmp_path):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+
+class TestBackpressure:
+    def test_queue_bound_gives_429(self, tmp_path):
+        # frontend-only farm (no workers): the queue can only grow
+        service = ExplorationService(
+            tmp_path / "spool",
+            str(tmp_path / "cache"),
+            pool_size=0,
+            max_queue=2,
+        )
+        host, port = service.start()
+        client = ServiceClient(f"http://{host}:{port}")
+        try:
+            client.submit(request_with_duration(5_000))
+            client.submit(request_with_duration(5_001))
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(request_with_duration(5_002))
+            assert excinfo.value.status == 429
+            assert service.counters_snapshot()["rejected"] == 1
+            # the rejected submission left no trace in the spool
+            assert len(client.jobs()) == 2
+        finally:
+            service.drain(timeout_s=5.0)

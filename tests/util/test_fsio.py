@@ -1,8 +1,19 @@
 """ensure_parent: every artefact writer must create missing directories."""
 
+import json
 from pathlib import Path
 
+import pytest
+
 from repro.util.fsio import ensure_parent
+
+
+@pytest.fixture
+def service_request():
+    from repro.service import JobRequest
+    from tests.exploration.test_engine import fault_free_specs
+
+    return JobRequest(specs=tuple(fault_free_specs()), workers=0)
 
 
 class TestEnsureParent:
@@ -55,3 +66,67 @@ class TestWritersCreateNestedDirs:
         snapshot = Snapshot("tag", 0, 0, state, state_hash(state))
         path = CheckpointStore(tmp_path / "deep" / "store").save(snapshot)
         assert path.is_file()
+
+
+class TestWriteJsonAtomic:
+    """write_json_atomic: crash-safe JSON for every service artefact."""
+
+    def test_creates_nested_parents_and_writes(self, tmp_path):
+        from repro.util.fsio import write_json_atomic
+
+        target = tmp_path / "deep" / "spool" / "jobs" / "j1.json"
+        returned = write_json_atomic(target, {"b": 2, "a": 1})
+        assert returned == target
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+        # keys are sorted for stable diffs
+        assert target.read_text().index('"a"') < target.read_text().index('"b"')
+
+    def test_replace_is_atomic_no_temp_left_behind(self, tmp_path):
+        from repro.util.fsio import write_json_atomic
+
+        target = tmp_path / "out.json"
+        write_json_atomic(target, {"v": 1})
+        write_json_atomic(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_unserialisable_payload_leaves_no_debris(self, tmp_path):
+        from repro.util.fsio import write_json_atomic
+
+        target = tmp_path / "bad.json"
+        with pytest.raises(TypeError):
+            write_json_atomic(target, {"oops": object()})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestServiceWritersCreateNestedDirs:
+    """Regression: every farm artefact writer handles nested paths."""
+
+    def test_job_spool_in_nested_dir(self, tmp_path, service_request):
+        from repro.service import JobStore
+
+        store = JobStore(tmp_path / "very" / "deep" / "spool")
+        record = store.submit(service_request)
+        assert store.get(record.id).state == "queued"
+
+    def test_service_log_in_nested_dir(self, tmp_path):
+        from repro.service.server import ExplorationService
+
+        service = ExplorationService(
+            tmp_path / "spool",
+            None,
+            pool_size=1,
+            log_path=tmp_path / "logs" / "by-day" / "service.log",
+        )
+        service.log("hello")
+        assert "hello" in (
+            tmp_path / "logs" / "by-day" / "service.log"
+        ).read_text()
+
+    def test_bench_envelope_in_nested_dir(self, tmp_path):
+        from repro.util.fsio import write_json_atomic
+        from repro.util.jsonout import envelope
+
+        target = tmp_path / "bench" / "out" / "BENCH_service.json"
+        write_json_atomic(target, envelope("bench-service", {"ok": True}))
+        assert json.loads(target.read_text())["schema"] == "repro.bench-service/1"

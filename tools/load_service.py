@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Load and crash-safety harness for the exploration farm (CI ``service-smoke``).
+
+Three phases against real ``repro serve`` subprocesses:
+
+1. **saturation** — a burst of concurrent submissions (default 50
+   threads) against a deliberately small ``--max-queue``: every request
+   must resolve to exactly one of 202 accepted / 200 fast-path / 429
+   backpressure, and every accepted job must drain to a terminal state.
+   Graceful saturation means bounded memory and zero lost submissions.
+2. **kill + restart** — SIGKILL the server mid-campaign, restart it on
+   the same spool with a short lease, and require every accepted job to
+   finish exactly once with every spool file still parseable (no torn
+   JSON, no lost or duplicated jobs).
+3. **identity** — the same sweep through the farm at campaign fan-out
+   0, 1 and 4 workers (fresh spool and cache each) must rank
+   byte-identically to the in-process engine on the
+   ``(digest, result_hash, cost)`` projection.
+
+Emits a ``repro.bench-service/1`` envelope (default
+``BENCH_service.json``) with the per-phase numbers.  Exit 0 when every
+assertion holds, 1 otherwise.  Stdlib only, like everything else here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ServiceError  # noqa: E402
+from repro.exploration import mapping_sweep_specs, run_candidates  # noqa: E402
+from repro.service import JobRequest, ServiceClient, TERMINAL_STATES  # noqa: E402
+from repro.util.fsio import write_json_atomic  # noqa: E402
+from repro.util.jsonout import envelope  # noqa: E402
+
+FACTORY = "repro.cases.tutwlan:exploration_factory"
+
+
+class Farm:
+    """One ``repro serve`` subprocess bound to a fresh port."""
+
+    def __init__(self, spool: Path, cache: Path, **flags) -> None:
+        self.spool = spool
+        self.cache = cache
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--spool",
+            str(spool),
+            "--cache-dir",
+            str(cache),
+            "--port",
+            "0",
+        ]
+        for flag, value in flags.items():
+            args += [f"--{flag.replace('_', '-')}", str(value)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        self.proc = subprocess.Popen(
+            args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        banner = self.proc.stdout.readline()
+        if "http://" not in banner:
+            raise RuntimeError(f"server failed to start: {banner!r}")
+        self.url = banner.split("http://", 1)[1].split()[0]
+        self.client = ServiceClient(f"http://{self.url}")
+
+    def kill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self) -> int:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        return self.proc.returncode
+
+
+def sweep_request(duration_us: int, limit: int = 2, workers: int = 0) -> JobRequest:
+    """A small TUTMAC sweep; ``duration_us`` varies the request digest."""
+    return JobRequest(
+        specs=tuple(
+            mapping_sweep_specs(FACTORY, duration_us=duration_us, limit=limit)
+        ),
+        workers=workers,
+        label=f"load:{duration_us}",
+    )
+
+
+def drain(client: ServiceClient, job_ids, timeout_s: float = 180.0):
+    """Wait until every id is terminal; returns {id: record}."""
+    deadline = time.monotonic() + timeout_s
+    final = {}
+    pending = set(job_ids)
+    while pending:
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"jobs never drained: {sorted(pending)[:5]} ...")
+        for job_id in sorted(pending):
+            record = client.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                final[job_id] = record
+                pending.discard(job_id)
+        time.sleep(0.2)
+    return final
+
+
+def phase_saturation(tmp: Path, submissions: int) -> dict:
+    farm = Farm(
+        tmp / "sat" / "spool", tmp / "sat" / "cache", pool=2, max_queue=8
+    )
+    accepted, fast, rejected, failures = [], [], [], []
+    lock = threading.Lock()
+
+    def submit(index: int) -> None:
+        try:
+            record = farm.client.submit(sweep_request(2_000 + index))
+            with lock:
+                (fast if record["state"] in TERMINAL_STATES else accepted).append(
+                    record["id"]
+                )
+        except ServiceError as exc:
+            with lock:
+                (rejected if exc.status == 429 else failures).append(str(exc))
+
+    start = time.monotonic()
+    threads = [
+        threading.Thread(target=submit, args=(index,))
+        for index in range(submissions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    burst_s = time.monotonic() - start
+
+    final = drain(farm.client, accepted)
+    drain_s = time.monotonic() - start
+    metrics = farm.client.metrics()
+    exit_code = farm.stop()
+
+    outcome = {
+        "submissions": submissions,
+        "accepted": len(accepted),
+        "fast_path": len(fast),
+        "rejected_429": len(rejected),
+        "transport_failures": failures,
+        "burst_s": round(burst_s, 3),
+        "drain_s": round(drain_s, 3),
+        "latency_s": metrics["latency_s"],
+        "server_exit": exit_code,
+        "ok": (
+            not failures
+            and len(accepted) + len(fast) + len(rejected) == submissions
+            and len(rejected) > 0  # the small queue must actually saturate
+            and all(r["state"] == "done" for r in final.values())
+            and exit_code == 3
+        ),
+    }
+    return outcome
+
+
+def spool_is_sane(spool: Path) -> list:
+    """Every JSON file under the spool must parse (no torn writes)."""
+    torn = []
+    for path in spool.rglob("*.json"):
+        try:
+            json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            torn.append(f"{path}: {exc}")
+    return torn
+
+
+def phase_kill_restart(tmp: Path, jobs: int) -> dict:
+    spool = tmp / "kill" / "spool"
+    cache = tmp / "kill" / "cache"
+    farm = Farm(spool, cache, pool=2, lease_s=2)
+    submitted = [
+        farm.client.submit(sweep_request(10_000 + index, limit=3))["id"]
+        for index in range(jobs)
+    ]
+    # let the pool get partway through the backlog, then pull the plug
+    time.sleep(1.0)
+    farm.kill()
+
+    farm2 = Farm(spool, cache, pool=2, lease_s=2)
+    # expired leases from the killed pool are requeued by recovery (and,
+    # for leases that outlived the restart, by the claim path's recover)
+    time.sleep(2.5)
+    farm2.client._call("GET", "/v1/health")
+    final = drain(farm2.client, submitted)
+    ledger = farm2.client.jobs()
+    torn = spool_is_sane(spool)
+    farm2.stop()
+
+    ledger_ids = [record["id"] for record in ledger]
+    return {
+        "jobs": jobs,
+        "terminal": len(final),
+        "lost": sorted(set(submitted) - set(ledger_ids)),
+        "duplicated": sorted(
+            job_id for job_id in set(ledger_ids) if ledger_ids.count(job_id) > 1
+        ),
+        "torn_files": torn,
+        "states": sorted(record["state"] for record in final.values()),
+        "ok": (
+            len(final) == jobs
+            and not torn
+            and not (set(submitted) - set(ledger_ids))
+            and len(ledger_ids) == len(set(ledger_ids))
+            and all(record["state"] == "done" for record in final.values())
+        ),
+    }
+
+
+def ranking_projection(run_json: dict) -> list:
+    return [
+        (entry["digest"], entry["result_hash"], entry["cost"])
+        for entry in run_json["ranking"]
+    ]
+
+
+def phase_identity(tmp: Path) -> dict:
+    specs = mapping_sweep_specs(FACTORY, duration_us=3_000)
+    reference = run_candidates(
+        list(specs), workers=0, cache_dir=str(tmp / "ref-cache")
+    ).to_json_dict()
+    matches = {}
+    for workers in (0, 1, 4):
+        farm = Farm(
+            tmp / f"id{workers}" / "spool",
+            tmp / f"id{workers}" / "cache",
+            pool=1,
+        )
+        record = farm.client.submit_and_wait(
+            JobRequest(specs=tuple(specs), workers=workers)
+        )
+        remote = farm.client.result(record["id"])["results"]
+        farm.stop()
+        matches[str(workers)] = ranking_projection(remote) == ranking_projection(
+            reference
+        )
+    return {"workers_match": matches, "ok": all(matches.values())}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="bench envelope path"
+    )
+    parser.add_argument(
+        "--submissions", type=int, default=50, help="phase-1 burst size"
+    )
+    parser.add_argument(
+        "--kill-jobs", type=int, default=12, help="phase-2 backlog size"
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="scratch dir (default: a tempdir)"
+    )
+    args = parser.parse_args(argv)
+
+    tmp = Path(args.workdir or tempfile.mkdtemp(prefix="repro-load-"))
+    results = {}
+    for name, phase in (
+        ("saturation", lambda: phase_saturation(tmp, args.submissions)),
+        ("kill_restart", lambda: phase_kill_restart(tmp, args.kill_jobs)),
+        ("identity", lambda: phase_identity(tmp)),
+    ):
+        start = time.monotonic()
+        print(f"[load_service] phase {name} ...", flush=True)
+        results[name] = phase()
+        results[name]["wall_s"] = round(time.monotonic() - start, 3)
+        print(
+            f"[load_service] phase {name}: "
+            f"{'ok' if results[name]['ok'] else 'FAILED'} "
+            f"({results[name]['wall_s']}s)",
+            flush=True,
+        )
+
+    ok = all(results[name]["ok"] for name in results)
+    payload = envelope(
+        "bench-service", {"ok": ok, "phases": results}
+    )
+    write_json_atomic(args.out, payload, indent=2)
+    print(f"[load_service] wrote {args.out} (ok={ok})")
+    if not ok:
+        print(json.dumps(results, indent=2, sort_keys=True), file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
